@@ -1,0 +1,29 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper at a
+reduced scale (simulated seconds cost real CPU in pure Python).  Set
+``REPRO_SCALE`` > 1 to lengthen runs toward paper scale; scale factors
+are applied to durations, not to topology parameters.
+
+Each bench prints the same rows/series the paper reports and asserts the
+*shape* claims (who wins, by roughly what factor) — not absolute values.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_here = os.path.dirname(__file__)
+if _here not in sys.path:  # allow `pytest benchmarks/` from the repo root
+    sys.path.insert(0, _here)
+
+
+def scaled(seconds: float) -> float:
+    """Scale a duration by REPRO_SCALE (default 1)."""
+    return seconds * float(os.environ.get("REPRO_SCALE", "1"))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

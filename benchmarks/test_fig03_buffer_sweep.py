@@ -1,0 +1,69 @@
+"""Fig 3: single-flow bottleneck saturation vs buffer size.
+
+Paper: on a 50 Mbps / 30 ms link, Proteus-P/S saturate (>= 90%
+utilization) with a 4.5 KB buffer like BBR and Vivace, CUBIC and COPA
+need several times more, and LEDBAT needs ~150 KB (it must fit its
+100 ms delay target).  Fig 3(b): at a 2 BDP (375 KB) buffer Proteus
+keeps the 95th-percentile inflation ratio far below LEDBAT/CUBIC/BBR.
+"""
+
+from __future__ import annotations
+
+from _common import run_once, scaled
+
+from repro.analysis import inflation_ratio_95th
+from repro.harness import EMULAB_DEFAULT, print_table, run_single
+
+PROTOCOLS = ("proteus-s", "ledbat", "cubic", "bbr", "proteus-p", "copa", "vivace")
+BUFFERS_KB = (4.5, 15.0, 75.0, 150.0, 375.0, 900.0)
+
+
+def experiment():
+    duration = scaled(20.0)
+    throughput = {}
+    inflation = {}
+    for buffer_kb in BUFFERS_KB:
+        config = EMULAB_DEFAULT.with_buffer_kb(buffer_kb)
+        for proto in PROTOCOLS:
+            result = run_single(proto, config, duration_s=duration)
+            window = result.measurement_window()
+            throughput[(proto, buffer_kb)] = result.throughput_mbps(0, window)
+            rtts = result.stats[0].rtt_samples(*window)
+            inflation[(proto, buffer_kb)] = inflation_ratio_95th(
+                rtts, config.rtt_s, config.buffer_bytes, config.bandwidth_bps
+            )
+    return throughput, inflation
+
+
+def test_fig03_buffer_sweep(benchmark):
+    throughput, inflation = run_once(benchmark, experiment)
+
+    rows = [
+        [f"{b:g} KB"] + [f"{throughput[(p, b)]:.1f}" for p in PROTOCOLS]
+        for b in BUFFERS_KB
+    ]
+    print_table(
+        ["buffer"] + list(PROTOCOLS), rows, title="Fig 3(a): throughput (Mbps)"
+    )
+    rows = [
+        [f"{b:g} KB"] + [f"{inflation[(p, b)]:.2f}" for p in PROTOCOLS]
+        for b in BUFFERS_KB
+    ]
+    print_table(
+        ["buffer"] + list(PROTOCOLS),
+        rows,
+        title="Fig 3(b): 95th-percentile inflation ratio",
+    )
+
+    # Shape assertions (paper's headline claims).
+    # Proteus saturates >= ~90% of 50 Mbps with a tiny 4.5 KB buffer.
+    assert throughput[("proteus-p", 4.5)] > 42.0
+    assert throughput[("proteus-s", 4.5)] > 42.0
+    # LEDBAT needs a much larger buffer than Proteus for the same target.
+    assert throughput[("ledbat", 4.5)] < throughput[("proteus-p", 4.5)]
+    assert throughput[("ledbat", 375.0)] > 45.0
+    # Fig 3(b) at 2 BDP: Proteus-S inflates far less than LEDBAT and CUBIC.
+    assert inflation[("proteus-s", 375.0)] < 0.5 * inflation[("ledbat", 375.0)]
+    assert inflation[("proteus-s", 375.0)] < 0.5 * inflation[("cubic", 375.0)]
+    # CUBIC fills whatever buffer it is given.
+    assert inflation[("cubic", 375.0)] > 0.8

@@ -1,0 +1,55 @@
+"""Fig 4: single-flow throughput vs random (non-congestion) loss rate.
+
+Paper: BBR and COPA ignore loss and stay near capacity; Proteus-P and
+Vivace tolerate up to ~5% (the c = 11.35 coefficient); Proteus-S ramps
+more conservatively but stays in the same class; LEDBAT and CUBIC halve
+on every loss and collapse by 0.1%-1%.
+"""
+
+from __future__ import annotations
+
+from _common import run_once, scaled
+
+from repro.harness import EMULAB_DEFAULT, print_table, run_single
+
+PROTOCOLS = ("proteus-s", "ledbat", "cubic", "bbr", "proteus-p", "copa", "vivace")
+LOSS_RATES = (0.0, 0.001, 0.01, 0.02, 0.04, 0.06)
+
+
+def experiment():
+    duration = scaled(25.0)
+    throughput = {}
+    for loss in LOSS_RATES:
+        config = EMULAB_DEFAULT.with_loss(loss)
+        for proto in PROTOCOLS:
+            result = run_single(proto, config, duration_s=duration)
+            throughput[(proto, loss)] = result.throughput_mbps(0)
+    return throughput
+
+
+def test_fig04_random_loss_tolerance(benchmark):
+    throughput = run_once(benchmark, experiment)
+
+    rows = [
+        [f"{loss * 100:g}%"] + [f"{throughput[(p, loss)]:.1f}" for p in PROTOCOLS]
+        for loss in LOSS_RATES
+    ]
+    print_table(
+        ["random loss"] + list(PROTOCOLS),
+        rows,
+        title="Fig 4: throughput (Mbps) under random loss",
+    )
+
+    # BBR and COPA barely react to loss.
+    assert throughput[("bbr", 0.02)] > 40.0
+    assert throughput[("copa", 0.02)] > 40.0
+    # Proteus-P holds an order of magnitude above loss-halving protocols
+    # at 2% loss; its tolerance knee sits near 3-4% (paper: ~5%, gap
+    # documented in EXPERIMENTS.md).
+    assert throughput[("proteus-p", 0.02)] > 8.0 * throughput[("cubic", 0.02)]
+    assert throughput[("proteus-p", 0.02)] > 35.0
+    assert throughput[("proteus-p", 0.04)] > 4.0 * throughput[("cubic", 0.04)]
+    # LEDBAT is fragile even at 0.1% random loss (paper: 50% degradation).
+    assert throughput[("ledbat", 0.001)] < 0.7 * throughput[("ledbat", 0.0)]
+    # CUBIC collapses at 1%.
+    assert throughput[("cubic", 0.01)] < 0.4 * throughput[("cubic", 0.0)]

@@ -1,0 +1,70 @@
+"""Fig 5: Jain's fairness index vs number of same-protocol flows.
+
+Paper: Proteus-P, Vivace, CUBIC, BBR and COPA all hold ~99%; Proteus-S
+stays above 90%; LEDBAT's index *decreases* with n (the latecomer
+effect: each newcomer measures an inflated base delay) until n is large
+enough that the summed targets exceed the buffer.
+
+Scale note: the paper measures 200 s after the last of n staggered
+starts; we use shorter staggered runs, which penalises the slowest
+convergers (BBR, Proteus-S) — documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from _common import run_once, scaled
+
+from repro.analysis import jains_index
+from repro.harness import LinkConfig, print_table, run_homogeneous
+
+PROTOCOLS = ("proteus-s", "ledbat", "cubic", "bbr", "proteus-p", "copa", "vivace")
+FLOW_COUNTS = (2, 4, 6)
+
+
+def experiment():
+    measure = scaled(50.0)
+    fairness = {}
+    utilization = {}
+    for n in FLOW_COUNTS:
+        config = LinkConfig(
+            bandwidth_mbps=20.0 * n, rtt_ms=30.0, buffer_kb=300.0 * n
+        )
+        for proto in PROTOCOLS:
+            result = run_homogeneous(
+                proto, n, config, stagger_s=8.0, measure_s=measure
+            )
+            throughputs = result.throughputs_mbps()
+            fairness[(proto, n)] = jains_index(throughputs)
+            utilization[(proto, n)] = sum(throughputs) / config.bandwidth_mbps
+    return fairness, utilization
+
+
+def test_fig05_fairness_index(benchmark):
+    fairness, utilization = run_once(benchmark, experiment)
+
+    rows = [
+        [str(n)] + [f"{fairness[(p, n)]:.3f}" for p in PROTOCOLS]
+        for n in FLOW_COUNTS
+    ]
+    print_table(
+        ["flows"] + list(PROTOCOLS), rows, title="Fig 5: Jain's fairness index"
+    )
+    rows = [
+        [str(n)] + [f"{utilization[(p, n)]:.2f}" for p in PROTOCOLS]
+        for n in FLOW_COUNTS
+    ]
+    print_table(
+        ["flows"] + list(PROTOCOLS), rows, title="Link utilization (fraction)"
+    )
+
+    for n in FLOW_COUNTS:
+        # The steady protocols stay highly fair.
+        assert fairness[("proteus-p", n)] > 0.85
+        assert fairness[("copa", n)] > 0.9
+        assert fairness[("cubic", n)] > 0.7
+        # Proteus-S is fairer than LEDBAT once the latecomer effect bites.
+        if n >= 4:
+            assert fairness[("proteus-s", n)] > fairness[("ledbat", n)]
+        # Everyone keeps the link busy.
+        for proto in PROTOCOLS:
+            assert utilization[(proto, n)] > 0.75

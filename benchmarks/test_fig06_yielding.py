@@ -1,0 +1,96 @@
+"""Fig 6: scavenger candidates competing against primary protocols.
+
+The paper's core result.  For each scavenger candidate (LEDBAT,
+Proteus-S, and — to show latency-awareness alone is not enough —
+Proteus-P and COPA in the scavenger role) against each primary (BBR,
+CUBIC, COPA, Proteus-P, Vivace) under shallow (75 KB) and large
+(375 KB) buffers, we report the primary throughput ratio and the joint
+capacity utilization.
+
+Paper headlines: Proteus-S keeps every primary above ~87-98% of its
+solo throughput while LEDBAT drags BBR to 26% and latency-aware
+primaries below 43%; Proteus-S still fills >= ~89-95% of the link.
+"""
+
+from __future__ import annotations
+
+from _common import run_once, scaled
+
+from repro.harness import (
+    EMULAB_DEFAULT,
+    EMULAB_SHALLOW,
+    PRIMARY_PROTOCOLS,
+    print_table,
+    run_pair,
+)
+
+SCAVENGERS = ("ledbat", "proteus-s", "proteus-p", "copa")
+BUFFERS = {"75KB": EMULAB_SHALLOW, "375KB": EMULAB_DEFAULT}
+
+
+def experiment():
+    duration = scaled(25.0)
+    results = {}
+    for scavenger in SCAVENGERS:
+        for primary in PRIMARY_PROTOCOLS:
+            for label, config in BUFFERS.items():
+                pair = run_pair(
+                    primary, scavenger, config, duration_s=duration, seed=2
+                )
+                results[(scavenger, primary, label)] = pair
+    return results
+
+
+def test_fig06_scavenger_vs_primary(benchmark):
+    results = run_once(benchmark, experiment)
+
+    for scavenger in SCAVENGERS:
+        rows = []
+        for primary in PRIMARY_PROTOCOLS:
+            for label in BUFFERS:
+                pair = results[(scavenger, primary, label)]
+                rows.append(
+                    (
+                        primary,
+                        label,
+                        f"{pair.primary_throughput_ratio * 100:.1f}%",
+                        f"{pair.utilization * 100:.1f}%",
+                        f"{pair.scavenger_mbps:.1f}",
+                    )
+                )
+        print_table(
+            ["primary", "buffer", "primary ratio", "utilization", "scav Mbps"],
+            rows,
+            title=f"Fig 6: {scavenger} as the scavenger",
+        )
+
+    # --- Proteus-S yields to every primary in every buffer setup.
+    # Vivace gets a lower bar: the paper itself reports a "somewhat lower
+    # primary throughput ratio" against Vivace (no adaptive noise
+    # tolerance), still several times better than LEDBAT.
+    for primary in PRIMARY_PROTOCOLS:
+        floor = 0.45 if primary == "vivace" else 0.70
+        for label in BUFFERS:
+            ratio = results[("proteus-s", primary, label)].primary_throughput_ratio
+            assert ratio > floor, (
+                f"Proteus-S must yield to {primary} ({label}): got {ratio:.2f}"
+            )
+    # Against the most-deployed primaries the paper claims >= 95-98%.
+    assert results[("proteus-s", "cubic", "375KB")].primary_throughput_ratio > 0.9
+    assert results[("proteus-s", "bbr", "375KB")].primary_throughput_ratio > 0.9
+
+    # --- LEDBAT fails against latency-aware primaries (deep buffer).
+    for primary in ("copa", "vivace", "proteus-p"):
+        ledbat_ratio = results[("ledbat", primary, "375KB")].primary_throughput_ratio
+        proteus_ratio = results[("proteus-s", primary, "375KB")].primary_throughput_ratio
+        assert proteus_ratio > ledbat_ratio + 0.15, (
+            f"Proteus-S must beat LEDBAT against {primary}: "
+            f"{proteus_ratio:.2f} vs {ledbat_ratio:.2f}"
+        )
+    # LEDBAT also fails to yield to CUBIC when the buffer can't fit its
+    # target (75 KB < 100 ms of queue).
+    assert results[("ledbat", "cubic", "75KB")].primary_throughput_ratio < 0.85
+
+    # --- Joint utilization: Proteus-S scavenges the leftovers.
+    for primary in ("cubic", "bbr", "proteus-p"):
+        assert results[("proteus-s", primary, "375KB")].utilization > 0.85

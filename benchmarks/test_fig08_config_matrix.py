@@ -1,0 +1,98 @@
+"""Fig 8: robustness across the bottleneck-configuration matrix.
+
+Paper: 180 configs — bandwidth {20..500} Mbps x RTT {5..200} ms x
+buffer {0.2..5} BDP — each primary (BBR, CUBIC, Proteus-P) against each
+scavenger (Proteus-S, LEDBAT); CDF of primary throughput ratios.
+Median gains for Proteus-S over LEDBAT: BBR +7.8%, CUBIC +28%,
+Proteus-P +2.8x.
+
+We sub-sample the matrix (3 bandwidths x 3 RTTs x 3 buffers = 27
+configs by default) to keep CPU bounded; REPRO_SCALE >= 2 widens it.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+
+from _common import run_once, scaled
+
+from repro.harness import config_matrix, format_cdf, print_table, run_pair
+from repro.analysis import cdf_points
+
+PRIMARIES = ("bbr", "cubic", "proteus-p")
+SCAVENGERS = ("proteus-s", "ledbat")
+
+
+def matrix():
+    if float(os.environ.get("REPRO_SCALE", "1")) >= 2.0:
+        bandwidths = (20.0, 50.0, 100.0, 200.0)
+        rtts = (10.0, 30.0, 60.0, 100.0)
+        buffers = (0.2, 0.5, 1.0, 2.0, 5.0)
+    else:
+        bandwidths = (20.0, 50.0, 100.0)
+        rtts = (10.0, 30.0, 100.0)
+        buffers = (0.5, 2.0)
+    return config_matrix(bandwidths, rtts, buffers)
+
+
+def experiment():
+    configs = matrix()
+    duration = scaled(12.0)
+    ratios: dict[tuple[str, str], list[float]] = {
+        (p, s): [] for p in PRIMARIES for s in SCAVENGERS
+    }
+    for config in configs:
+        for primary in PRIMARIES:
+            for scavenger in SCAVENGERS:
+                pair = run_pair(
+                    primary, scavenger, config, duration_s=duration, seed=4
+                )
+                ratios[(primary, scavenger)].append(pair.primary_throughput_ratio)
+    return ratios, len(configs)
+
+
+def test_fig08_configuration_matrix(benchmark):
+    ratios, n_configs = run_once(benchmark, experiment)
+
+    rows = []
+    for primary in PRIMARIES:
+        vs_proteus = statistics.median(ratios[(primary, "proteus-s")])
+        vs_ledbat = statistics.median(ratios[(primary, "ledbat")])
+        rows.append(
+            (
+                primary,
+                f"{vs_proteus * 100:.1f}%",
+                f"{vs_ledbat * 100:.1f}%",
+                f"{(vs_proteus / vs_ledbat - 1) * 100:+.1f}%",
+            )
+        )
+    print_table(
+        ["primary", "median vs Proteus-S", "median vs LEDBAT", "gain"],
+        rows,
+        title=f"Fig 8: primary throughput ratio over {n_configs} configs",
+    )
+    for primary in PRIMARIES:
+        print(
+            format_cdf(
+                f"  CDF {primary} vs proteus-s",
+                cdf_points(ratios[(primary, "proteus-s")]),
+            )
+        )
+        print(
+            format_cdf(
+                f"  CDF {primary} vs ledbat   ",
+                cdf_points(ratios[(primary, "ledbat")]),
+            )
+        )
+
+    # Shape: in the median config, every primary does better against
+    # Proteus-S than against LEDBAT; Proteus-P most dramatically.
+    for primary in PRIMARIES:
+        med_proteus = statistics.median(ratios[(primary, "proteus-s")])
+        med_ledbat = statistics.median(ratios[(primary, "ledbat")])
+        assert med_proteus > med_ledbat, primary
+        assert med_proteus > 0.75
+    assert statistics.median(ratios[("proteus-p", "proteus-s")]) > 1.5 * statistics.median(
+        ratios[("proteus-p", "ledbat")]
+    )

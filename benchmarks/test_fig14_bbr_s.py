@@ -1,0 +1,67 @@
+"""Fig 14: extending RTT-deviation yielding to BBR (BBR-S, §7.1).
+
+Paper: on a 50 Mbps / 30 ms / 375 KB bottleneck, a modified BBR that
+forces its minimum-RTT probing phase whenever the smoothed RTT deviation
+exceeds a threshold (a) yields to primary BBR, (b) yields to CUBIC, and
+(c) shares fairly with another BBR-S.  The figure is throughput vs time
+for the three pairings.
+"""
+
+from __future__ import annotations
+
+from _common import run_once, scaled
+
+from repro.harness import EMULAB_DEFAULT, FlowSpec, print_table, run_flows
+
+PAIRINGS = (
+    ("bbr", "bbr-s"),
+    ("cubic", "bbr-s"),
+    ("bbr-s", "bbr-s"),
+)
+
+
+def experiment():
+    duration = scaled(50.0)
+    outcomes = {}
+    for first, second in PAIRINGS:
+        result = run_flows(
+            [FlowSpec(first), FlowSpec(second, start_time=10.0)],
+            EMULAB_DEFAULT,
+            duration_s=duration,
+            seed=6,
+        )
+        window = (duration * 0.55, duration)
+        outcomes[(first, second)] = (
+            result.throughput_mbps(0, window),
+            result.throughput_mbps(1, window),
+            result.stats[0].throughput_series(5.0, 0.0, duration),
+            result.stats[1].throughput_series(5.0, 0.0, duration),
+        )
+    return outcomes
+
+
+def test_fig14_bbr_s_yields(benchmark):
+    outcomes = run_once(benchmark, experiment)
+
+    rows = []
+    for (first, second), (thr1, thr2, series1, series2) in outcomes.items():
+        rows.append((f"{first} vs {second}", f"{thr1:.1f}", f"{thr2:.1f}"))
+    print_table(
+        ["pairing", "flow 1 (Mbps)", "flow 2 (Mbps)"],
+        rows,
+        title="Fig 14: BBR-S steady-state split (flow 2 joins at t=10s)",
+    )
+    for (first, second), (_, _, series1, series2) in outcomes.items():
+        print(f"\n{first} vs {second} throughput over time (5 s bins):")
+        print("  flow1: " + " ".join(f"{v:5.1f}" for _, v in series1))
+        print("  flow2: " + " ".join(f"{v:5.1f}" for _, v in series2))
+
+    bbr_primary, bbr_s = outcomes[("bbr", "bbr-s")][:2]
+    cubic_primary, bbr_s2 = outcomes[("cubic", "bbr-s")][:2]
+    peer_a, peer_b = outcomes[("bbr-s", "bbr-s")][:2]
+    # Yields to primary BBR and to CUBIC.
+    assert bbr_primary > 3.0 * bbr_s
+    assert cubic_primary > 3.0 * bbr_s2
+    # Fair with itself (the paper's middle panel). Note: mutual yielding
+    # leaves capacity unused relative to the paper — see EXPERIMENTS.md.
+    assert min(peer_a, peer_b) / max(peer_a, peer_b) > 0.4

@@ -1,0 +1,57 @@
+"""Fig 15 (Appendix B): buffer-size sweep including LEDBAT-25.
+
+Paper: LEDBAT-25 behaves like LEDBAT-100 as a standalone controller —
+it needs a large buffer to saturate and keeps the buffer full until the
+buffer can accommodate its (smaller) 25 ms target.
+"""
+
+from __future__ import annotations
+
+from _common import run_once, scaled
+
+from repro.analysis import inflation_ratio_95th
+from repro.harness import EMULAB_DEFAULT, print_table, run_single
+
+PROTOCOLS = ("proteus-s", "ledbat-25", "ledbat", "cubic", "proteus-p")
+BUFFERS_KB = (4.5, 75.0, 375.0)
+
+
+def experiment():
+    duration = scaled(20.0)
+    throughput = {}
+    inflation = {}
+    for buffer_kb in BUFFERS_KB:
+        config = EMULAB_DEFAULT.with_buffer_kb(buffer_kb)
+        for proto in PROTOCOLS:
+            result = run_single(proto, config, duration_s=duration)
+            window = result.measurement_window()
+            throughput[(proto, buffer_kb)] = result.throughput_mbps(0, window)
+            inflation[(proto, buffer_kb)] = inflation_ratio_95th(
+                result.stats[0].rtt_samples(*window),
+                config.rtt_s,
+                config.buffer_bytes,
+                config.bandwidth_bps,
+            )
+    return throughput, inflation
+
+
+def test_fig15_ledbat25_buffer_sweep(benchmark):
+    throughput, inflation = run_once(benchmark, experiment)
+
+    rows = [
+        [f"{b:g} KB"]
+        + [f"{throughput[(p, b)]:.1f} / {inflation[(p, b)]:.2f}" for p in PROTOCOLS]
+        for b in BUFFERS_KB
+    ]
+    print_table(
+        ["buffer"] + list(PROTOCOLS),
+        rows,
+        title="Fig 15: throughput (Mbps) / 95th inflation ratio",
+    )
+
+    # LEDBAT-25 and LEDBAT-100 behave similarly standalone: both need a
+    # large buffer relative to Proteus and both keep small buffers full.
+    assert throughput[("ledbat-25", 4.5)] < throughput[("proteus-s", 4.5)]
+    assert inflation[("ledbat-25", 75.0)] > 2.0 * inflation[("proteus-s", 75.0)]
+    # With a buffer big enough for the 25 ms target, LEDBAT-25 saturates.
+    assert throughput[("ledbat-25", 375.0)] > 45.0

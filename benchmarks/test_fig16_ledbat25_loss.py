@@ -1,0 +1,45 @@
+"""Fig 16 (Appendix B): random-loss tolerance including LEDBAT-25.
+
+Paper: LEDBAT-25 is nearly identical to LEDBAT-100 under random loss —
+both inherit traditional TCP's loss halving and collapse.
+"""
+
+from __future__ import annotations
+
+from _common import run_once, scaled
+
+from repro.harness import EMULAB_DEFAULT, print_table, run_single
+
+PROTOCOLS = ("proteus-s", "ledbat-25", "ledbat", "proteus-p")
+LOSS_RATES = (0.0, 0.001, 0.01, 0.04)
+
+
+def experiment():
+    duration = scaled(25.0)
+    throughput = {}
+    for loss in LOSS_RATES:
+        config = EMULAB_DEFAULT.with_loss(loss)
+        for proto in PROTOCOLS:
+            result = run_single(proto, config, duration_s=duration)
+            throughput[(proto, loss)] = result.throughput_mbps(0)
+    return throughput
+
+
+def test_fig16_ledbat25_loss_tolerance(benchmark):
+    throughput = run_once(benchmark, experiment)
+
+    rows = [
+        [f"{loss * 100:g}%"] + [f"{throughput[(p, loss)]:.1f}" for p in PROTOCOLS]
+        for loss in LOSS_RATES
+    ]
+    print_table(
+        ["random loss"] + list(PROTOCOLS),
+        rows,
+        title="Fig 16: throughput (Mbps) under random loss",
+    )
+
+    # Both LEDBAT variants are fragile; they track each other closely.
+    for variant in ("ledbat", "ledbat-25"):
+        assert throughput[(variant, 0.01)] < 0.4 * throughput[(variant, 0.0)]
+    # Proteus-S vastly out-tolerates both at 1%.
+    assert throughput[("proteus-s", 0.01)] > 2.0 * throughput[("ledbat-25", 0.01)]

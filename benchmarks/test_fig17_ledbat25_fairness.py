@@ -1,0 +1,57 @@
+"""Fig 17 (Appendix B): multi-flow fairness including LEDBAT-25.
+
+Paper: with its smaller target, LEDBAT-25's latecomer problem is *worse*
+than LEDBAT-100's (a given buffer accommodates the summed targets of
+more flows), so its Jain index sits below LEDBAT-100 and far below
+Proteus-S.
+"""
+
+from __future__ import annotations
+
+from _common import run_once, scaled
+
+from repro.analysis import jains_index
+from repro.harness import LinkConfig, print_table, run_homogeneous
+
+PROTOCOLS = ("proteus-s", "ledbat-25", "ledbat", "proteus-p")
+FLOW_COUNTS = (4, 6)
+
+
+def experiment():
+    measure = scaled(50.0)
+    fairness = {}
+    for n in FLOW_COUNTS:
+        config = LinkConfig(
+            bandwidth_mbps=20.0 * n, rtt_ms=30.0, buffer_kb=300.0 * n
+        )
+        for proto in PROTOCOLS:
+            result = run_homogeneous(
+                proto, n, config, stagger_s=8.0, measure_s=measure
+            )
+            fairness[(proto, n)] = jains_index(result.throughputs_mbps())
+    return fairness
+
+
+def test_fig17_ledbat25_fairness(benchmark):
+    fairness = run_once(benchmark, experiment)
+
+    rows = [
+        [str(n)] + [f"{fairness[(p, n)]:.3f}" for p in PROTOCOLS]
+        for n in FLOW_COUNTS
+    ]
+    print_table(
+        ["flows"] + list(PROTOCOLS),
+        rows,
+        title="Fig 17: Jain's fairness index with LEDBAT-25",
+    )
+
+    for n in FLOW_COUNTS:
+        # Proteus-P is always fairer than LEDBAT-25; Proteus-S clearly so
+        # at n=4 (at n=6 its scavenger-vs-scavenger variance narrows the
+        # gap — see EXPERIMENTS.md — so it only needs rough parity there).
+        assert fairness[("proteus-p", n)] > fairness[("ledbat-25", n)]
+        assert fairness[("proteus-s", n)] > fairness[("ledbat-25", n)] - 0.05
+    assert fairness[("proteus-s", 4)] > fairness[("ledbat-25", 4)] + 0.2
+    # The latecomer effect shows up clearly for LEDBAT-25 at n=4
+    # (summed targets 100 ms vs a 120 ms buffer: the last flow dominates).
+    assert fairness[("ledbat-25", 4)] < 0.8

@@ -1,0 +1,66 @@
+"""Fig 18 (Appendix B): 4-flow throughput over time — the latecomer effect.
+
+Paper: four staggered flows on an 80 Mbps / 1200 KB bottleneck.  With
+LEDBAT-25 each new flow dominates all previous ones (it measures an
+already-inflated "base" delay); LEDBAT-100 is milder but the first flow
+still ends with the lowest share; both Proteus variants stay stable and
+fair.
+"""
+
+from __future__ import annotations
+
+from _common import run_once, scaled
+
+from repro.harness import LinkConfig, FlowSpec, print_table, run_flows
+
+CONFIG = LinkConfig(bandwidth_mbps=80.0, rtt_ms=30.0, buffer_kb=1200.0)
+PROTOCOLS = ("ledbat-25", "ledbat", "proteus-s", "proteus-p")
+N_FLOWS = 4
+STAGGER_S = 15.0
+
+
+def experiment():
+    duration = scaled(100.0)
+    outcomes = {}
+    for proto in PROTOCOLS:
+        result = run_flows(
+            [FlowSpec(proto, start_time=i * STAGGER_S) for i in range(N_FLOWS)],
+            CONFIG,
+            duration_s=duration,
+            seed=7,
+        )
+        window = (duration * 0.7, duration)
+        final = [result.throughput_mbps(i, window) for i in range(N_FLOWS)]
+        series = [
+            result.stats[i].throughput_series(15.0, 0.0, duration)
+            for i in range(N_FLOWS)
+        ]
+        outcomes[proto] = (final, series)
+    return outcomes
+
+
+def test_fig18_latecomer_dynamics(benchmark):
+    outcomes = run_once(benchmark, experiment)
+
+    rows = [
+        [proto] + [f"{thr:.1f}" for thr in outcomes[proto][0]]
+        for proto in PROTOCOLS
+    ]
+    print_table(
+        ["protocol", "flow1", "flow2", "flow3", "flow4"],
+        rows,
+        title="Fig 18: final throughput (Mbps) by join order (flow1 first)",
+    )
+    for proto in ("ledbat-25", "proteus-s"):
+        print(f"\n{proto} per-flow series (15 s bins):")
+        for i, series in enumerate(outcomes[proto][1]):
+            print(f"  flow{i + 1}: " + " ".join(f"{v:5.1f}" for _, v in series))
+
+    ledbat25 = outcomes["ledbat-25"][0]
+    # LEDBAT-25 latecomer domination: the last joiner crushes the first.
+    assert ledbat25[-1] > 2.0 * max(ledbat25[0], 0.5)
+    # Proteus flows end far more balanced.
+    proteus = outcomes["proteus-s"][0]
+    assert min(proteus) > 0.25 * max(proteus)
+    primary = outcomes["proteus-p"][0]
+    assert min(primary) > 0.3 * max(primary)

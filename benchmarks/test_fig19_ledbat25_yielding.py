@@ -1,0 +1,64 @@
+"""Fig 19 (Appendix B): LEDBAT-25 as a scavenger vs primary protocols.
+
+Paper: the smaller target helps against CUBIC with a large buffer, but
+LEDBAT-25 still fails to yield with a shallow (75 KB) buffer and remains
+aggressive against latency-sensitive primaries (Vivace, Proteus-P);
+Proteus-S beats it across the board.
+"""
+
+from __future__ import annotations
+
+from _common import run_once, scaled
+
+from repro.harness import (
+    EMULAB_DEFAULT,
+    EMULAB_SHALLOW,
+    PRIMARY_PROTOCOLS,
+    print_table,
+    run_pair,
+)
+
+BUFFERS = {"75KB": EMULAB_SHALLOW, "375KB": EMULAB_DEFAULT}
+
+
+def experiment():
+    duration = scaled(25.0)
+    results = {}
+    for scavenger in ("ledbat-25", "proteus-s"):
+        for primary in PRIMARY_PROTOCOLS:
+            for label, config in BUFFERS.items():
+                results[(scavenger, primary, label)] = run_pair(
+                    primary, scavenger, config, duration_s=duration, seed=10
+                )
+    return results
+
+
+def test_fig19_ledbat25_as_scavenger(benchmark):
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    for primary in PRIMARY_PROTOCOLS:
+        for label in BUFFERS:
+            l25 = results[("ledbat-25", primary, label)]
+            ps = results[("proteus-s", primary, label)]
+            rows.append(
+                (
+                    primary,
+                    label,
+                    f"{l25.primary_throughput_ratio * 100:.1f}%",
+                    f"{ps.primary_throughput_ratio * 100:.1f}%",
+                )
+            )
+    print_table(
+        ["primary", "buffer", "ratio vs LEDBAT-25", "ratio vs Proteus-S"],
+        rows,
+        title="Fig 19: primary throughput ratio, LEDBAT-25 vs Proteus-S scavenging",
+    )
+
+    # LEDBAT-25 fails to yield to CUBIC with the shallow buffer.
+    assert results[("ledbat-25", "cubic", "75KB")].primary_throughput_ratio < 0.85
+    # Proteus-S outperforms LEDBAT-25 against latency-aware primaries.
+    for primary in ("vivace", "proteus-p", "copa"):
+        ps = results[("proteus-s", primary, "375KB")].primary_throughput_ratio
+        l25 = results[("ledbat-25", primary, "375KB")].primary_throughput_ratio
+        assert ps > l25, f"Proteus-S must beat LEDBAT-25 against {primary}"

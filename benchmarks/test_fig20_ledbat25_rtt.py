@@ -1,0 +1,53 @@
+"""Fig 20 (Appendix B): scavenger's impact on the primary's p95 RTT,
+including LEDBAT-25.
+
+Paper: LEDBAT-25 inflates less than LEDBAT-100 but still costs
+latency-aware primaries up to ~2.2x their solo p95 RTT; Proteus-S is
+essentially free.
+"""
+
+from __future__ import annotations
+
+from _common import run_once, scaled
+
+from repro.harness import EMULAB_DEFAULT, print_table, run_pair
+
+PRIMARIES = ("cubic", "bbr", "copa", "proteus-p", "vivace")
+SCAVENGERS = ("proteus-s", "ledbat-25", "ledbat")
+
+
+def experiment():
+    duration = scaled(25.0)
+    ratios = {}
+    for scavenger in SCAVENGERS:
+        for primary in PRIMARIES:
+            pair = run_pair(
+                primary, scavenger, EMULAB_DEFAULT, duration_s=duration, seed=11
+            )
+            ratios[(scavenger, primary)] = pair.primary_rtt_ratio_95th
+    return ratios
+
+
+def test_fig20_ledbat25_rtt_impact(benchmark):
+    ratios = run_once(benchmark, experiment)
+
+    rows = [
+        [primary] + [f"{ratios[(s, primary)]:.2f}" for s in SCAVENGERS]
+        for primary in PRIMARIES
+    ]
+    print_table(
+        ["primary"] + list(SCAVENGERS),
+        rows,
+        title="Fig 20: p95 RTT ratio (with scavenger / alone)",
+    )
+
+    for primary in ("copa", "proteus-p"):
+        # Proteus-S leaves the primary's latency near its solo level.
+        assert ratios[("proteus-s", primary)] < 1.5
+    # Vivace (no adaptive noise tolerance) tolerates the scavenger's
+    # probing worse — its inflation is higher, but still below what
+    # LEDBAT-100 causes.
+    assert ratios[("proteus-s", "vivace")] < ratios[("ledbat", "vivace")]
+    for primary in ("copa", "proteus-p"):
+        # LEDBAT-25 costs latency-aware primaries real inflation.
+        assert ratios[("ledbat-25", primary)] > ratios[("proteus-s", primary)]

@@ -1,0 +1,51 @@
+"""Fig 21 (Appendix B): single-flow WiFi throughput including LEDBAT-25.
+
+Paper: the 25 ms target makes LEDBAT-25 *more* sensitive to latency
+noise — its normalized-throughput CDF sits below LEDBAT-100 and
+Proteus-S on real WiFi paths.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from _common import run_once, scaled
+
+from repro.harness import print_table, run_single, wifi_sites
+
+PROTOCOLS = ("proteus-s", "ledbat-25", "ledbat", "cubic", "proteus-p")
+
+
+def experiment():
+    duration = scaled(18.0)
+    configs = wifi_sites(n_sites=3, n_paths=3)
+    normalized: dict[str, list[float]] = {p: [] for p in PROTOCOLS}
+    for config in configs:
+        throughputs = {
+            proto: run_single(proto, config, duration_s=duration, seed=12).throughput_mbps(0)
+            for proto in PROTOCOLS
+        }
+        best = max(throughputs.values())
+        for proto, value in throughputs.items():
+            normalized[proto].append(value / best if best > 0 else 0.0)
+    return normalized
+
+
+def test_fig21_ledbat25_wifi_single(benchmark):
+    normalized = run_once(benchmark, experiment)
+
+    rows = [
+        (proto, f"{statistics.median(values):.2f}", f"{min(values):.2f}")
+        for proto, values in normalized.items()
+    ]
+    print_table(
+        ["protocol", "median normalized", "worst path"],
+        rows,
+        title="Fig 21: normalized single-flow throughput on noisy paths",
+    )
+
+    med = {p: statistics.median(v) for p, v in normalized.items()}
+    # LEDBAT-25 is at least as noise-hurt as LEDBAT-100.
+    assert med["ledbat-25"] <= med["ledbat"] + 0.1
+    # Proteus-S stays competitive with the LEDBAT family under noise.
+    assert med["proteus-s"] >= 0.8 * med["ledbat-25"]

@@ -1,0 +1,57 @@
+"""Fig 22 (Appendix B): WiFi yielding CDFs including LEDBAT-25.
+
+Paper: as a scavenger on WiFi paths LEDBAT-25 beats LEDBAT-100 but still
+loses to Proteus-S — the median throughput ratios of COPA, Proteus-P,
+and Vivace are 5.2%, 24.7%, and 38.6% higher against Proteus-S.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from _common import run_once, scaled
+
+from repro.harness import print_table, run_pair, wifi_sites
+
+PRIMARIES = ("copa", "proteus-p", "vivace")
+SCAVENGERS = ("proteus-s", "ledbat-25", "ledbat")
+
+
+def experiment():
+    duration = scaled(18.0)
+    configs = wifi_sites(n_sites=2, n_paths=2)
+    ratios: dict[tuple[str, str], list[float]] = {
+        (p, s): [] for p in PRIMARIES for s in SCAVENGERS
+    }
+    for config in configs:
+        for primary in PRIMARIES:
+            for scavenger in SCAVENGERS:
+                pair = run_pair(
+                    primary, scavenger, config, duration_s=duration, seed=14
+                )
+                ratios[(primary, scavenger)].append(pair.primary_throughput_ratio)
+    return ratios
+
+
+def test_fig22_ledbat25_wifi_yielding(benchmark):
+    ratios = run_once(benchmark, experiment)
+
+    rows = [
+        [primary]
+        + [f"{statistics.median(ratios[(primary, s)]) * 100:.1f}%" for s in SCAVENGERS]
+        for primary in PRIMARIES
+    ]
+    print_table(
+        ["primary"] + list(SCAVENGERS),
+        rows,
+        title="Fig 22: median primary throughput ratio on noisy paths",
+    )
+
+    for primary in PRIMARIES:
+        med_ps = statistics.median(ratios[(primary, "proteus-s")])
+        med_l25 = statistics.median(ratios[(primary, "ledbat-25")])
+        assert med_ps >= med_l25 - 0.05, (
+            f"Proteus-S must not lose to LEDBAT-25 against {primary}"
+        )
+        floor = 0.4 if primary == "vivace" else 0.6
+        assert med_ps > floor

@@ -1,0 +1,88 @@
+"""Theory table: Appendix A equilibria and the §4.4 hybrid prediction.
+
+Regenerates the paper's analytical claims as a table: homogeneous
+Proteus-P and Proteus-S populations converge to fair, saturating
+equilibria (Theorems 4.1 / 4.2); mixed populations saturate with the
+scavenger not advantaged; and the §4.4 four-case Proteus-H rate split is
+a fixed point of the model.
+"""
+
+from __future__ import annotations
+
+from _common import run_once
+
+from repro.analysis import (
+    GameConfig,
+    SenderSpec,
+    best_response,
+    hybrid_rate_prediction,
+    jains_index,
+    solve_equilibrium,
+)
+from repro.harness import print_table
+
+
+def experiment():
+    config = GameConfig(capacity_mbps=100.0)
+    rows = []
+    for label, specs in (
+        ("2 x P", [SenderSpec("P")] * 2),
+        ("5 x P", [SenderSpec("P")] * 5),
+        ("2 x S", [SenderSpec("S")] * 2),
+        ("4 x S", [SenderSpec("S")] * 4),
+        ("P + S", [SenderSpec("P"), SenderSpec("S")]),
+        ("2P + 2S", [SenderSpec("P")] * 2 + [SenderSpec("S")] * 2),
+    ):
+        rates = solve_equilibrium(specs, config)
+        rows.append((label, rates))
+
+    # Hybrid fixed points for the four §4.4 cases (r1=30, r2=60).
+    hybrid_rows = []
+    for capacity in (40.0, 80.0, 100.0, 140.0):
+        prediction = hybrid_rate_prediction(30.0, 60.0, capacity)
+        game = GameConfig(capacity_mbps=capacity)
+        br1 = best_response(prediction[1], SenderSpec("H", threshold_mbps=30.0), game)
+        br2 = best_response(prediction[0], SenderSpec("H", threshold_mbps=60.0), game)
+        hybrid_rows.append((capacity, prediction, (br1, br2)))
+    return rows, hybrid_rows
+
+
+def test_theory_equilibria(benchmark):
+    rows, hybrid_rows = run_once(benchmark, experiment)
+
+    table = []
+    for label, rates in rows:
+        table.append(
+            (
+                label,
+                f"{sum(rates):.1f}",
+                f"{jains_index(rates):.3f}",
+                " ".join(f"{r:.1f}" for r in rates),
+            )
+        )
+    print_table(
+        ["population", "total (C=100)", "Jain", "rates"],
+        table,
+        title="Appendix A: model equilibria",
+    )
+    table = [
+        (
+            f"C={c:.0f}",
+            f"({p[0]:.0f}, {p[1]:.0f})",
+            f"({b[0]:.1f}, {b[1]:.1f})",
+        )
+        for c, p, b in hybrid_rows
+    ]
+    print_table(
+        ["capacity", "§4.4 prediction", "best responses at prediction"],
+        table,
+        title="Proteus-H fixed-point check (r1=30, r2=60)",
+    )
+
+    for label, rates in rows:
+        assert sum(rates) > 95.0, f"{label} must saturate"
+        if label.startswith(("2 x", "5 x", "4 x")):
+            assert jains_index(rates) > 0.999, f"{label} must be fair"
+    for _, prediction, responses in hybrid_rows:
+        assert abs(responses[0] - prediction[0]) < 1.5
+        assert abs(responses[1] - prediction[1]) < 1.5

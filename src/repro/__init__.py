@@ -1,0 +1,44 @@
+"""Reproduction of "PCC Proteus: Scavenger Transport And Beyond" (SIGCOMM 2020).
+
+Public API layout:
+
+* :mod:`repro.core` — PCC Proteus itself: utility framework
+  (Proteus-P/S/H), noise tolerance, gradient rate control.
+* :mod:`repro.protocols` — baseline congestion controllers (CUBIC, BBR,
+  BBR-S, COPA, PCC Vivace, LEDBAT, fixed-rate) and the ``make_sender``
+  factory.
+* :mod:`repro.sim` — the packet-level discrete-event network simulator.
+* :mod:`repro.apps` — DASH/BOLA video streaming and web-page workloads.
+* :mod:`repro.analysis` — fairness, paper statistics, equilibrium theory.
+* :mod:`repro.harness` — scenario definitions and experiment runners.
+"""
+
+# Import order matters: ``protocols`` must initialize before ``core`` (the
+# Proteus sender builds on the protocol sender bases, while the protocol
+# package's Vivace baseline subclasses the Proteus sender).
+from . import sim  # noqa: I001  (dependency order, not alphabetical)
+from . import protocols
+from . import analysis, apps, core, harness
+from .core import ProteusSender, make_utility
+from .harness import EMULAB_DEFAULT, LinkConfig, run_flows, run_pair, run_single
+from .protocols import make_sender
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EMULAB_DEFAULT",
+    "LinkConfig",
+    "ProteusSender",
+    "analysis",
+    "apps",
+    "core",
+    "harness",
+    "make_sender",
+    "make_utility",
+    "protocols",
+    "run_flows",
+    "run_pair",
+    "run_single",
+    "sim",
+    "__version__",
+]

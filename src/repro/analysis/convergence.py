@@ -1,0 +1,101 @@
+"""Convergence and stability diagnostics.
+
+The paper proves the *existence* of unique equilibria and explicitly
+leaves "the dynamics of convergence (e.g., convergence speed) to future
+work" (§4.3).  This module provides the measurement half of that future
+work for the simulated system: given a flow's throughput time series,
+how long did it take to settle near its final share, and how much does
+it oscillate once there?
+
+These diagnostics back the ablation benchmarks (e.g. quantifying the
+majority rule's effect on ramp-up) and are generally useful when tuning
+controller parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..sim.trace import FlowStats
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Settling behaviour of one flow's throughput series."""
+
+    settle_time_s: float | None  # None: never settled within the series
+    steady_mean_mbps: float
+    steady_cov: float  # coefficient of variation in the settled region
+    overshoot_ratio: float  # peak rate / steady mean during ramp-up
+
+
+def throughput_convergence(
+    stats: FlowStats,
+    t0: float,
+    t1: float,
+    bin_s: float = 0.5,
+    tolerance: float = 0.15,
+    hold_bins: int = 6,
+) -> ConvergenceReport:
+    """Analyse when a flow's throughput settles.
+
+    The steady level is the mean over the final quarter of ``[t0, t1]``.
+    The settle time is the start of the first window of ``hold_bins``
+    consecutive bins all within ``tolerance`` of that level.  Overshoot
+    is the peak bin against the steady level.
+    """
+    series = stats.throughput_series(bin_s, t0, t1)
+    if len(series) < max(hold_bins, 4):
+        raise ValueError("series too short for convergence analysis")
+    values = [v for _, v in series]
+    tail = values[3 * len(values) // 4 :]
+    steady = sum(tail) / len(tail)
+    if steady <= 0:
+        return ConvergenceReport(None, 0.0, 0.0, math.inf)
+
+    settle_time = None
+    for i in range(len(values) - hold_bins + 1):
+        window = values[i : i + hold_bins]
+        if all(abs(v - steady) <= tolerance * steady for v in window):
+            settle_time = series[i][0] - bin_s / 2 - t0
+            break
+    steady_region = (
+        values[int(settle_time // bin_s) :] if settle_time is not None else tail
+    )
+    mean = sum(steady_region) / len(steady_region)
+    variance = sum((v - mean) ** 2 for v in steady_region) / len(steady_region)
+    cov = math.sqrt(variance) / mean if mean > 0 else 0.0
+    overshoot = max(values) / steady
+    return ConvergenceReport(
+        settle_time_s=settle_time,
+        steady_mean_mbps=steady,
+        steady_cov=cov,
+        overshoot_ratio=overshoot,
+    )
+
+
+def fairness_convergence_time(
+    all_stats: Sequence[FlowStats],
+    t0: float,
+    t1: float,
+    bin_s: float = 1.0,
+    target_index: float = 0.9,
+) -> float | None:
+    """Time (from ``t0``) until Jain's index first reaches ``target_index``.
+
+    Computed over per-bin throughputs of all flows; returns None if the
+    target is never reached within the window.
+    """
+    from .fairness import jains_index
+
+    if not all_stats:
+        raise ValueError("need at least one flow")
+    series = [s.throughput_series(bin_s, t0, t1) for s in all_stats]
+    n_bins = min(len(s) for s in series)
+    for i in range(n_bins):
+        shares = [s[i][1] for s in series]
+        if sum(shares) > 0 and jains_index(shares) >= target_index:
+            return series[0][i][0] - bin_s / 2 - t0
+    return None

@@ -1,0 +1,134 @@
+"""Statistics used by the paper's evaluation.
+
+Includes the paper's bespoke metrics: the 95th-percentile *inflation
+ratio* (Fig 3b), the *confusion probability* between congested and
+non-congested metric samples (§4.2), windowed RTT gradient/deviation for
+the Fig 2 analysis, and plain CDF/percentile helpers.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..core.metrics import rtt_deviation, rtt_gradient
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100]) of ``samples``."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= p <= 100:
+        raise ValueError("p must be in [0, 100]")
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def cdf_points(samples: Sequence[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) steps."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    n = len(ordered)
+    return [(value, (i + 1) / n) for i, value in enumerate(ordered)]
+
+
+def inflation_ratio_95th(
+    rtts: Sequence[float],
+    base_rtt_s: float,
+    buffer_bytes: float,
+    bandwidth_bps: float,
+) -> float:
+    """The paper's 95th-percentile inflation ratio (Fig 3b).
+
+    ``(p95(RTT) - base RTT) / (buffer size / bottleneck bandwidth)`` —
+    effectively the 95th-percentile buffer occupancy fraction.
+    """
+    if buffer_bytes <= 0 or bandwidth_bps <= 0:
+        raise ValueError("buffer and bandwidth must be positive")
+    drain_time = buffer_bytes * 8.0 / bandwidth_bps
+    return (percentile(rtts, 95) - base_rtt_s) / drain_time
+
+
+def confusion_probability(
+    congested: Sequence[float],
+    uncongested: Sequence[float],
+    rng: random.Random | None = None,
+    n_pairs: int = 20000,
+) -> float:
+    """§4.2's confusion probability.
+
+    The probability, over uniformly random (uncongested, congested) sample
+    pairs, that the metric is *smaller* in the congested sample than in
+    the uncongested one.  Lower means the metric separates congestion
+    better.
+    """
+    if not congested or not uncongested:
+        raise ValueError("need samples from both conditions")
+    rng = rng if rng is not None else random.Random(0)
+    confused = 0
+    for _ in range(n_pairs):
+        c = congested[rng.randrange(len(congested))]
+        u = uncongested[rng.randrange(len(uncongested))]
+        if c < u:
+            confused += 1
+    return confused / n_pairs
+
+
+def windowed_latency_metrics(
+    ack_times: Sequence[float],
+    send_times: Sequence[float],
+    rtts: Sequence[float],
+    window_s: float,
+    t0: float,
+    t1: float,
+) -> tuple[list[float], list[float]]:
+    """Per-window (RTT deviation, |RTT gradient|) series for Fig 2.
+
+    Samples are grouped into consecutive windows of ``window_s`` by ACK
+    arrival time; windows with fewer than 3 samples are skipped.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    deviations: list[float] = []
+    gradients: list[float] = []
+    start = t0
+    i = 0
+    n = len(ack_times)
+    while start < t1 and i < n:
+        end = start + window_s
+        j = i
+        while j < n and ack_times[j] < end:
+            j += 1
+        if j - i >= 3:
+            window_sends = list(send_times[i:j])
+            window_rtts = list(rtts[i:j])
+            deviations.append(rtt_deviation(window_rtts))
+            gradients.append(abs(rtt_gradient(window_sends, window_rtts)))
+        i = j
+        start = end
+    return deviations, gradients
+
+
+def histogram_pdf(
+    samples: Sequence[float], bins: int, lo: float, hi: float
+) -> list[tuple[float, float]]:
+    """Normalised histogram as (bin_center, probability) rows."""
+    if bins <= 0 or hi <= lo:
+        raise ValueError("invalid histogram spec")
+    counts = [0] * bins
+    width = (hi - lo) / bins
+    total = 0
+    for s in samples:
+        if lo <= s < hi:
+            counts[int((s - lo) / width)] += 1
+            total += 1
+        elif s == hi:
+            counts[-1] += 1
+            total += 1
+    if total == 0:
+        return [(lo + (i + 0.5) * width, 0.0) for i in range(bins)]
+    return [
+        (lo + (i + 0.5) * width, counts[i] / total) for i in range(bins)
+    ]

@@ -1,0 +1,41 @@
+"""Application-layer workloads: DASH/BOLA video streaming and web loads."""
+
+from .abr import BufferThresholdAbrAgent, ThroughputAbrAgent
+from .bola import BolaAgent
+from .playback import PlaybackBuffer
+from .streaming import ChunkRecord, StreamingSession
+from .video import (
+    CHUNK_DURATION_S,
+    LADDER_1080P_MBPS,
+    LADDER_4K_MBPS,
+    VideoCorpus,
+    VideoDefinition,
+    make_corpus,
+)
+from .web import (
+    PageLoad,
+    PageLoadClient,
+    WebPage,
+    run_poisson_page_loads,
+    sample_page,
+)
+
+__all__ = [
+    "BolaAgent",
+    "BufferThresholdAbrAgent",
+    "ThroughputAbrAgent",
+    "CHUNK_DURATION_S",
+    "ChunkRecord",
+    "LADDER_1080P_MBPS",
+    "LADDER_4K_MBPS",
+    "PageLoad",
+    "PageLoadClient",
+    "PlaybackBuffer",
+    "StreamingSession",
+    "VideoCorpus",
+    "VideoDefinition",
+    "WebPage",
+    "make_corpus",
+    "run_poisson_page_loads",
+    "sample_page",
+]

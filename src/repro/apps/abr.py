@@ -1,0 +1,93 @@
+"""Alternative ABR algorithms beside BOLA.
+
+§4.4 presents the Proteus-H threshold rules "as a representative
+solution for benchmarking; it may not be suitable for bitrate adaptation
+that uses throughput for control".  To study that caveat this module
+adds a classic throughput-based (rate-based) ABR and a simple
+buffer-threshold (BBA-0-style) scheme, sharing the
+``choose_level(buffer_level_s) -> int`` interface of
+:class:`~repro.apps.bola.BolaAgent` so streaming sessions can swap them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .video import VideoDefinition
+
+
+class ThroughputAbrAgent:
+    """Rate-based ABR: pick the top rung below a discounted throughput
+    estimate (harmonic mean of the last few chunk download rates).
+
+    This is the class of algorithm the paper warns about: when the
+    transport deliberately slows down (scavenger mode), the ABR reads
+    the lower throughput as reduced capacity and downshifts, creating a
+    feedback loop — use :class:`~repro.apps.bola.BolaAgent` with
+    Proteus-H instead.
+    """
+
+    def __init__(
+        self,
+        video: VideoDefinition,
+        safety: float = 0.85,
+        window: int = 5,
+    ):
+        if not 0 < safety <= 1:
+            raise ValueError("safety must be in (0, 1]")
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.video = video
+        self.safety = safety
+        self._rates: deque[float] = deque(maxlen=window)
+
+    def record_chunk(self, nbytes: int, download_s: float) -> None:
+        """Feed one completed chunk's download observation."""
+        if download_s <= 0:
+            raise ValueError("download time must be positive")
+        self._rates.append(nbytes * 8.0 / download_s)
+
+    def estimate_bps(self) -> float:
+        """Harmonic-mean throughput estimate (0 when nothing observed)."""
+        if not self._rates:
+            return 0.0
+        return len(self._rates) / sum(1.0 / r for r in self._rates)
+
+    def choose_level(self, buffer_level_s: float) -> int:
+        del buffer_level_s  # rate-based: ignores the buffer
+        budget = self.safety * self.estimate_bps()
+        level = 0
+        for m, bitrate in enumerate(self.video.bitrates_bps):
+            if bitrate <= budget:
+                level = m
+        return level
+
+
+class BufferThresholdAbrAgent:
+    """BBA-0-style ABR: map the buffer level linearly onto the ladder
+    between a reservoir and a cushion."""
+
+    def __init__(
+        self,
+        video: VideoDefinition,
+        reservoir_s: float = 3.0,
+        cushion_s: float = 12.0,
+    ):
+        if reservoir_s < 0 or cushion_s <= reservoir_s:
+            raise ValueError("need 0 <= reservoir < cushion")
+        self.video = video
+        self.reservoir_s = reservoir_s
+        self.cushion_s = cushion_s
+
+    def choose_level(self, buffer_level_s: float) -> int:
+        if buffer_level_s < 0:
+            raise ValueError("negative buffer level")
+        top = len(self.video.bitrates_bps) - 1
+        if buffer_level_s <= self.reservoir_s:
+            return 0
+        if buffer_level_s >= self.cushion_s:
+            return top
+        fraction = (buffer_level_s - self.reservoir_s) / (
+            self.cushion_s - self.reservoir_s
+        )
+        return min(top, int(fraction * (top + 1)))

@@ -1,0 +1,70 @@
+"""BOLA bitrate adaptation (Spiteri, Urgaonkar, Sitaraman 2016).
+
+BOLA-BASIC: on each chunk request, pick the ladder index ``m`` that
+maximizes ``(V * (v_m + gp) - Q) / S_m``, where ``Q`` is the playback
+buffer level, ``S_m`` the chunk size at level ``m``, and
+``v_m = ln(S_m / S_1)`` the (concave) utility of level ``m``.
+
+Parameter instantiation follows the BOLA paper: ``gp >= 1 - v_1 = 1``
+keeps all utilities positive, and ``V = (capacity - p) / (v_M + gp)``
+makes the buffer target of the highest rung sit one chunk below
+capacity, so the algorithm uses the whole buffer range for adaptation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .video import VideoDefinition
+
+
+class BolaAgent:
+    """Buffer-based bitrate selection for one video session."""
+
+    def __init__(
+        self,
+        video: VideoDefinition,
+        buffer_capacity_s: float,
+        gp: float = 1.0,
+    ):
+        if buffer_capacity_s <= video.chunk_duration_s:
+            raise ValueError("buffer must hold more than one chunk")
+        if gp < 1.0:
+            raise ValueError("gp must be >= 1 (keeps all utilities positive)")
+        self.video = video
+        self.gp = gp
+        sizes = [video.chunk_bytes(m) for m in range(len(video.bitrates_bps))]
+        self.utilities = [math.log(s / sizes[0]) for s in sizes]
+        self.v = (buffer_capacity_s - video.chunk_duration_s) / (
+            self.utilities[-1] + gp
+        )
+        self._sizes = sizes
+
+    def choose_level(self, buffer_level_s: float) -> int:
+        """Ladder index to request next, given the current buffer level."""
+        if buffer_level_s < 0:
+            raise ValueError("negative buffer level")
+        best_m = 0
+        best_score = -math.inf
+        for m, size in enumerate(self._sizes):
+            score = (
+                self.v * (self.utilities[m] + self.gp) - buffer_level_s
+            ) / size
+            if score > best_score:
+                best_score = score
+                best_m = m
+        return best_m
+
+    def switch_buffer_s(self, level: int) -> float:
+        """Buffer level at which ``level`` starts beating ``level - 1``.
+
+        Useful for tests and for reasoning about the adaptation ladder.
+        """
+        if level <= 0 or level >= len(self._sizes):
+            raise IndexError("need adjacent ladder pair")
+        s_lo, s_hi = self._sizes[level - 1], self._sizes[level]
+        v_lo, v_hi = self.utilities[level - 1], self.utilities[level]
+        # Solve score_lo(Q) = score_hi(Q) for Q.
+        return self.v * (
+            (s_hi * (v_lo + self.gp) - s_lo * (v_hi + self.gp)) / (s_hi - s_lo)
+        )

@@ -1,0 +1,108 @@
+"""Emulated video playback buffer with rebuffer accounting (§6.3).
+
+The paper's receiver "runs a BOLA agent that ... consumes the received
+bytes to maintain an emulated playback buffer".  This module is that
+emulation: a buffer measured in seconds of video, drained in real
+(simulated) time while playing, with startup/rebuffer state transitions
+and the QoE counters the evaluation reports (rebuffer ratio, average
+chunk bitrate).
+"""
+
+from __future__ import annotations
+
+
+class PlaybackBuffer:
+    """Seconds-of-video buffer with startup and rebuffering states.
+
+    Args:
+        capacity_s: Maximum buffered playtime; chunk requests pause when
+            there is no room for another chunk.
+        startup_s: Buffered playtime required before playback first starts
+            (and after a rebuffer, before it resumes).
+    """
+
+    def __init__(self, capacity_s: float, startup_s: float = 3.0):
+        if capacity_s <= 0 or startup_s < 0:
+            raise ValueError("invalid buffer parameters")
+        self.capacity_s = capacity_s
+        self.startup_s = startup_s
+        self.level_s = 0.0
+        self.playing = False
+        self.started = False
+        self._last_update: float | None = None
+        # QoE counters.
+        self.play_time_s = 0.0
+        self.rebuffer_time_s = 0.0
+        self.startup_delay_s: float | None = None
+        self.rebuffer_events = 0
+        self._rebuffering_since: float | None = None
+        self.total_played_s = 0.0
+        self.eos = False  # all content delivered: draining out is not a stall
+        self.ended = False
+
+    # ------------------------------------------------------------------
+    def _advance(self, now: float) -> None:
+        """Drain for elapsed wall time and account play/stall time."""
+        if self._last_update is None:
+            self._last_update = now
+            return
+        elapsed = now - self._last_update
+        if elapsed < 0:
+            raise ValueError("time went backwards")
+        self._last_update = now
+        if not self.started or self.ended:
+            return
+        if self.playing:
+            drained = min(self.level_s, elapsed)
+            self.level_s -= drained
+            self.play_time_s += drained
+            self.total_played_s += drained
+            stall = elapsed - drained
+            if self.level_s <= 1e-12 and stall > 0:
+                self.playing = False
+                if self.eos:
+                    # Normal end of playback, not a stall.
+                    self.ended = True
+                else:
+                    # Ran dry mid-interval: the remainder was a stall.
+                    self.rebuffer_events += 1
+                    self._rebuffering_since = now - stall
+                    self.rebuffer_time_s += stall
+        else:
+            self.rebuffer_time_s += elapsed
+
+    def update(self, now: float) -> None:
+        """Advance the clock (call before reading state)."""
+        self._advance(now)
+
+    def add_chunk(self, now: float, chunk_duration_s: float) -> None:
+        """A complete chunk arrived and joins the buffer."""
+        self._advance(now)
+        self.level_s = min(self.capacity_s, self.level_s + chunk_duration_s)
+        if not self.started and self.level_s >= self.startup_s:
+            self.started = True
+            self.playing = True
+            self.startup_delay_s = now
+        elif self.started and not self.playing and self.level_s >= self.startup_s:
+            self.playing = True
+            self._rebuffering_since = None
+
+    def end_of_stream(self) -> None:
+        """All content has been delivered; draining out is not a stall."""
+        self.eos = True
+
+    # ------------------------------------------------------------------
+    def free_s(self, now: float) -> float:
+        self._advance(now)
+        return self.capacity_s - self.level_s
+
+    def is_rebuffering(self, now: float) -> bool:
+        self._advance(now)
+        return self.started and not self.playing
+
+    def rebuffer_ratio(self) -> float:
+        """Stalled fraction of elapsed playback session time."""
+        total = self.play_time_s + self.rebuffer_time_s
+        if total <= 0:
+            return 0.0
+        return self.rebuffer_time_s / total

@@ -1,0 +1,210 @@
+"""DASH streaming sessions over the simulated transport (§6.3).
+
+A :class:`StreamingSession` glues together one chunked flow, a BOLA
+agent, the emulated playback buffer, and — when the transport is
+Proteus-H — the cross-layer threshold side channel:
+
+* the receiver-side agent requests chunks whenever there is buffer room,
+  choosing the bitrate with BOLA (or a forced level for the Fig 13
+  stress test);
+* each request recomputes the Proteus-H switching threshold (sufficient-
+  rate, buffer-limit, and emergency rules) and delivers it to the sender
+  after half an RTT (the side channel shares the path);
+* rebuffer onsets trigger the emergency rule immediately at the next
+  poll tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.proteus import ProteusSender
+from ..core.threshold import VideoThresholdPolicy
+from ..core.utility import HybridUtility
+from ..sim.engine import Simulator
+from ..sim.flow import Flow
+from .bola import BolaAgent
+from .playback import PlaybackBuffer
+from .video import VideoDefinition
+
+REBUFFER_POLL_S = 0.25
+DEFAULT_BUFFER_CHUNKS = 5.0
+
+
+@dataclass
+class ChunkRecord:
+    """One delivered chunk."""
+
+    index: int
+    level: int
+    bitrate_bps: float
+    requested_at: float
+    completed_at: float
+
+
+class StreamingSession:
+    """One adaptive video playback over a flow.
+
+    Args:
+        sim: The simulator.
+        flow: A *chunked* flow whose receiver side this session plays.
+        video: The DASH video definition.
+        buffer_chunks: Playback buffer capacity in chunk-durations.
+        forced_level: Optional fixed ladder index (Fig 13 forces the
+            highest bitrate instead of adapting).
+        agent: Optional ABR agent exposing ``choose_level(buffer_s)``
+            (defaults to BOLA, the paper's choice; see
+            :mod:`repro.apps.abr` for alternatives).  Agents with a
+            ``record_chunk(nbytes, download_s)`` method (throughput-based
+            ABR) are fed each chunk's download observation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: Flow,
+        video: VideoDefinition,
+        buffer_chunks: float = DEFAULT_BUFFER_CHUNKS,
+        forced_level: int | None = None,
+        agent=None,
+    ):
+        self.sim = sim
+        self.flow = flow
+        self.video = video
+        self.forced_level = forced_level
+        capacity_s = buffer_chunks * video.chunk_duration_s
+        self.playback = PlaybackBuffer(
+            capacity_s=capacity_s, startup_s=video.chunk_duration_s
+        )
+        self.bola = (
+            agent
+            if agent is not None
+            else BolaAgent(video, buffer_capacity_s=capacity_s)
+        )
+        self.chunks: list[ChunkRecord] = []
+        self.finished = False
+        self._next_chunk = 0
+        self._pending: list[tuple[int, int, int, float]] = []  # (idx, level, bytes, t)
+        self._delivered_bytes = 0
+        self._chunk_boundary = 0
+        self._was_rebuffering = False
+        # Cross-layer threshold policy: only for Proteus-H transports.
+        sender = flow.sender
+        self._hybrid = (
+            sender
+            if isinstance(sender, ProteusSender)
+            and isinstance(sender.utility, HybridUtility)
+            else None
+        )
+        self.policy = VideoThresholdPolicy(video.max_bitrate_bps)
+        flow.on_delivery = self._on_delivery
+        sim.schedule_at(max(flow.start_time, sim.now), self._request_loop)
+        sim.schedule_at(max(flow.start_time, sim.now), self._poll_rebuffer)
+
+    # ------------------------------------------------------------------
+    # Chunk requests
+    # ------------------------------------------------------------------
+    def _request_loop(self) -> None:
+        if self.finished:
+            return
+        now = self.sim.now
+        if self._next_chunk >= self.video.n_chunks:
+            return  # everything requested; completion happens on delivery
+        free = self.playback.free_s(now)
+        chunk_s = self.video.chunk_duration_s
+        if free < chunk_s:
+            # Buffer full: retry when playback has drained one chunk.
+            wait = chunk_s - free if self.playback.playing else REBUFFER_POLL_S
+            self.sim.schedule(max(wait, 0.01), self._request_loop)
+            return
+        if self.forced_level is not None:
+            level = self.forced_level
+        else:
+            level = self.bola.choose_level(self.playback.level_s)
+        nbytes = self.video.chunk_bytes(level)
+        index = self._next_chunk
+        self._next_chunk += 1
+        self._pending.append((index, level, nbytes, now))
+        self._update_threshold(level, free / chunk_s)
+        self.flow.add_bytes(nbytes)
+        # The next request is triggered by this chunk's completion (or the
+        # buffer-room retry above).
+
+    def _update_threshold(self, level: int, free_chunks: float) -> None:
+        if self._hybrid is None:
+            return
+        threshold = self.policy.threshold_bps(
+            self.video.bitrates_bps[level], free_chunks
+        )
+        delay = self.flow.base_rtt() / 2.0  # side channel over the same path
+        self.sim.schedule(delay, self._install_threshold, threshold)
+
+    def _install_threshold(self, threshold_bps: float) -> None:
+        if self._hybrid is not None and not self.finished:
+            self._hybrid.set_threshold(threshold_bps)
+
+    # ------------------------------------------------------------------
+    # Deliveries and rebuffer polling
+    # ------------------------------------------------------------------
+    def _on_delivery(self, now: float, nbytes: int) -> None:
+        self._delivered_bytes += nbytes
+        while self._pending:
+            index, level, size, requested_at = self._pending[0]
+            if self._delivered_bytes < self._chunk_boundary + size:
+                break
+            self._chunk_boundary += size
+            self._pending.pop(0)
+            self.playback.add_chunk(now, self.video.chunk_duration_s)
+            if hasattr(self.bola, "record_chunk"):
+                download_s = max(now - requested_at, 1e-6)
+                self.bola.record_chunk(size, download_s)
+            self.chunks.append(
+                ChunkRecord(
+                    index=index,
+                    level=level,
+                    bitrate_bps=self.video.bitrates_bps[level],
+                    requested_at=requested_at,
+                    completed_at=now,
+                )
+            )
+            if len(self.chunks) >= self.video.n_chunks:
+                self._finish(now)
+                return
+            self.sim.schedule(0.0, self._request_loop)
+
+    def _poll_rebuffer(self) -> None:
+        if self.finished:
+            return
+        now = self.sim.now
+        rebuffering = self.playback.is_rebuffering(now)
+        if rebuffering and not self._was_rebuffering:
+            self.policy.on_rebuffer_start()
+            if self._hybrid is not None:
+                self._update_threshold_emergency()
+        elif self._was_rebuffering and not rebuffering:
+            self.policy.on_rebuffer_end()
+        self._was_rebuffering = rebuffering
+        self.sim.schedule(REBUFFER_POLL_S, self._poll_rebuffer)
+
+    def _update_threshold_emergency(self) -> None:
+        delay = self.flow.base_rtt() / 2.0
+        self.sim.schedule(delay, self._install_threshold, float("inf"))
+
+    def _finish(self, now: float) -> None:
+        self.finished = True
+        self.playback.update(now)
+        self.playback.end_of_stream()
+        self.flow.sender.stop()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def average_bitrate_bps(self) -> float:
+        """Mean bitrate over delivered chunks (the paper's Fig 11/12 metric)."""
+        if not self.chunks:
+            return 0.0
+        return sum(c.bitrate_bps for c in self.chunks) / len(self.chunks)
+
+    def rebuffer_ratio(self) -> float:
+        self.playback.update(self.sim.now)
+        return self.playback.rebuffer_ratio()

@@ -1,0 +1,92 @@
+"""DASH video definitions and the evaluation corpus (§6.3).
+
+A video is a bitrate ladder plus a chunk duration and total length.  The
+corpus generator reproduces the paper's setup: ten 4K videos (highest
+bitrate above 40 Mbps) and ten 1080p videos (highest above 10 Mbps), all
+with 3-second chunks and at least 3 minutes long.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+CHUNK_DURATION_S = 3.0
+
+LADDER_4K_MBPS = (1.0, 2.5, 5.0, 8.0, 16.0, 26.0, 45.0)
+LADDER_1080P_MBPS = (0.5, 1.0, 2.0, 3.0, 4.5, 7.0, 11.0)
+
+
+@dataclass(frozen=True)
+class VideoDefinition:
+    """One DASH video: a ladder of bitrates (bps) and chunking."""
+
+    name: str
+    bitrates_bps: tuple[float, ...]
+    chunk_duration_s: float = CHUNK_DURATION_S
+    duration_s: float = 180.0
+
+    def __post_init__(self) -> None:
+        if not self.bitrates_bps:
+            raise ValueError("a video needs at least one bitrate")
+        if list(self.bitrates_bps) != sorted(self.bitrates_bps):
+            raise ValueError("bitrate ladder must be ascending")
+        if self.chunk_duration_s <= 0 or self.duration_s <= 0:
+            raise ValueError("durations must be positive")
+
+    @property
+    def n_chunks(self) -> int:
+        return max(1, round(self.duration_s / self.chunk_duration_s))
+
+    @property
+    def max_bitrate_bps(self) -> float:
+        return self.bitrates_bps[-1]
+
+    def chunk_bytes(self, level: int) -> int:
+        """Size of one chunk at ladder index ``level``."""
+        if not 0 <= level < len(self.bitrates_bps):
+            raise IndexError(f"level {level} outside ladder")
+        return int(self.bitrates_bps[level] * self.chunk_duration_s / 8.0)
+
+
+@dataclass
+class VideoCorpus:
+    """The paper's 10x4K + 10x1080p corpus, with mild per-video variation."""
+
+    videos_4k: list[VideoDefinition] = field(default_factory=list)
+    videos_1080p: list[VideoDefinition] = field(default_factory=list)
+
+    def pick(self, rng: random.Random, n_4k: int, n_1080p: int) -> list[VideoDefinition]:
+        """Random selection as in §6.3 (e.g. one 4K and three 1080p)."""
+        if n_4k > len(self.videos_4k) or n_1080p > len(self.videos_1080p):
+            raise ValueError("not enough videos in the corpus")
+        return rng.sample(self.videos_4k, n_4k) + rng.sample(
+            self.videos_1080p, n_1080p
+        )
+
+
+def make_corpus(seed: int = 0, n_each: int = 10) -> VideoCorpus:
+    """Generate the evaluation corpus.
+
+    Per-video variation scales every ladder rung by a factor in
+    [0.95, 1.10], keeping the paper's constraints (4K top rung > 40 Mbps,
+    1080p top rung > 10 Mbps).
+    """
+    rng = random.Random(seed)
+    corpus = VideoCorpus()
+    for kind, base, out in (
+        ("4k", LADDER_4K_MBPS, corpus.videos_4k),
+        ("1080p", LADDER_1080P_MBPS, corpus.videos_1080p),
+    ):
+        for i in range(n_each):
+            scale = rng.uniform(0.95, 1.10)
+            ladder = tuple(b * scale * 1e6 for b in base)
+            duration = rng.uniform(180.0, 240.0)
+            out.append(
+                VideoDefinition(
+                    name=f"{kind}-{i}",
+                    bitrates_bps=ladder,
+                    duration_s=duration,
+                )
+            )
+    return corpus

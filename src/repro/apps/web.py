@@ -1,0 +1,149 @@
+"""Web page load workload (§6.2.2's Chrome/Alexa-top-30 stand-in).
+
+A page is a set of objects with lognormally distributed sizes, fetched
+over up to six parallel short transport flows (a browser's per-host
+connection pool).  Page-load time is the makespan from request to the
+last object's delivery.  The generator issues page loads as a Poisson
+process, optionally alongside a background scavenger flow, which is
+exactly the paper's Fig 11(b) setup.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..protocols import make_sender
+from ..sim.engine import Simulator
+from ..sim.topology import Dumbbell
+
+MAX_PARALLEL_CONNECTIONS = 6
+
+
+@dataclass(frozen=True)
+class WebPage:
+    """One page: a list of object sizes in bytes."""
+
+    object_sizes: tuple[int, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.object_sizes)
+
+
+def sample_page(
+    rng: random.Random,
+    n_objects_range: tuple[int, int] = (20, 80),
+    median_object_bytes: float = 30_000.0,
+    sigma: float = 1.2,
+) -> WebPage:
+    """Draw a page with lognormal object sizes (web-measurement shaped)."""
+    lo, hi = n_objects_range
+    if lo < 1 or hi < lo:
+        raise ValueError("invalid object count range")
+    n = rng.randint(lo, hi)
+    mu = math.log(median_object_bytes)
+    sizes = tuple(
+        max(200, int(rng.lognormvariate(mu, sigma))) for _ in range(n)
+    )
+    return WebPage(object_sizes=sizes)
+
+
+@dataclass
+class PageLoad:
+    """State of one in-progress page load."""
+
+    page: WebPage
+    started_at: float
+    completed_at: float | None = None
+    _queue: list[int] = field(default_factory=list)
+    _outstanding: int = 0
+
+    @property
+    def load_time_s(self) -> float | None:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+
+class PageLoadClient:
+    """Loads pages over a shared dumbbell using short transport flows."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dumbbell: Dumbbell,
+        protocol: str = "cubic",
+        max_parallel: int = MAX_PARALLEL_CONNECTIONS,
+        seed: int = 0,
+    ):
+        if max_parallel < 1:
+            raise ValueError("need at least one connection")
+        self.sim = sim
+        self.dumbbell = dumbbell
+        self.protocol = protocol
+        self.max_parallel = max_parallel
+        self.seed = seed
+        self.loads: list[PageLoad] = []
+        self._flow_counter = 0
+
+    def load_page(self, page: WebPage) -> PageLoad:
+        """Begin loading ``page`` now; returns its (live) record."""
+        load = PageLoad(page=page, started_at=self.sim.now)
+        load._queue = sorted(page.object_sizes, reverse=True)  # big first
+        self.loads.append(load)
+        for _ in range(min(self.max_parallel, len(load._queue))):
+            self._fetch_next(load)
+        return load
+
+    def _fetch_next(self, load: PageLoad) -> None:
+        if not load._queue:
+            return
+        size = load._queue.pop(0)
+        load._outstanding += 1
+        self._flow_counter += 1
+        sender = make_sender(
+            self.protocol, seed=self.seed * 10_000 + self._flow_counter
+        )
+        self.dumbbell.add_flow(
+            sender,
+            flow_id=90_000 + self._flow_counter,
+            size_bytes=size,
+            on_complete=lambda flow, now, load=load: self._object_done(load, now),
+        )
+
+    def _object_done(self, load: PageLoad, now: float) -> None:
+        load._outstanding -= 1
+        if load._queue:
+            self._fetch_next(load)
+        elif load._outstanding == 0 and load.completed_at is None:
+            load.completed_at = now
+
+    # ------------------------------------------------------------------
+    def completed_load_times(self) -> list[float]:
+        return [l.load_time_s for l in self.loads if l.load_time_s is not None]
+
+
+def run_poisson_page_loads(
+    sim: Simulator,
+    dumbbell: Dumbbell,
+    duration_s: float,
+    rate_per_s: float = 0.1,
+    protocol: str = "cubic",
+    seed: int = 0,
+) -> PageLoadClient:
+    """Schedule Poisson page-load arrivals (the paper uses 1 per 10 s)."""
+    if rate_per_s <= 0:
+        raise ValueError("rate must be positive")
+    rng = random.Random(seed)
+    client = PageLoadClient(sim, dumbbell, protocol=protocol, seed=seed)
+
+    def arrival():
+        if sim.now >= duration_s:
+            return
+        client.load_page(sample_page(rng))
+        sim.schedule(rng.expovariate(rate_per_s), arrival)
+
+    sim.schedule(rng.expovariate(rate_per_s), arrival)
+    return client

@@ -1,0 +1,180 @@
+"""Command-line interface: run paper scenarios without writing code.
+
+Usage (also available as ``python -m repro``):
+
+    python -m repro single --protocol proteus-p --bandwidth 50 --rtt 30
+    python -m repro pair --primary cubic --scavenger proteus-s
+    python -m repro fairness --protocol proteus-s --flows 4
+    python -m repro protocols
+
+Every command prints a small table; ``--json`` / ``--csv`` write the
+underlying data for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import jains_index
+from .harness import (
+    LinkConfig,
+    print_table,
+    run_homogeneous,
+    run_pair,
+    run_single,
+)
+from .harness.export import write_run_json, write_throughput_series_csv
+from .protocols import PROTOCOL_NAMES
+
+
+def _link_from_args(args: argparse.Namespace) -> LinkConfig:
+    return LinkConfig(
+        bandwidth_mbps=args.bandwidth,
+        rtt_ms=args.rtt,
+        buffer_kb=args.buffer,
+        loss_rate=args.loss,
+        noise_severity=args.noise,
+        reverse_noise_severity=args.noise,
+    )
+
+
+def _add_link_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bandwidth", type=float, default=50.0, help="Mbps")
+    parser.add_argument("--rtt", type=float, default=30.0, help="base RTT, ms")
+    parser.add_argument("--buffer", type=float, default=375.0, help="buffer, KB")
+    parser.add_argument("--loss", type=float, default=0.0, help="random loss rate")
+    parser.add_argument(
+        "--noise", type=float, default=0.0, help="WiFi-like noise severity"
+    )
+    parser.add_argument("--duration", type=float, default=30.0, help="seconds")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", type=str, default=None, help="write summary JSON")
+    parser.add_argument(
+        "--csv", type=str, default=None, help="write throughput series CSV"
+    )
+
+
+def _export(args: argparse.Namespace, result) -> None:
+    if args.json:
+        write_run_json(args.json, result)
+        print(f"wrote {args.json}")
+    if args.csv:
+        write_throughput_series_csv(args.csv, result)
+        print(f"wrote {args.csv}")
+
+
+def cmd_single(args: argparse.Namespace) -> int:
+    config = _link_from_args(args)
+    result = run_single(
+        args.protocol, config, duration_s=args.duration, seed=args.seed
+    )
+    window = result.measurement_window()
+    stats = result.stats[0]
+    print_table(
+        ["metric", "value"],
+        [
+            ("throughput (Mbps)", f"{result.throughput_mbps(0, window):.2f}"),
+            ("utilization", f"{result.utilization(window):.3f}"),
+            ("p95 RTT (ms)", f"{stats.rtt_percentile(95, *window) * 1e3:.1f}"),
+            ("min RTT (ms)", f"{stats.min_rtt() * 1e3:.1f}"),
+            ("losses", stats.loss_count()),
+        ],
+        title=f"{args.protocol} alone on {config.bandwidth_mbps:g} Mbps / "
+        f"{config.rtt_ms:g} ms / {config.buffer_kb:g} KB",
+    )
+    _export(args, result)
+    return 0
+
+
+def cmd_pair(args: argparse.Namespace) -> int:
+    config = _link_from_args(args)
+    pair = run_pair(
+        args.primary,
+        args.scavenger,
+        config,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    print_table(
+        ["metric", "value"],
+        [
+            ("primary solo (Mbps)", f"{pair.primary_solo_mbps:.2f}"),
+            ("primary with scavenger (Mbps)", f"{pair.primary_with_scavenger_mbps:.2f}"),
+            ("primary throughput ratio", f"{pair.primary_throughput_ratio:.3f}"),
+            ("scavenger (Mbps)", f"{pair.scavenger_mbps:.2f}"),
+            ("joint utilization", f"{pair.utilization:.3f}"),
+            ("primary p95-RTT ratio", f"{pair.primary_rtt_ratio_95th:.2f}"),
+        ],
+        title=f"{args.primary} (primary) vs {args.scavenger} (scavenger)",
+    )
+    return 0
+
+
+def cmd_fairness(args: argparse.Namespace) -> int:
+    config = _link_from_args(args)
+    result = run_homogeneous(
+        args.protocol,
+        args.flows,
+        config,
+        stagger_s=args.stagger,
+        measure_s=args.duration,
+        seed=args.seed,
+    )
+    shares = result.throughputs_mbps()
+    rows = [(f"flow {i + 1}", f"{thr:.2f}") for i, thr in enumerate(shares)]
+    rows.append(("Jain's index", f"{jains_index(shares):.3f}"))
+    rows.append(("utilization", f"{result.utilization():.3f}"))
+    print_table(
+        ["flow", "Mbps"],
+        rows,
+        title=f"{args.flows} x {args.protocol} on {config.bandwidth_mbps:g} Mbps",
+    )
+    _export(args, result)
+    return 0
+
+
+def cmd_protocols(_args: argparse.Namespace) -> int:
+    for name in PROTOCOL_NAMES:
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PCC Proteus reproduction — run paper scenarios",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_single = sub.add_parser("single", help="one flow alone on a bottleneck")
+    p_single.add_argument("--protocol", default="proteus-p", choices=PROTOCOL_NAMES)
+    _add_link_args(p_single)
+    p_single.set_defaults(fn=cmd_single)
+
+    p_pair = sub.add_parser("pair", help="scavenger vs primary")
+    p_pair.add_argument("--primary", default="cubic", choices=PROTOCOL_NAMES)
+    p_pair.add_argument("--scavenger", default="proteus-s", choices=PROTOCOL_NAMES)
+    _add_link_args(p_pair)
+    p_pair.set_defaults(fn=cmd_pair)
+
+    p_fair = sub.add_parser("fairness", help="n same-protocol flows")
+    p_fair.add_argument("--protocol", default="proteus-s", choices=PROTOCOL_NAMES)
+    p_fair.add_argument("--flows", type=int, default=4)
+    p_fair.add_argument("--stagger", type=float, default=5.0)
+    _add_link_args(p_fair)
+    p_fair.set_defaults(fn=cmd_fairness)
+
+    p_list = sub.add_parser("protocols", help="list protocol names")
+    p_list.set_defaults(fn=cmd_protocols)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

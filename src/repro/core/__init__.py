@@ -1,0 +1,73 @@
+"""PCC Proteus — the paper's primary contribution.
+
+The pieces of Fig 1's architecture:
+
+* :mod:`~repro.core.monitor` — monitor-interval lifecycle;
+* :mod:`~repro.core.metrics` — per-interval throughput/loss/RTT gradient/
+  RTT deviation;
+* :mod:`~repro.core.utility` — the utility library (Proteus-P/S/H,
+  Vivace, Allegro);
+* :mod:`~repro.core.noise_tolerance` — §5's tolerance mechanisms;
+* :mod:`~repro.core.rate_control` — gradient-ascent controller with the
+  majority rule;
+* :mod:`~repro.core.proteus` — the assembled sender with live utility
+  switching;
+* :mod:`~repro.core.threshold` — Proteus-H's cross-layer threshold
+  policy for video.
+"""
+
+from .metrics import (
+    IntervalMetrics,
+    compute_interval_metrics,
+    linear_regression,
+    regression_error,
+    rtt_deviation,
+    rtt_gradient,
+)
+from .monitor import MonitorInterval
+from .noise_tolerance import (
+    AckIntervalFilter,
+    NoiseToleranceConfig,
+    NoiseTolerancePipeline,
+    TrendingTracker,
+)
+from .proteus import ProteusSender
+from .rate_control import RateControlConfig, RateController
+from .threshold import DeadlineThresholdPolicy, VideoThresholdPolicy
+from .utility import (
+    AllegroUtility,
+    HybridUtility,
+    NoiseAwareScavengerUtility,
+    PrimaryUtility,
+    ScavengerUtility,
+    UtilityFunction,
+    VivaceUtility,
+    make_utility,
+)
+
+__all__ = [
+    "AckIntervalFilter",
+    "DeadlineThresholdPolicy",
+    "AllegroUtility",
+    "HybridUtility",
+    "IntervalMetrics",
+    "MonitorInterval",
+    "NoiseAwareScavengerUtility",
+    "NoiseToleranceConfig",
+    "NoiseTolerancePipeline",
+    "PrimaryUtility",
+    "ProteusSender",
+    "RateControlConfig",
+    "RateController",
+    "ScavengerUtility",
+    "TrendingTracker",
+    "UtilityFunction",
+    "VideoThresholdPolicy",
+    "VivaceUtility",
+    "compute_interval_metrics",
+    "linear_regression",
+    "make_utility",
+    "regression_error",
+    "rtt_deviation",
+    "rtt_gradient",
+]

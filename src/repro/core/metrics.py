@@ -1,0 +1,136 @@
+"""Per-interval performance metrics (§4.2, §5 of the paper).
+
+Given the RTT samples collected during a monitor interval (or any
+measurement window, e.g. the fixed 1.5-RTT windows of Fig 2), this module
+computes the four quantities Proteus's utility functions consume:
+
+* sending rate and loss rate;
+* **RTT gradient** — the slope of a least-squares regression of RTT
+  against packet send time (PCC Vivace's latency signal);
+* **RTT deviation** — the standard deviation of the interval's RTT
+  samples (Proteus's competition signal, §4.2);
+* **regression error** — the RMS regression residual normalised by the
+  interval duration (§5's per-MI tolerance threshold).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class IntervalMetrics:
+    """Summary of one measurement interval."""
+
+    duration_s: float
+    rate_mbps: float  # sending rate during the interval
+    throughput_mbps: float  # ACKed goodput
+    loss_rate: float
+    n_samples: int
+    avg_rtt_s: float
+    rtt_gradient: float  # dimensionless (seconds of RTT per second)
+    rtt_deviation_s: float
+    regression_error: float  # RMS residual / duration (dimensionless)
+
+    def replace_latency_signals(
+        self, gradient: float, deviation_s: float
+    ) -> "IntervalMetrics":
+        """Copy with (noise-filtered) latency signals substituted."""
+        return IntervalMetrics(
+            duration_s=self.duration_s,
+            rate_mbps=self.rate_mbps,
+            throughput_mbps=self.throughput_mbps,
+            loss_rate=self.loss_rate,
+            n_samples=self.n_samples,
+            avg_rtt_s=self.avg_rtt_s,
+            rtt_gradient=gradient,
+            rtt_deviation_s=deviation_s,
+            regression_error=self.regression_error,
+        )
+
+
+def linear_regression(xs: list[float], ys: list[float]) -> tuple[float, float]:
+    """Least-squares slope and intercept of ``ys`` against ``xs``.
+
+    Returns ``(0.0, mean(ys))`` when the regression is degenerate (fewer
+    than two points, or zero x-variance).
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if n < 2:
+        return 0.0, (ys[0] if ys else 0.0)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = 0.0
+    sxy = 0.0
+    for x, y in zip(xs, ys):
+        dx = x - mean_x
+        sxx += dx * dx
+        sxy += dx * (y - mean_y)
+    if sxx <= 0.0:
+        return 0.0, mean_y
+    slope = sxy / sxx
+    return slope, mean_y - slope * mean_x
+
+
+def rtt_gradient(send_times: list[float], rtts: list[float]) -> float:
+    """Slope of RTT vs send time (PCC Vivace's linear-regression gradient)."""
+    slope, _ = linear_regression(send_times, rtts)
+    return slope
+
+
+def rtt_deviation(rtts: list[float]) -> float:
+    """Population standard deviation of the interval's RTT samples (§4.2)."""
+    n = len(rtts)
+    if n < 2:
+        return 0.0
+    mean = sum(rtts) / n
+    variance = sum((r - mean) ** 2 for r in rtts) / n
+    if variance < 1e-18:  # numeric dust from float cancellation
+        return 0.0
+    return math.sqrt(variance)
+
+
+def regression_error(
+    send_times: list[float], rtts: list[float], duration_s: float
+) -> float:
+    """RMS residual of the RTT regression, normalised by MI duration (§5)."""
+    n = len(rtts)
+    if n < 2 or duration_s <= 0:
+        return 0.0
+    slope, intercept = linear_regression(send_times, rtts)
+    ss = 0.0
+    for t, r in zip(send_times, rtts):
+        resid = r - (intercept + slope * t)
+        ss += resid * resid
+    return math.sqrt(ss / n) / duration_s
+
+
+def compute_interval_metrics(
+    duration_s: float,
+    rate_mbps: float,
+    bytes_acked: int,
+    n_sent: int,
+    n_lost: int,
+    send_times: list[float],
+    rtts: list[float],
+) -> IntervalMetrics:
+    """Aggregate raw interval observations into :class:`IntervalMetrics`."""
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    n = len(rtts)
+    loss_rate = n_lost / n_sent if n_sent > 0 else 0.0
+    avg_rtt = sum(rtts) / n if n else 0.0
+    return IntervalMetrics(
+        duration_s=duration_s,
+        rate_mbps=rate_mbps,
+        throughput_mbps=bytes_acked * 8.0 / duration_s / 1e6,
+        loss_rate=loss_rate,
+        n_samples=n,
+        avg_rtt_s=avg_rtt,
+        rtt_gradient=rtt_gradient(send_times, rtts),
+        rtt_deviation_s=rtt_deviation(rtts),
+        regression_error=regression_error(send_times, rtts, duration_s),
+    )

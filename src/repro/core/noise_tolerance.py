@@ -1,0 +1,251 @@
+"""Latency-noise tolerance mechanisms (§5).
+
+Four mechanisms, each independently switchable for the ablation study:
+
+1. **Per-ACK RTT sample filtering** (:class:`AckIntervalFilter`): when the
+   ratio between two consecutive ACK inter-arrival times exceeds 50 (a
+   burst after a stall, typical of wireless MAC scheduling), RTT samples
+   are dropped until one falls below the EWMA RTT average.
+2. **Per-MI regression-error tolerance**: an MI whose RTT-gradient
+   magnitude is below the regression's normalised RMS residual carries no
+   statistically meaningful latency signal.
+3. **MI-history trending tolerance** (:class:`TrendingTracker`): trending
+   gradient (regression over the last k MIs' average RTTs) and trending
+   deviation (std of the last k MIs' deviations) are tracked with
+   kernel-style EWMA average/deviation estimators; a sample several
+   deviations from its average "cannot be ignored".
+4. **Majority rule** in probing — implemented in
+   :mod:`repro.core.rate_control` (3 probe pairs, majority vote).
+
+Composition (documented interpretation of the paper's §5): an MI's
+gradient is zeroed only when BOTH the per-MI test and the trending test
+classify it as noise; the deviation is zeroed only when the gradient was
+zeroed and the trending deviation is also within bounds.  This preserves
+the text's requirement that a slow persistent RTT increase (which passes
+the per-MI test for several MIs in a row) is eventually kept because the
+trending gradient drifts out of its tolerance band.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .metrics import IntervalMetrics, linear_regression
+
+DEFAULT_ACK_RATIO_THRESHOLD = 50.0
+DEFAULT_HISTORY_K = 6
+DEFAULT_G1 = 2.0
+DEFAULT_G2 = 4.0
+
+
+class AckIntervalFilter:
+    """Per-ACK RTT sample filter keyed on bursty ACK inter-arrival times.
+
+    Suppression targets the burst of compressed ACKs right after a MAC
+    stall, so it self-limits: it ends when an RTT below the EWMA average
+    arrives (the paper's rule) or after ``max_suppression_s`` — without
+    the time bound, a legitimate RTT level shift (a queue that fills and
+    stays full) would freeze the filter shut and starve the utility
+    calculation of samples forever.
+    """
+
+    def __init__(
+        self,
+        ratio_threshold: float = DEFAULT_ACK_RATIO_THRESHOLD,
+        max_suppression_s: float = 0.25,
+        min_gap_rtt_fraction: float = 0.25,
+    ):
+        if ratio_threshold <= 1.0:
+            raise ValueError("ratio_threshold must exceed 1")
+        self.ratio_threshold = ratio_threshold
+        self.max_suppression_s = max_suppression_s
+        # A MAC stall pauses the channel for an RTT-scale time; sub-RTT
+        # ACK gaps are ordinary multiplexing with competing flows and
+        # must not trip the filter (they carry real congestion signal).
+        self.min_gap_rtt_fraction = min_gap_rtt_fraction
+        self._last_ack_time: float | None = None
+        self._last_interval: float | None = None
+        self._ewma_rtt: float | None = None
+        self._suppressing = False
+        self._suppressing_since = 0.0
+        self.suppressed_count = 0
+
+    def accept(self, now: float, rtt: float, srtt: float | None = None) -> bool:
+        """Return True if this RTT sample should be used."""
+        interval: float | None = None
+        if self._last_ack_time is not None:
+            interval = now - self._last_ack_time
+        self._last_ack_time = now
+
+        gap_floor = self.min_gap_rtt_fraction * srtt if srtt is not None else 0.0
+        if (
+            not self._suppressing
+            and interval is not None
+            and self._last_interval is not None
+            and self._last_interval > 0
+            and interval / self._last_interval > self.ratio_threshold
+            and interval >= gap_floor
+        ):
+            self._suppressing = True
+            self._suppressing_since = now
+        if interval is not None:
+            self._last_interval = interval
+
+        if self._suppressing:
+            recovered = self._ewma_rtt is not None and rtt < self._ewma_rtt
+            expired = now - self._suppressing_since > self.max_suppression_s
+            if recovered or expired:
+                self._suppressing = False
+            else:
+                self.suppressed_count += 1
+                return False
+        # Only accepted samples feed the EWMA so a burst cannot drag it up.
+        if self._ewma_rtt is None:
+            self._ewma_rtt = rtt
+        else:
+            self._ewma_rtt = 0.875 * self._ewma_rtt + 0.125 * rtt
+        return True
+
+
+class _EwmaDeviation:
+    """Kernel-style smoothed average + mean absolute deviation estimator."""
+
+    __slots__ = ("avg", "dev")
+
+    def __init__(self) -> None:
+        self.avg: float | None = None
+        self.dev = 0.0
+
+    def update(self, sample: float) -> None:
+        if self.avg is None:
+            self.avg = sample
+            self.dev = abs(sample) / 2.0
+        else:
+            self.dev = 0.75 * self.dev + 0.25 * abs(sample - self.avg)
+            self.avg = 0.875 * self.avg + 0.125 * sample
+
+    def within(self, sample: float, n_devs: float, signed: bool = False) -> bool:
+        """Is ``sample`` within ``n_devs`` deviations of the average?
+
+        ``signed=True`` implements the one-sided test the paper uses for
+        trending deviation (only upward excursions indicate competition).
+        """
+        if self.avg is None:
+            return False
+        delta = sample - self.avg
+        if not signed:
+            delta = abs(delta)
+        # <= with an epsilon so the degenerate all-constant case (delta and
+        # dev both exactly zero) counts as within-band noise.
+        return delta <= n_devs * self.dev + 1e-12
+
+
+class TrendingTracker:
+    """MI-history trending gradient/deviation (§5, "Trending Tolerance")."""
+
+    def __init__(
+        self,
+        history_k: int = DEFAULT_HISTORY_K,
+        g1: float = DEFAULT_G1,
+        g2: float = DEFAULT_G2,
+    ):
+        if history_k < 2:
+            raise ValueError("history_k must be at least 2")
+        self.history_k = history_k
+        self.g1 = g1
+        self.g2 = g2
+        self._avg_rtts: list[float] = []
+        self._devs: list[float] = []
+        self._grad_estimator = _EwmaDeviation()
+        self._dev_estimator = _EwmaDeviation()
+        self.trending_gradient = 0.0
+        self.trending_deviation = 0.0
+        self._grad_within_band = True
+        self._dev_within_band = True
+
+    def update(self, avg_rtt_s: float, rtt_deviation_s: float) -> None:
+        """Record one MI's average RTT and deviation; refresh trends.
+
+        The significance tests compare the fresh trending samples against
+        the estimator state from *before* this update (as the kernel's
+        srtt/rttvar comparison does), then fold the samples in.
+        """
+        self._avg_rtts.append(avg_rtt_s)
+        self._devs.append(rtt_deviation_s)
+        if len(self._avg_rtts) > self.history_k:
+            del self._avg_rtts[0]
+            del self._devs[0]
+        if len(self._avg_rtts) >= 2:
+            indices = [float(j) for j in range(1, len(self._avg_rtts) + 1)]
+            self.trending_gradient, _ = linear_regression(indices, self._avg_rtts)
+            mean_dev = sum(self._devs) / len(self._devs)
+            self.trending_deviation = math.sqrt(
+                sum((d - mean_dev) ** 2 for d in self._devs) / len(self._devs)
+            )
+        self._grad_within_band = self._grad_estimator.within(
+            self.trending_gradient, self.g1
+        )
+        self._dev_within_band = self._dev_estimator.within(
+            self.trending_deviation, self.g2, signed=True
+        )
+        self._grad_estimator.update(self.trending_gradient)
+        self._dev_estimator.update(self.trending_deviation)
+
+    def gradient_is_noise(self) -> bool:
+        """True when the trending gradient sits inside its tolerance band."""
+        return self._grad_within_band
+
+    def deviation_is_noise(self) -> bool:
+        """True when the trending deviation sits inside its (one-sided) band."""
+        return self._dev_within_band
+
+
+@dataclass
+class NoiseToleranceConfig:
+    """Feature switches for the ablation benchmarks."""
+
+    ack_filter: bool = True
+    regression_tolerance: bool = True
+    trending_tolerance: bool = True
+    majority_rule: bool = True  # consumed by rate_control
+    ack_ratio_threshold: float = DEFAULT_ACK_RATIO_THRESHOLD
+    history_k: int = DEFAULT_HISTORY_K
+    g1: float = DEFAULT_G1
+    g2: float = DEFAULT_G2
+
+
+class NoiseTolerancePipeline:
+    """Applies mechanisms 2 and 3 to each completed MI's metrics."""
+
+    def __init__(self, config: NoiseToleranceConfig | None = None):
+        self.config = config if config is not None else NoiseToleranceConfig()
+        self.trending = TrendingTracker(
+            history_k=self.config.history_k, g1=self.config.g1, g2=self.config.g2
+        )
+
+    def filter_metrics(self, metrics: IntervalMetrics) -> IntervalMetrics:
+        """Return metrics with noise-classified latency signals zeroed."""
+        config = self.config
+        gradient = metrics.rtt_gradient
+        deviation = metrics.rtt_deviation_s
+
+        per_mi_noise = (
+            config.regression_tolerance
+            and abs(gradient) < metrics.regression_error
+        )
+        if config.trending_tolerance:
+            self.trending.update(metrics.avg_rtt_s, metrics.rtt_deviation_s)
+            grad_noise = per_mi_noise and self.trending.gradient_is_noise()
+            dev_noise = grad_noise and self.trending.deviation_is_noise()
+        else:
+            grad_noise = per_mi_noise
+            dev_noise = per_mi_noise
+
+        if grad_noise:
+            gradient = 0.0
+        if dev_noise:
+            deviation = 0.0
+        if gradient is metrics.rtt_gradient and deviation is metrics.rtt_deviation_s:
+            return metrics
+        return metrics.replace_latency_signals(gradient, deviation)

@@ -1,0 +1,113 @@
+"""Cross-layer switching-threshold policies for Proteus-H (§4.4).
+
+For adaptive video the paper derives the hybrid threshold from three
+rules; :class:`VideoThresholdPolicy` implements them verbatim:
+
+1. **Sufficient rate**: ``threshold <= G * bitrate_max`` with G = 1.5.
+2. **Buffer limit**: ``threshold <= bitrate_current / (2 - f)`` where
+   ``f`` is the (possibly fractional) number of chunks of free playback
+   buffer; applies when ``f < 2`` and is re-evaluated on each chunk
+   request.
+3. **Emergency**: while the player is rebuffering the threshold is
+   infinite (full primary mode) until playback resumes.
+
+The threshold is the *maximum* value satisfying rules 1-2, overridden by
+rule 3.
+
+:class:`DeadlineThresholdPolicy` implements the paper's other motivating
+cross-layer example (§2.3): a bulk transfer with a completion deadline
+("when a software update has a deadline requirement, it may want to
+yield dynamically, only after reaching a certain throughput").  The
+threshold tracks the rate still required to finish on time, with a
+safety factor; far from the deadline the flow is a pure scavenger, and
+as slack evaporates it defends an ever-larger primary-mode share.
+"""
+
+from __future__ import annotations
+
+DEFAULT_SUFFICIENT_RATE_G = 1.5
+DEFAULT_DEADLINE_SAFETY = 1.25
+
+
+class VideoThresholdPolicy:
+    """Computes the Proteus-H threshold for a video streaming session."""
+
+    def __init__(self, max_bitrate_bps: float, g: float = DEFAULT_SUFFICIENT_RATE_G):
+        if max_bitrate_bps <= 0:
+            raise ValueError("max_bitrate_bps must be positive")
+        if g <= 0:
+            raise ValueError("g must be positive")
+        self.max_bitrate_bps = max_bitrate_bps
+        self.g = g
+        self.rebuffering = False
+
+    def on_rebuffer_start(self) -> None:
+        self.rebuffering = True
+
+    def on_rebuffer_end(self) -> None:
+        self.rebuffering = False
+
+    def threshold_bps(
+        self, current_bitrate_bps: float, free_buffer_chunks: float
+    ) -> float:
+        """Threshold to install for the next chunk request.
+
+        Args:
+            current_bitrate_bps: Bitrate of the chunk being requested.
+            free_buffer_chunks: Free space in the playback buffer, in
+                chunk-durations (fractional).
+        """
+        if self.rebuffering:
+            return float("inf")
+        threshold = self.g * self.max_bitrate_bps
+        if free_buffer_chunks < 2.0:
+            denom = 2.0 - free_buffer_chunks
+            buffer_cap = current_bitrate_bps / denom
+            if buffer_cap < threshold:
+                threshold = buffer_cap
+        return threshold
+
+
+class DeadlineThresholdPolicy:
+    """Proteus-H threshold for a deadline-constrained bulk transfer.
+
+    The required rate to finish on time is ``remaining_bytes * 8 /
+    remaining_time``; the policy installs ``safety *`` that rate as the
+    switching threshold.  Below the threshold the flow competes as a
+    primary (it *must* make this much progress); above it, the transfer
+    is ahead of schedule and scavenges.  When the deadline is already
+    blown the threshold is infinite — finish as fast as possible.
+    """
+
+    def __init__(
+        self,
+        total_bytes: float,
+        deadline_s: float,
+        safety: float = DEFAULT_DEADLINE_SAFETY,
+        min_threshold_bps: float = 0.0,
+    ):
+        if total_bytes <= 0 or deadline_s <= 0:
+            raise ValueError("total_bytes and deadline_s must be positive")
+        if safety < 1.0:
+            raise ValueError("safety must be >= 1 (margin, not deficit)")
+        self.total_bytes = total_bytes
+        self.deadline_s = deadline_s
+        self.safety = safety
+        self.min_threshold_bps = min_threshold_bps
+
+    def required_rate_bps(self, now: float, delivered_bytes: float) -> float:
+        """Average rate still needed to make the deadline (no safety)."""
+        remaining_bytes = max(0.0, self.total_bytes - delivered_bytes)
+        remaining_time = self.deadline_s - now
+        if remaining_bytes <= 0.0:
+            return 0.0
+        if remaining_time <= 0.0:
+            return float("inf")
+        return remaining_bytes * 8.0 / remaining_time
+
+    def threshold_bps(self, now: float, delivered_bytes: float) -> float:
+        """Proteus-H threshold to install right now."""
+        required = self.required_rate_bps(now, delivered_bytes)
+        if required == float("inf"):
+            return float("inf")
+        return max(self.min_threshold_bps, self.safety * required)

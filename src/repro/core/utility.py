@@ -1,0 +1,241 @@
+"""The Proteus utility-function library (§4).
+
+Utility functions map an interval's :class:`~repro.core.metrics.IntervalMetrics`
+to a scalar.  The library mirrors Fig 1's ``Utility Lib``:
+
+* :class:`PrimaryUtility` (Proteus-P, Eq. 1) — Vivace's function with
+  negative RTT gradient ignored;
+* :class:`VivaceUtility` — the original PCC Vivace function (negative
+  gradient rewarded), used for the Vivace baseline;
+* :class:`ScavengerUtility` (Proteus-S, Eq. 2) — adds the RTT-deviation
+  penalty ``d * x * sigma(RTT)``;
+* :class:`HybridUtility` (Proteus-H, Eq. 3) — piecewise P below an
+  application-set rate threshold, S above it;
+* :class:`AllegroUtility` — PCC Allegro's loss-only sigmoid function,
+  kept as a historical baseline.
+
+Default constants follow the paper: t = 0.9, b = 900, c = 11.35 (5%
+random-loss tolerance), d = 1500 with RTT deviation in seconds, rates in
+Mbps.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .metrics import IntervalMetrics
+
+DEFAULT_EXPONENT_T = 0.9
+DEFAULT_LATENCY_B = 900.0
+DEFAULT_LOSS_C = 11.35
+DEFAULT_DEVIATION_D = 1500.0
+
+
+class UtilityFunction:
+    """Base class: ``__call__(metrics) -> utility`` on Mbps-scaled rates."""
+
+    name = "base"
+
+    def __call__(self, metrics: IntervalMetrics) -> float:
+        raise NotImplementedError
+
+    def uses_deviation(self) -> bool:
+        """Whether the RTT-deviation signal feeds this utility."""
+        return False
+
+    def loss_overloaded(self, metrics: IntervalMetrics) -> bool:
+        """True when the loss penalty *alone* dwarfs the rate reward.
+
+        The check requires a statistically meaningful interval (>= 30
+        packets); the sender additionally requires several *consecutive*
+        overloaded intervals before braking, so per-MI loss-sampling
+        variance under moderate random loss cannot trip it — only a
+        persistently jammed queue does.  It has no dependence on the
+        latency signals, so it is unambiguous regardless of noise
+        filtering; the sender uses it to trigger the controller's
+        emergency brake.
+        """
+        return False
+
+
+class VivaceUtility(UtilityFunction):
+    """PCC Vivace: ``x^t - b*x*(dRTT/dt) - c*x*L`` (negative gradient rewarded)."""
+
+    name = "vivace"
+
+    def __init__(
+        self,
+        t: float = DEFAULT_EXPONENT_T,
+        b: float = DEFAULT_LATENCY_B,
+        c: float = DEFAULT_LOSS_C,
+    ):
+        if not 0.0 < t < 1.0:
+            raise ValueError("exponent t must be in (0, 1) for concavity")
+        if b <= 0 or c <= 0:
+            raise ValueError("penalty coefficients must be positive")
+        self.t = t
+        self.b = b
+        self.c = c
+
+    def __call__(self, metrics: IntervalMetrics) -> float:
+        x = metrics.rate_mbps
+        return (
+            x ** self.t
+            - self.b * x * metrics.rtt_gradient
+            - self.c * x * metrics.loss_rate
+        )
+
+    loss_overload_min_samples = 30
+
+    def loss_overloaded(self, metrics: IntervalMetrics) -> bool:
+        x = metrics.rate_mbps
+        if x <= 0 or metrics.n_samples < self.loss_overload_min_samples:
+            return False
+        return self.c * x * metrics.loss_rate > x ** self.t
+
+
+class PrimaryUtility(VivaceUtility):
+    """Proteus-P (Eq. 1): Vivace with negative RTT gradient ignored."""
+
+    name = "proteus-p"
+
+    def __call__(self, metrics: IntervalMetrics) -> float:
+        x = metrics.rate_mbps
+        gradient = metrics.rtt_gradient if metrics.rtt_gradient > 0.0 else 0.0
+        return x ** self.t - self.b * x * gradient - self.c * x * metrics.loss_rate
+
+
+class ScavengerUtility(UtilityFunction):
+    """Proteus-S (Eq. 2): Proteus-P minus ``d * x * sigma(RTT)``."""
+
+    name = "proteus-s"
+
+    def __init__(
+        self,
+        t: float = DEFAULT_EXPONENT_T,
+        b: float = DEFAULT_LATENCY_B,
+        c: float = DEFAULT_LOSS_C,
+        d: float = DEFAULT_DEVIATION_D,
+    ):
+        if d <= 0:
+            raise ValueError("deviation coefficient d must be positive")
+        self.primary = PrimaryUtility(t, b, c)
+        self.d = d
+
+    def __call__(self, metrics: IntervalMetrics) -> float:
+        x = metrics.rate_mbps
+        return self.primary(metrics) - self.d * x * metrics.rtt_deviation_s
+
+    def uses_deviation(self) -> bool:
+        return True
+
+    def loss_overloaded(self, metrics: IntervalMetrics) -> bool:
+        return self.primary.loss_overloaded(metrics)
+
+
+class HybridUtility(UtilityFunction):
+    """Proteus-H (Eq. 3): P below the threshold rate, S at or above it.
+
+    The threshold is in bits/s and is updated live through
+    :meth:`set_threshold` (driven by the cross-layer policy in
+    :mod:`repro.core.threshold`).
+    """
+
+    name = "proteus-h"
+
+    def __init__(
+        self,
+        threshold_bps: float = float("inf"),
+        t: float = DEFAULT_EXPONENT_T,
+        b: float = DEFAULT_LATENCY_B,
+        c: float = DEFAULT_LOSS_C,
+        d: float = DEFAULT_DEVIATION_D,
+    ):
+        self.primary = PrimaryUtility(t, b, c)
+        self.scavenger = ScavengerUtility(t, b, c, d)
+        self.threshold_bps = threshold_bps
+
+    def set_threshold(self, threshold_bps: float) -> None:
+        if threshold_bps < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold_bps = threshold_bps
+
+    def __call__(self, metrics: IntervalMetrics) -> float:
+        if metrics.rate_mbps * 1e6 < self.threshold_bps:
+            return self.primary(metrics)
+        return self.scavenger(metrics)
+
+    def uses_deviation(self) -> bool:
+        return True
+
+    def loss_overloaded(self, metrics: IntervalMetrics) -> bool:
+        return self.primary.loss_overloaded(metrics)
+
+
+class AllegroUtility(UtilityFunction):
+    """PCC Allegro's loss-based sigmoid utility (historical baseline)."""
+
+    name = "allegro"
+
+    def __init__(self, alpha: float = 100.0, loss_knee: float = 0.05):
+        self.alpha = alpha
+        self.loss_knee = loss_knee
+
+    def __call__(self, metrics: IntervalMetrics) -> float:
+        x = metrics.rate_mbps
+        loss = metrics.loss_rate
+        sigmoid = 1.0 / (1.0 + math.exp(self.alpha * (loss - self.loss_knee)))
+        return x * sigmoid * (1.0 - loss) - x * loss
+
+
+class NoiseAwareScavengerUtility(ScavengerUtility):
+    """Proteus-S with an explicit noise term (§7.2 future work).
+
+    The paper's discussion proposes "quantifying confidence in inputs to
+    the utility function, including a specific noise term in the utility
+    function".  This extension discounts the deviation penalty by the
+    interval's regression error: when the RTT samples fit their linear
+    trend poorly (high residual — channel noise rather than queue
+    dynamics), the deviation carries proportionally less weight.
+
+    ``penalty = d * x * sigma * confidence`` with
+    ``confidence = sigma_trend^2 / (sigma_trend^2 + (k * err)^2)`` where
+    ``err`` is the regression RMS residual re-expressed in seconds.
+    """
+
+    name = "proteus-s-noise-aware"
+
+    def __init__(self, *args, noise_discount_k: float = 1.0, **kwargs):
+        super().__init__(*args, **kwargs)
+        if noise_discount_k <= 0:
+            raise ValueError("noise_discount_k must be positive")
+        self.noise_discount_k = noise_discount_k
+
+    def __call__(self, metrics: IntervalMetrics) -> float:
+        x = metrics.rate_mbps
+        sigma = metrics.rtt_deviation_s
+        err_s = metrics.regression_error * metrics.duration_s
+        denom = sigma * sigma + (self.noise_discount_k * err_s) ** 2
+        confidence = sigma * sigma / denom if denom > 0 else 0.0
+        return self.primary(metrics) - self.d * x * sigma * confidence
+
+
+_FACTORIES = {
+    "proteus-p": PrimaryUtility,
+    "proteus-s": ScavengerUtility,
+    "proteus-s-noise-aware": NoiseAwareScavengerUtility,
+    "proteus-h": HybridUtility,
+    "vivace": VivaceUtility,
+    "allegro": AllegroUtility,
+}
+
+
+def make_utility(name: str, **kwargs) -> UtilityFunction:
+    """Instantiate a utility function from the library by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown utility {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,68 @@
+"""Experiment harness: scenario definitions, runners, and reporting."""
+
+from .export import (
+    run_result_summary,
+    write_csv,
+    write_run_json,
+    write_throughput_series_csv,
+)
+from .plots import cdf_plot, sparkline, timeseries_plot
+from .report import format_cdf, format_table, print_table
+from .trials import TrialSummary, run_trials, run_trials_multi, summarize
+from .runner import (
+    FlowSpec,
+    PairResult,
+    RunResult,
+    StreamingResult,
+    run_flows,
+    run_homogeneous,
+    run_pair,
+    run_single,
+    run_streaming,
+    scale,
+)
+from .scenarios import (
+    EMULAB_DEFAULT,
+    EMULAB_SHALLOW,
+    FIG2_LINK,
+    PRIMARY_PROTOCOLS,
+    SCAVENGER_PROTOCOLS,
+    LinkConfig,
+    config_matrix,
+    wifi_sites,
+)
+
+__all__ = [
+    "EMULAB_DEFAULT",
+    "EMULAB_SHALLOW",
+    "FIG2_LINK",
+    "FlowSpec",
+    "LinkConfig",
+    "PRIMARY_PROTOCOLS",
+    "PairResult",
+    "RunResult",
+    "SCAVENGER_PROTOCOLS",
+    "StreamingResult",
+    "TrialSummary",
+    "cdf_plot",
+    "config_matrix",
+    "sparkline",
+    "timeseries_plot",
+    "run_trials",
+    "run_trials_multi",
+    "summarize",
+    "run_streaming",
+    "format_cdf",
+    "format_table",
+    "print_table",
+    "run_flows",
+    "run_homogeneous",
+    "run_pair",
+    "run_result_summary",
+    "run_single",
+    "scale",
+    "wifi_sites",
+    "write_csv",
+    "write_run_json",
+    "write_throughput_series_csv",
+]

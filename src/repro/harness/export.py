@@ -1,0 +1,83 @@
+"""Result export: CSV/JSON writers for experiment outputs.
+
+Benchmarks print paper-style tables; downstream users usually want the
+raw series for their own plotting.  These helpers serialise
+:class:`~repro.harness.runner.RunResult` objects and plain row tables
+without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from .runner import RunResult
+
+
+def write_csv(
+    path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Write a simple headers+rows table as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError("row width does not match headers")
+            writer.writerow(row)
+
+
+def run_result_summary(result: RunResult) -> dict:
+    """JSON-serialisable summary of a run (per-flow aggregates)."""
+    window = result.measurement_window()
+    flows = []
+    for i, stats in enumerate(result.stats):
+        entry = {
+            "flow_id": stats.flow_id,
+            "protocol": result.specs[i].protocol,
+            "start_time_s": result.specs[i].start_time,
+            "throughput_mbps": result.throughput_mbps(i, window),
+            "packets_sent": stats.packets_sent,
+            "losses": stats.loss_count(),
+            "delivered_bytes": stats.delivered_bytes,
+        }
+        rtts = stats.rtt_samples(*window)
+        if rtts:
+            entry["min_rtt_ms"] = min(rtts) * 1e3
+            entry["p95_rtt_ms"] = stats.rtt_percentile(95, *window) * 1e3
+        flows.append(entry)
+    return {
+        "config": {
+            "bandwidth_mbps": result.config.bandwidth_mbps,
+            "rtt_ms": result.config.rtt_ms,
+            "buffer_kb": result.config.buffer_kb,
+            "loss_rate": result.config.loss_rate,
+            "label": result.config.label,
+        },
+        "duration_s": result.duration_s,
+        "measurement_window_s": list(window),
+        "utilization": result.utilization(window),
+        "flows": flows,
+    }
+
+
+def write_run_json(path: str | Path, result: RunResult) -> None:
+    """Serialise a run summary to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(run_result_summary(result), indent=2))
+
+
+def write_throughput_series_csv(
+    path: str | Path, result: RunResult, bin_s: float = 1.0
+) -> None:
+    """Per-flow binned throughput series, long format (flow, time, mbps)."""
+    rows: list[tuple[object, ...]] = []
+    for i, stats in enumerate(result.stats):
+        for t, mbps in stats.throughput_series(bin_s, 0.0, result.duration_s):
+            rows.append((result.specs[i].protocol, stats.flow_id, f"{t:.3f}", f"{mbps:.4f}"))
+    write_csv(path, ["protocol", "flow_id", "time_s", "throughput_mbps"], rows)

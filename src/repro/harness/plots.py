@@ -1,0 +1,83 @@
+"""Dependency-free ASCII visualisation for time series and CDFs.
+
+The paper's figures are line plots; these helpers render their gist in a
+terminal so benchmark logs stay self-contained (no matplotlib in the
+offline environment).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """One-line density plot of ``values`` scaled between lo and hi."""
+    if not values:
+        raise ValueError("no values")
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi <= lo:
+        return _BLOCKS[0] * len(values)
+    span = hi - lo
+    chars = []
+    top = len(_BLOCKS) - 1
+    for v in values:
+        index = int((min(max(v, lo), hi) - lo) / span * top)
+        chars.append(_BLOCKS[index])
+    return "".join(chars)
+
+
+def timeseries_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    label_width: int = 12,
+) -> str:
+    """Multi-line sparkline plot, one row per named series, shared scale.
+
+    Input series are (time, value) pairs (e.g. from
+    ``FlowStats.throughput_series``); each is resampled to ``width``
+    columns by nearest-point lookup.
+    """
+    if not series:
+        raise ValueError("no series")
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    all_values = [v for pts in series.values() for _, v in pts if pts]
+    if not all_values:
+        raise ValueError("series are empty")
+    lo, hi = min(all_values), max(all_values)
+    lines = [f"{'':<{label_width}}  scale: {lo:.1f} .. {hi:.1f}"]
+    for name, pts in series.items():
+        if not pts:
+            continue
+        resampled = _resample([v for _, v in pts], width)
+        lines.append(f"{name[:label_width]:<{label_width}}  {sparkline(resampled, lo, hi)}")
+    return "\n".join(lines)
+
+
+def _resample(values: Sequence[float], width: int) -> list[float]:
+    if len(values) <= width:
+        return list(values)
+    step = len(values) / width
+    return [values[min(len(values) - 1, int(i * step))] for i in range(width)]
+
+
+def cdf_plot(samples: Sequence[float], width: int = 50, rows: int = 5) -> str:
+    """Coarse ASCII CDF: one row per quantile band, marking its position."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    lo, hi = ordered[0], ordered[-1]
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    for r in range(rows, 0, -1):
+        q = r / rows
+        value = ordered[min(len(ordered) - 1, int(q * len(ordered)) - 1)]
+        pos = int((value - lo) / span * (width - 1))
+        line = [" "] * width
+        line[pos] = "|"
+        lines.append(f"p{int(q * 100):3d} {''.join(line)} {value:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Paper-style plain-text reporting for benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> None:
+    print()
+    print(format_table(headers, rows, title))
+
+
+def format_cdf(
+    label: str, points: Sequence[tuple[float, float]], quantiles=(0.1, 0.25, 0.5, 0.75, 0.9)
+) -> str:
+    """Summarise a CDF by its quantiles (the paper reads medians off CDFs)."""
+    if not points:
+        raise ValueError("empty CDF")
+    values = [v for v, _ in points]
+    rows = []
+    for q in quantiles:
+        index = min(len(values) - 1, int(q * len(values)))
+        rows.append(f"p{int(q * 100):02d}={values[index]:.3f}")
+    return f"{label}: " + "  ".join(rows)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

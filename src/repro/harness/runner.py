@@ -1,0 +1,258 @@
+"""Experiment execution: build a dumbbell, run flows, collect metrics.
+
+This is the Pantheon stand-in: a declarative flow list goes in, per-flow
+stats and scenario-level summaries come out.  Every run is deterministic
+given its seed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..protocols import make_sender
+from ..sim import Dumbbell, FlowStats, Simulator, make_rng
+from .scenarios import LinkConfig
+
+DEFAULT_WARMUP_FRACTION = 0.35
+
+
+def scale() -> float:
+    """Global duration multiplier (env ``REPRO_SCALE``, default 1).
+
+    Benchmarks use scaled-down durations; set ``REPRO_SCALE=4`` or more to
+    approach paper-scale runs.
+    """
+    return float(os.environ.get("REPRO_SCALE", "1"))
+
+
+@dataclass
+class FlowSpec:
+    """Declarative description of one flow in an experiment."""
+
+    protocol: str
+    start_time: float = 0.0
+    size_bytes: int | None = None
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one experiment run."""
+
+    config: LinkConfig
+    duration_s: float
+    stats: list[FlowStats]
+    dumbbell: Dumbbell
+    specs: list[FlowSpec]
+
+    def measurement_window(self) -> tuple[float, float]:
+        """Post-warmup window: after the last flow started plus ramp-up."""
+        last_start = max(spec.start_time for spec in self.specs)
+        remaining = self.duration_s - last_start
+        t0 = last_start + DEFAULT_WARMUP_FRACTION * remaining
+        return t0, self.duration_s
+
+    def throughput_mbps(self, index: int, window: tuple[float, float] | None = None) -> float:
+        t0, t1 = window if window is not None else self.measurement_window()
+        return self.stats[index].throughput_bps(t0, t1) / 1e6
+
+    def throughputs_mbps(self, window: tuple[float, float] | None = None) -> list[float]:
+        return [self.throughput_mbps(i, window) for i in range(len(self.stats))]
+
+    def utilization(self, window: tuple[float, float] | None = None) -> float:
+        return sum(self.throughputs_mbps(window)) / self.config.bandwidth_mbps
+
+
+def run_flows(
+    specs: list[FlowSpec],
+    config: LinkConfig,
+    duration_s: float,
+    seed: int = 1,
+) -> RunResult:
+    """Run ``specs`` over a dumbbell built from ``config``."""
+    if not specs:
+        raise ValueError("need at least one flow")
+    sim = Simulator()
+    rng = make_rng(seed)
+    dumbbell = Dumbbell(
+        sim,
+        bandwidth_bps=config.bandwidth_bps,
+        rtt_s=config.rtt_s,
+        buffer_bytes=config.buffer_bytes,
+        loss_rate=config.loss_rate,
+        noise=config.make_noise(),
+        reverse_noise=config.make_reverse_noise(),
+        rng=rng,
+    )
+    stats: list[FlowStats] = []
+    for i, spec in enumerate(specs):
+        sender = make_sender(spec.protocol, seed=seed * 1000 + i, **spec.kwargs)
+        flow = dumbbell.add_flow(
+            sender,
+            flow_id=i + 1,
+            size_bytes=spec.size_bytes,
+            start_time=spec.start_time,
+        )
+        stats.append(flow.stats)
+    sim.run(until=duration_s)
+    return RunResult(config, duration_s, stats, dumbbell, specs)
+
+
+# ----------------------------------------------------------------------
+# Paper-shaped experiment helpers
+# ----------------------------------------------------------------------
+def run_single(
+    protocol: str,
+    config: LinkConfig,
+    duration_s: float = 30.0,
+    seed: int = 1,
+    **kwargs,
+) -> RunResult:
+    """One flow alone on the bottleneck (Figs 3, 4, 9)."""
+    return run_flows(
+        [FlowSpec(protocol, kwargs=kwargs)], config, duration_s, seed=seed
+    )
+
+
+@dataclass
+class PairResult:
+    """Two-flow scavenger-vs-primary outcome (Figs 6-8, 10, 19-22)."""
+
+    primary_solo_mbps: float
+    primary_with_scavenger_mbps: float
+    scavenger_mbps: float
+    primary_throughput_ratio: float
+    utilization: float
+    primary_rtt_ratio_95th: float
+
+
+def run_pair(
+    primary: str,
+    scavenger: str,
+    config: LinkConfig,
+    duration_s: float = 30.0,
+    scavenger_start_s: float | None = None,
+    seed: int = 1,
+) -> PairResult:
+    """Primary flow joined by a scavenger; compares against the solo run.
+
+    The paper's metrics: primary throughput ratio (paired throughput over
+    solo throughput), joint capacity utilization, and the 95th-percentile
+    RTT ratio of the primary with vs without the scavenger (Fig 7).
+    """
+    if scavenger_start_s is None:
+        scavenger_start_s = min(5.0, duration_s / 6.0)
+    solo = run_single(primary, config, duration_s, seed=seed)
+    paired = run_flows(
+        [
+            FlowSpec(primary, start_time=0.0),
+            FlowSpec(scavenger, start_time=scavenger_start_s),
+        ],
+        config,
+        duration_s,
+        seed=seed,
+    )
+    window = paired.measurement_window()
+    solo_mbps = solo.throughput_mbps(0, window)
+    with_scavenger = paired.throughput_mbps(0, window)
+    scavenger_mbps = paired.throughput_mbps(1, window)
+    ratio = with_scavenger / solo_mbps if solo_mbps > 0 else 0.0
+    solo_rtt = solo.stats[0].rtt_percentile(95, *window)
+    paired_rtt = paired.stats[0].rtt_percentile(95, *window)
+    return PairResult(
+        primary_solo_mbps=solo_mbps,
+        primary_with_scavenger_mbps=with_scavenger,
+        scavenger_mbps=scavenger_mbps,
+        primary_throughput_ratio=ratio,
+        utilization=paired.utilization(window),
+        primary_rtt_ratio_95th=paired_rtt / solo_rtt,
+    )
+
+
+@dataclass
+class StreamingResult:
+    """Per-session QoE metrics from a streaming experiment."""
+
+    video_name: str
+    average_bitrate_mbps: float
+    rebuffer_ratio: float
+    chunks_delivered: int
+    startup_delay_s: float | None
+
+
+def run_streaming(
+    videos,
+    protocol: str,
+    config: LinkConfig,
+    duration_s: float = 60.0,
+    forced_level: int | None = None,
+    background: list[FlowSpec] | None = None,
+    seed: int = 1,
+) -> list[StreamingResult]:
+    """Stream ``videos`` concurrently over ``protocol`` (Figs 11a, 12, 13).
+
+    Each video gets its own chunked flow and
+    :class:`~repro.apps.streaming.StreamingSession`; optional background
+    flows (e.g. a scavenger) share the bottleneck.
+    """
+    from ..apps.streaming import StreamingSession
+
+    sim = Simulator()
+    rng = make_rng(seed)
+    dumbbell = Dumbbell(
+        sim,
+        bandwidth_bps=config.bandwidth_bps,
+        rtt_s=config.rtt_s,
+        buffer_bytes=config.buffer_bytes,
+        loss_rate=config.loss_rate,
+        noise=config.make_noise(),
+        reverse_noise=config.make_reverse_noise(),
+        rng=rng,
+    )
+    sessions = []
+    for i, video in enumerate(videos):
+        sender = make_sender(protocol, seed=seed * 100 + i)
+        flow = dumbbell.add_flow(sender, flow_id=i + 1, chunked=True)
+        level = forced_level
+        if level is not None and level < 0:
+            level = len(video.bitrates_bps) + level
+        sessions.append(StreamingSession(sim, flow, video, forced_level=level))
+    if background:
+        for j, spec in enumerate(background):
+            sender = make_sender(spec.protocol, seed=seed * 100 + 50 + j, **spec.kwargs)
+            dumbbell.add_flow(
+                sender,
+                flow_id=100 + j,
+                size_bytes=spec.size_bytes,
+                start_time=spec.start_time,
+            )
+    sim.run(until=duration_s)
+    return [
+        StreamingResult(
+            video_name=s.video.name,
+            average_bitrate_mbps=s.average_bitrate_bps() / 1e6,
+            rebuffer_ratio=s.rebuffer_ratio(),
+            chunks_delivered=len(s.chunks),
+            startup_delay_s=s.playback.startup_delay_s,
+        )
+        for s in sessions
+    ]
+
+
+def run_homogeneous(
+    protocol: str,
+    n_flows: int,
+    config: LinkConfig,
+    stagger_s: float = 5.0,
+    measure_s: float = 30.0,
+    seed: int = 1,
+) -> RunResult:
+    """``n`` same-protocol flows with staggered starts (Figs 5, 17, 18)."""
+    if n_flows < 1:
+        raise ValueError("n_flows must be positive")
+    specs = [
+        FlowSpec(protocol, start_time=i * stagger_s) for i in range(n_flows)
+    ]
+    duration = (n_flows - 1) * stagger_s + measure_s
+    return run_flows(specs, config, duration, seed=seed)

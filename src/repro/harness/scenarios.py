@@ -1,0 +1,140 @@
+"""Standard experiment scenarios from the paper's evaluation (§6).
+
+:class:`LinkConfig` captures one bottleneck configuration; the module
+constants are the setups the paper names explicitly:
+
+* ``EMULAB_DEFAULT`` — 50 Mbps, 30 ms RTT (used "unless otherwise
+  specified"), with the shallow (75 KB = 0.4 BDP) and large (375 KB =
+  2 BDP) buffer variants of §6.2;
+* ``FIG2_LINK`` — 100 Mbps, 60 ms, 1500 KB (2 BDP) for the competition-
+  indicator study;
+* :func:`config_matrix` — the 180-configuration robustness matrix of
+  Fig 8;
+* :func:`wifi_sites` — the noise-model stand-ins for the paper's four
+  WiFi sites x 16 AWS paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..sim.noise import NoiseModel, wifi_noise
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """One bottleneck configuration."""
+
+    bandwidth_mbps: float
+    rtt_ms: float
+    buffer_kb: float
+    loss_rate: float = 0.0
+    noise_severity: float = 0.0  # forward-path WiFi-like noise
+    reverse_noise_severity: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0 or self.rtt_ms <= 0 or self.buffer_kb <= 0:
+            raise ValueError("bandwidth, rtt and buffer must be positive")
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return self.bandwidth_mbps * 1e6
+
+    @property
+    def rtt_s(self) -> float:
+        return self.rtt_ms / 1e3
+
+    @property
+    def buffer_bytes(self) -> float:
+        return self.buffer_kb * 1e3
+
+    @property
+    def bdp_bytes(self) -> float:
+        return self.bandwidth_bps * self.rtt_s / 8.0
+
+    @property
+    def buffer_bdp(self) -> float:
+        return self.buffer_bytes / self.bdp_bytes
+
+    def with_buffer_kb(self, buffer_kb: float) -> "LinkConfig":
+        return replace(self, buffer_kb=buffer_kb)
+
+    def with_buffer_bdp(self, multiple: float) -> "LinkConfig":
+        return replace(self, buffer_kb=multiple * self.bdp_bytes / 1e3)
+
+    def with_loss(self, loss_rate: float) -> "LinkConfig":
+        return replace(self, loss_rate=loss_rate)
+
+    def make_noise(self) -> NoiseModel | None:
+        if self.noise_severity > 0:
+            return wifi_noise(self.noise_severity)
+        return None
+
+    def make_reverse_noise(self) -> NoiseModel | None:
+        if self.reverse_noise_severity > 0:
+            return wifi_noise(self.reverse_noise_severity)
+        return None
+
+
+EMULAB_DEFAULT = LinkConfig(
+    bandwidth_mbps=50.0, rtt_ms=30.0, buffer_kb=375.0, label="emulab-default"
+)
+EMULAB_SHALLOW = EMULAB_DEFAULT.with_buffer_kb(75.0)  # 0.4 BDP (§6.2)
+FIG2_LINK = LinkConfig(
+    bandwidth_mbps=100.0, rtt_ms=60.0, buffer_kb=1500.0, label="fig2"
+)
+
+PRIMARY_PROTOCOLS = ("cubic", "bbr", "copa", "proteus-p", "vivace")
+SCAVENGER_PROTOCOLS = ("proteus-s", "ledbat", "ledbat-25")
+
+MATRIX_BANDWIDTHS_MBPS = (20.0, 50.0, 100.0, 200.0, 300.0, 500.0)
+MATRIX_RTTS_MS = (5.0, 10.0, 30.0, 60.0, 100.0, 200.0)
+MATRIX_BUFFER_BDP = (0.2, 0.5, 1.0, 2.0, 5.0)
+
+
+def config_matrix(
+    bandwidths_mbps=MATRIX_BANDWIDTHS_MBPS,
+    rtts_ms=MATRIX_RTTS_MS,
+    buffer_bdps=MATRIX_BUFFER_BDP,
+) -> list[LinkConfig]:
+    """The Fig 8 robustness matrix (180 configs at full scale)."""
+    configs: list[LinkConfig] = []
+    for bw in bandwidths_mbps:
+        for rtt in rtts_ms:
+            base = LinkConfig(bandwidth_mbps=bw, rtt_ms=rtt, buffer_kb=1.0)
+            for mult in buffer_bdps:
+                config = base.with_buffer_bdp(mult)
+                configs.append(
+                    replace(config, label=f"{bw:g}mbps-{rtt:g}ms-{mult:g}bdp")
+                )
+    return configs
+
+
+def wifi_sites(n_sites: int = 4, n_paths: int = 4) -> list[LinkConfig]:
+    """WiFi scenario matrix standing in for the paper's site x AWS grid.
+
+    Each site gets a noise severity (residential milder, restaurant
+    noisier); each path a different bandwidth/RTT, covering near and far
+    AWS regions.
+    """
+    severities = [0.6, 0.9, 1.3, 1.8][:n_sites]
+    path_params = [
+        (40.0, 30.0),
+        (30.0, 60.0),
+        (25.0, 120.0),
+        (20.0, 200.0),
+    ][:n_paths]
+    configs: list[LinkConfig] = []
+    for site, severity in enumerate(severities):
+        for path, (bw, rtt) in enumerate(path_params):
+            config = LinkConfig(
+                bandwidth_mbps=bw,
+                rtt_ms=rtt,
+                buffer_kb=1.5 * bw * rtt / 8.0,  # 1.5 BDP in KB
+                noise_severity=severity,
+                reverse_noise_severity=severity,
+                label=f"site{site}-path{path}",
+            )
+            configs.append(config)
+    return configs

@@ -1,0 +1,96 @@
+"""Multi-trial experiment statistics.
+
+The paper reports "the mean of at least 10 trials in each scenario" and
+medians of 4 trials for the Internet tests.  This module runs any
+experiment function across seeds and summarises the distribution,
+including a bootstrap confidence interval so benchmark shape claims can
+be checked against sampling noise rather than a single draw.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Distribution summary of one scalar metric across trials."""
+
+    n: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float  # bootstrap 95% CI of the mean
+    ci_high: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"mean={self.mean:.3f} +/- [{self.ci_low:.3f}, {self.ci_high:.3f}] "
+            f"(median {self.median:.3f}, n={self.n})"
+        )
+
+
+def summarize(values: Sequence[float], ci_resamples: int = 2000, seed: int = 0) -> TrialSummary:
+    """Summarise trial outcomes with a bootstrap CI of the mean."""
+    if not values:
+        raise ValueError("no trial values")
+    ordered = sorted(values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = sum((v - mean) ** 2 for v in ordered) / n
+    if n == 1:
+        ci_low = ci_high = mean
+    else:
+        rng = random.Random(seed)
+        means = []
+        for _ in range(ci_resamples):
+            sample = [ordered[rng.randrange(n)] for _ in range(n)]
+            means.append(sum(sample) / n)
+        means.sort()
+        ci_low = means[int(0.025 * ci_resamples)]
+        ci_high = means[int(0.975 * ci_resamples)]
+    mid = n // 2
+    median = ordered[mid] if n % 2 else 0.5 * (ordered[mid - 1] + ordered[mid])
+    return TrialSummary(
+        n=n,
+        mean=mean,
+        median=median,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        ci_low=ci_low,
+        ci_high=ci_high,
+    )
+
+
+def run_trials(
+    experiment: Callable[[int], float],
+    n_trials: int = 10,
+    base_seed: int = 1,
+) -> TrialSummary:
+    """Run ``experiment(seed)`` for ``n_trials`` seeds and summarise."""
+    if n_trials < 1:
+        raise ValueError("n_trials must be positive")
+    values = [experiment(base_seed + i) for i in range(n_trials)]
+    return summarize(values)
+
+
+def run_trials_multi(
+    experiment: Callable[[int], dict[str, float]],
+    n_trials: int = 10,
+    base_seed: int = 1,
+) -> dict[str, TrialSummary]:
+    """As :func:`run_trials` for experiments returning several metrics."""
+    if n_trials < 1:
+        raise ValueError("n_trials must be positive")
+    collected: dict[str, list[float]] = {}
+    for i in range(n_trials):
+        outcome = experiment(base_seed + i)
+        for key, value in outcome.items():
+            collected.setdefault(key, []).append(value)
+    return {key: summarize(values) for key, values in collected.items()}

@@ -1,0 +1,101 @@
+"""Congestion-control protocol implementations.
+
+Every protocol the paper evaluates is here: the primary baselines (CUBIC,
+BBR, COPA, PCC Vivace), the scavenger baseline (LEDBAT at 100 ms and
+25 ms targets), the §7.1 BBR-S demonstration, a fixed-rate probe, and a
+name-based factory used by the experiment harness.
+
+Proteus itself lives in :mod:`repro.core`; :func:`make_sender` exposes it
+under the names ``proteus-p``, ``proteus-s``, and ``proteus-h``.
+"""
+
+from __future__ import annotations
+
+from .base import AckInfo, RateSender, SenderBase, WindowSender
+from .bbr import BBRSender
+from .bbr_s import BBRScavengerSender
+from .copa import CopaSender
+from .cubic import CubicSender, RenoSender
+from .fixed_rate import FixedRateSender
+from .ledbat import Ledbat25Sender, LedbatSender
+from .ledbat_pp import LedbatPPSender
+from .vegas import VegasSender
+from .vivace import VivaceSender
+
+PROTOCOL_NAMES = (
+    "cubic",
+    "reno",
+    "vegas",
+    "bbr",
+    "bbr-s",
+    "copa",
+    "vivace",
+    "allegro",
+    "ledbat",
+    "ledbat-25",
+    "ledbat++",
+    "proteus-p",
+    "proteus-s",
+    "proteus-h",
+)
+
+
+def make_sender(name: str, seed: int = 0, **kwargs) -> SenderBase:
+    """Instantiate a sender by protocol name.
+
+    Extra keyword arguments are forwarded to the protocol constructor
+    (e.g. ``utility=...`` for the Proteus variants, ``target_s`` for
+    LEDBAT).
+    """
+    key = name.lower()
+    if key == "cubic":
+        return CubicSender(**kwargs)
+    if key == "reno":
+        return RenoSender(**kwargs)
+    if key == "vegas":
+        return VegasSender(**kwargs)
+    if key == "bbr":
+        return BBRSender(**kwargs)
+    if key == "bbr-s":
+        return BBRScavengerSender(**kwargs)
+    if key == "copa":
+        return CopaSender(**kwargs)
+    if key == "vivace":
+        return VivaceSender(seed=seed, **kwargs)
+    if key == "ledbat":
+        return LedbatSender(**kwargs)
+    if key == "ledbat-25":
+        return Ledbat25Sender(**kwargs)
+    if key in ("ledbat++", "ledbat-pp"):
+        return LedbatPPSender(**kwargs)
+    if key in ("proteus-p", "proteus-s", "proteus-h", "allegro"):
+        # Imported here: repro.core imports the sender base classes from
+        # this package, so a module-level import would be circular.
+        from ..core.proteus import ProteusSender
+
+        kwargs.setdefault("utility", key)
+        return ProteusSender(seed=seed, **kwargs)
+    if key == "fixed":
+        return FixedRateSender(**kwargs)
+    raise ValueError(f"unknown protocol {name!r}; known: {PROTOCOL_NAMES}")
+
+
+__all__ = [
+    "AckInfo",
+    "BBRScavengerSender",
+    "BBRSender",
+    "CopaSender",
+    "CubicSender",
+    "FixedRateSender",
+    "Ledbat25Sender",
+    "LedbatPPSender",
+    "LedbatSender",
+    "PROTOCOL_NAMES",
+    "RateSender",
+    "RenoSender",
+    "SenderBase",
+    "VegasSender",
+    "VivaceSender",
+    "WindowSender",
+    "make_sender",
+]

@@ -1,0 +1,19 @@
+"""Constant-rate UDP sender — the measurement probe used in Fig 2.
+
+No congestion control at all: packets are paced at a fixed rate, and the
+attached flow statistics capture the RTT process the probe observes.
+"""
+
+from __future__ import annotations
+
+from .base import RateSender
+
+
+class FixedRateSender(RateSender):
+    """Sends at a constant bit rate regardless of network feedback."""
+
+    def __init__(self, rate_bps: float, name: str = "fixed"):
+        super().__init__(name, initial_rate_bps=rate_bps)
+
+    def set_rate(self, rate_bps: float) -> None:  # pragma: no cover - guard
+        raise RuntimeError("FixedRateSender rate is immutable")

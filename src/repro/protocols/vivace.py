@@ -1,0 +1,35 @@
+"""PCC Vivace baseline.
+
+Vivace is Proteus's ancestor: the same monitor-interval framework and
+gradient rate control, but (a) the original utility function that rewards
+negative RTT gradient, (b) 2-pair probing requiring agreement (no
+majority rule), and (c) none of Proteus's adaptive noise-tolerance
+mechanisms — only the fixed gradient-tolerance threshold from the Vivace
+paper, modelled here by simply disabling the adaptive pipeline.
+"""
+
+from __future__ import annotations
+
+from ..core.noise_tolerance import NoiseToleranceConfig
+from ..core.proteus import ProteusSender
+from ..core.rate_control import RateControlConfig
+from ..core.utility import VivaceUtility
+
+
+class VivaceSender(ProteusSender):
+    """PCC Vivace: utility framework without Proteus's improvements."""
+
+    def __init__(self, name: str = "vivace", initial_rate_bps: float = 2e6, seed: int = 0):
+        super().__init__(
+            utility=VivaceUtility(),
+            name=name,
+            initial_rate_bps=initial_rate_bps,
+            noise_config=NoiseToleranceConfig(
+                ack_filter=False,
+                regression_tolerance=True,  # Vivace's fixed tolerance analogue
+                trending_tolerance=False,
+                majority_rule=False,
+            ),
+            control_config=RateControlConfig(probe_pairs=2, require_unanimous=True),
+            seed=seed,
+        )

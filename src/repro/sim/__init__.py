@@ -1,0 +1,60 @@
+"""Packet-level discrete-event network simulator.
+
+This package is the testbed substrate for the reproduction: the stand-in
+for the paper's Emulab links and live-Internet paths.  It provides an
+event engine, links with tail-drop FIFO buffers, random loss, latency
+noise models, flows with exact timestamp echo, and per-flow statistics.
+"""
+
+from .aqm import (
+    CoDelDiscipline,
+    DynamicLink,
+    REDDiscipline,
+    TailDropDiscipline,
+    cellular_rate,
+    step_rate,
+)
+from .engine import Event, SimulationError, Simulator
+from .flow import Flow, FlowReceiver, Path
+from .link import Link, LinkStats
+from .noise import (
+    CompositeNoise,
+    GaussianJitter,
+    NoNoise,
+    SpikeNoise,
+    wifi_noise,
+)
+from .packet import ACK_BYTES, MTU_BYTES, Packet
+from .rng import make_rng, spawn
+from .topology import Dumbbell, mbps
+from .trace import FlowStats
+
+__all__ = [
+    "ACK_BYTES",
+    "CoDelDiscipline",
+    "CompositeNoise",
+    "Dumbbell",
+    "DynamicLink",
+    "REDDiscipline",
+    "TailDropDiscipline",
+    "cellular_rate",
+    "step_rate",
+    "Event",
+    "Flow",
+    "FlowReceiver",
+    "FlowStats",
+    "GaussianJitter",
+    "Link",
+    "LinkStats",
+    "MTU_BYTES",
+    "NoNoise",
+    "Packet",
+    "Path",
+    "SimulationError",
+    "Simulator",
+    "SpikeNoise",
+    "make_rng",
+    "mbps",
+    "spawn",
+    "wifi_noise",
+]

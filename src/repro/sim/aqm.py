@@ -1,0 +1,296 @@
+"""Active queue management disciplines and the event-based link.
+
+The paper's scavenger story implicitly assumes tail-drop FIFO
+bottlenecks (as its Emulab setup uses).  AQM changes the picture:
+CoDel/RED keep standing queues short, which starves LEDBAT's
+delay-target signal and changes what any delay-based scavenger can
+observe.  This module provides:
+
+* :class:`TailDropDiscipline`, :class:`REDDiscipline`,
+  :class:`CoDelDiscipline` — pluggable queue disciplines;
+* :class:`DynamicLink` — an event-based (per-packet queued) link that
+  supports a queue discipline *and* a time-varying service rate
+  (``rate_fn``), standing in for cellular/LTE-like channels the paper's
+  §7.2 discussion defers to future work.
+
+``DynamicLink`` trades speed for generality; the analytic
+:class:`~repro.sim.link.Link` remains the default for FIFO bottlenecks.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Protocol
+
+from .engine import Simulator
+from .link import LinkStats, Receiver
+from .noise import NoiseModel
+from .packet import Packet
+
+
+class QueueDiscipline(Protocol):
+    """Decides drops at enqueue and dequeue time."""
+
+    def on_enqueue(self, packet: Packet, queue_bytes: float, now: float,
+                   rng: random.Random) -> bool:
+        """Return True to DROP the arriving packet."""
+        ...
+
+    def on_dequeue(self, packet: Packet, sojourn_s: float, now: float,
+                   rng: random.Random) -> bool:
+        """Return True to DROP the departing packet (CoDel-style)."""
+        ...
+
+
+class TailDropDiscipline:
+    """Plain FIFO tail drop at a byte limit."""
+
+    def __init__(self, buffer_bytes: float):
+        if buffer_bytes <= 0:
+            raise ValueError("buffer_bytes must be positive")
+        self.buffer_bytes = buffer_bytes
+
+    def on_enqueue(self, packet, queue_bytes, now, rng) -> bool:
+        return queue_bytes + packet.size_bytes > self.buffer_bytes
+
+    def on_dequeue(self, packet, sojourn_s, now, rng) -> bool:
+        return False
+
+
+class REDDiscipline:
+    """Random Early Detection (Floyd & Jacobson 1993), byte mode.
+
+    Drops probabilistically between ``min_th`` and ``max_th`` of EWMA
+    queue size, always above ``max_th``; hard cap at ``buffer_bytes``.
+    """
+
+    def __init__(
+        self,
+        buffer_bytes: float,
+        min_th_bytes: float | None = None,
+        max_th_bytes: float | None = None,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+    ):
+        if buffer_bytes <= 0:
+            raise ValueError("buffer_bytes must be positive")
+        self.buffer_bytes = buffer_bytes
+        self.min_th = min_th_bytes if min_th_bytes is not None else buffer_bytes / 4
+        self.max_th = max_th_bytes if max_th_bytes is not None else buffer_bytes / 2
+        if not 0 < self.min_th < self.max_th <= buffer_bytes:
+            raise ValueError("need 0 < min_th < max_th <= buffer")
+        if not 0 < max_p <= 1:
+            raise ValueError("max_p must be in (0, 1]")
+        self.max_p = max_p
+        self.weight = weight
+        self.avg_bytes = 0.0
+
+    def on_enqueue(self, packet, queue_bytes, now, rng) -> bool:
+        self.avg_bytes = (1 - self.weight) * self.avg_bytes + self.weight * queue_bytes
+        if queue_bytes + packet.size_bytes > self.buffer_bytes:
+            return True
+        if self.avg_bytes < self.min_th:
+            return False
+        if self.avg_bytes >= self.max_th:
+            return True
+        fraction = (self.avg_bytes - self.min_th) / (self.max_th - self.min_th)
+        return rng.random() < self.max_p * fraction
+
+    def on_dequeue(self, packet, sojourn_s, now, rng) -> bool:
+        return False
+
+
+class CoDelDiscipline:
+    """CoDel (Nichols & Jacobson 2012), simplified.
+
+    Sojourn time above ``target`` persisting for ``interval`` starts
+    dropping at dequeue; drop spacing shrinks with the square root of the
+    drop count, per the reference pseudocode.
+    """
+
+    def __init__(
+        self,
+        buffer_bytes: float,
+        target_s: float = 0.005,
+        interval_s: float = 0.100,
+    ):
+        if buffer_bytes <= 0 or target_s <= 0 or interval_s <= 0:
+            raise ValueError("invalid CoDel parameters")
+        self.buffer_bytes = buffer_bytes
+        self.target_s = target_s
+        self.interval_s = interval_s
+        self._first_above_time: float | None = None
+        self._dropping = False
+        self._drop_next = 0.0
+        self._count = 0
+
+    def on_enqueue(self, packet, queue_bytes, now, rng) -> bool:
+        return queue_bytes + packet.size_bytes > self.buffer_bytes
+
+    def on_dequeue(self, packet, sojourn_s, now, rng) -> bool:
+        if sojourn_s < self.target_s:
+            self._first_above_time = None
+            self._dropping = False
+            return False
+        if self._first_above_time is None:
+            self._first_above_time = now + self.interval_s
+            return False
+        if not self._dropping:
+            if now >= self._first_above_time:
+                self._dropping = True
+                self._count = max(1, self._count - 2 if self._count > 2 else 1)
+                self._drop_next = now
+            else:
+                return False
+        if now >= self._drop_next:
+            self._count += 1
+            self._drop_next = now + self.interval_s / (self._count ** 0.5)
+            return True
+        return False
+
+
+RateFunction = Callable[[float], float]
+"""Maps simulated time to the link's service rate in bits/s."""
+
+
+class DynamicLink:
+    """Event-based link: explicit queue, AQM hooks, time-varying rate.
+
+    Args:
+        sim: The simulator.
+        rate: Constant bits/s, or a callable ``rate_fn(now) -> bps``
+            sampled at each packet's service start (Mahimahi-style
+            channel variation at per-packet granularity).
+        delay_s: Propagation delay.
+        discipline: Queue discipline (defaults to 256 KB tail drop).
+        loss_rate / noise / rng: As for :class:`~repro.sim.link.Link`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate: float | RateFunction,
+        delay_s: float,
+        discipline: QueueDiscipline | None = None,
+        loss_rate: float = 0.0,
+        noise: NoiseModel | None = None,
+        rng: random.Random | None = None,
+        name: str = "dynamic-link",
+    ):
+        if delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self._rate_fn: RateFunction = rate if callable(rate) else (lambda _t, _r=rate: _r)
+        if not callable(rate) and rate <= 0:
+            raise ValueError("rate must be positive")
+        self.delay_s = delay_s
+        self.discipline = discipline if discipline is not None else TailDropDiscipline(256e3)
+        self.loss_rate = loss_rate
+        self.noise = noise
+        self.rng = rng if rng is not None else random.Random(0)
+        self.name = name
+        self.stats = LinkStats()
+        self._queue: deque[tuple[Packet, Receiver, float]] = deque()
+        self._queue_bytes = 0.0
+        self._serving = False
+        self._last_delivery = 0.0
+
+    # ------------------------------------------------------------------
+    def backlog_bytes(self) -> float:
+        return self._queue_bytes
+
+    def current_rate_bps(self) -> float:
+        return max(1.0, self._rate_fn(self.sim.now))
+
+    def send(self, packet: Packet, dst: Receiver) -> bool:
+        now = self.sim.now
+        if self.discipline.on_enqueue(packet, self._queue_bytes, now, self.rng):
+            self.stats.tail_drops += 1
+            return False
+        if self._queue_bytes + packet.size_bytes > self.stats.max_backlog_bytes:
+            self.stats.max_backlog_bytes = self._queue_bytes + packet.size_bytes
+        self._queue.append((packet, dst, now))
+        self._queue_bytes += packet.size_bytes
+        if not self._serving:
+            self._serve_next()
+        return True
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._serving = False
+            return
+        self._serving = True
+        packet, _dst, _enq = self._queue[0]
+        service_time = packet.size_bytes * 8.0 / self.current_rate_bps()
+        self.sim.schedule(service_time, self._finish_service)
+
+    def _finish_service(self) -> None:
+        packet, dst, enqueued_at = self._queue.popleft()
+        self._queue_bytes -= packet.size_bytes
+        now = self.sim.now
+        sojourn = now - enqueued_at
+        dropped = self.discipline.on_dequeue(packet, sojourn, now, self.rng)
+        if dropped:
+            self.stats.tail_drops += 1
+        elif self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.stats.random_losses += 1
+        else:
+            deliver_at = now + self.delay_s
+            if self.noise is not None:
+                deliver_at += self.noise.sample(now, self.rng)
+                if deliver_at <= self._last_delivery:
+                    deliver_at = self._last_delivery + 1e-9
+            self._last_delivery = deliver_at
+            self.stats.delivered += 1
+            self.sim.schedule_at(deliver_at, dst.receive, packet)
+        self._serve_next()
+
+
+def step_rate(levels: list[tuple[float, float]]) -> RateFunction:
+    """Piecewise-constant rate function from (start_time, bps) steps."""
+    if not levels:
+        raise ValueError("need at least one level")
+    times = [t for t, _ in levels]
+    if times != sorted(times):
+        raise ValueError("levels must be time-ordered")
+
+    def rate_fn(now: float) -> float:
+        current = levels[0][1]
+        for start, bps in levels:
+            if now >= start:
+                current = bps
+            else:
+                break
+        return current
+
+    return rate_fn
+
+
+def cellular_rate(
+    mean_bps: float,
+    period_s: float = 2.0,
+    depth: float = 0.6,
+    seed: int = 0,
+) -> RateFunction:
+    """LTE-ish rate variation: random walk over ``period_s`` epochs.
+
+    The rate at each epoch is drawn uniformly from
+    ``[mean * (1 - depth), mean * (1 + depth)]`` — a coarse stand-in for
+    cellular scheduling dynamics (§7.2 defers real LTE modelling to
+    future work).
+    """
+    if mean_bps <= 0 or not 0 <= depth < 1 or period_s <= 0:
+        raise ValueError("invalid cellular rate parameters")
+    cache: dict[int, float] = {}
+
+    def rate_fn(now: float) -> float:
+        epoch = int(now / period_s)
+        if epoch not in cache:
+            epoch_rng = random.Random(f"cellular:{seed}:{epoch}")
+            cache[epoch] = mean_bps * (1.0 + depth * (2.0 * epoch_rng.random() - 1.0))
+        return cache[epoch]
+
+    return rate_fn

@@ -1,0 +1,236 @@
+"""Flow wiring: sender endpoint, path, receiver, and the ACK channel.
+
+A :class:`Flow` connects one sender (a congestion-control object from
+:mod:`repro.protocols` or :mod:`repro.core`) to a receiver across a
+forward :class:`Path` of links, with ACKs returning over a reverse path.
+The flow owns sequence numbering, the per-flow stats record, and data
+availability (bulk transfer by default; applications can meter bytes in
+for chunked workloads).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from .engine import Simulator
+from .link import Link
+from .packet import ACK_BYTES, Packet
+from .trace import FlowStats
+
+
+class SenderProtocol(Protocol):
+    """What a Flow requires of a sender object (see protocols.base)."""
+
+    def bind(self, sim: Simulator, flow: "Flow") -> None: ...
+    def start(self) -> None: ...
+    def handle_ack_packet(self, ack: Packet) -> None: ...
+    def on_data_available(self) -> None: ...
+    def stop(self) -> None: ...
+
+
+class Path:
+    """An ordered sequence of links from one host to another."""
+
+    def __init__(self, links: list[Link]):
+        if not links:
+            raise ValueError("a path needs at least one link")
+        self.links = links
+
+    def base_delay(self) -> float:
+        """Sum of propagation delays (no queueing/serialization)."""
+        return sum(link.delay_s for link in self.links)
+
+    def send(self, packet: Packet, dst: "ReceiverLike") -> bool:
+        """Send ``packet`` toward ``dst``. Returns False on first-hop drop."""
+        links = self.links
+        if len(links) == 1:
+            return links[0].send(packet, dst)
+        return links[0].send(packet, _Hop(links, 1, dst))
+
+
+class ReceiverLike(Protocol):
+    def receive(self, packet: Packet) -> None: ...
+
+
+class _Hop:
+    """Forwards a packet onto the next link of a multi-link path."""
+
+    __slots__ = ("links", "index", "dst")
+
+    def __init__(self, links: list[Link], index: int, dst: ReceiverLike):
+        self.links = links
+        self.index = index
+        self.dst = dst
+
+    def receive(self, packet: Packet) -> None:
+        links = self.links
+        nxt = self.index + 1
+        if nxt == len(links):
+            links[self.index].send(packet, self.dst)
+        else:
+            links[self.index].send(packet, _Hop(links, nxt, self.dst))
+
+
+class FlowReceiver:
+    """Receiver endpoint: records deliveries and returns one ACK per packet."""
+
+    def __init__(self, flow: "Flow"):
+        self.flow = flow
+        self._ack_seq = 0
+
+    def receive(self, packet: Packet) -> None:
+        flow = self.flow
+        now = flow.sim.now
+        flow.stats.record_delivery(now, packet.size_bytes)
+        if flow.on_delivery is not None:
+            flow.on_delivery(now, packet.size_bytes)
+        self._ack_seq += 1
+        ack = Packet(
+            flow_id=flow.flow_id,
+            seq=self._ack_seq,
+            size_bytes=ACK_BYTES,
+            sent_time=now,
+            is_ack=True,
+            data_seq=packet.seq,
+            data_sent_time=packet.sent_time,
+            data_recv_time=now,
+        )
+        flow.reverse_path.send(ack, flow.sender_endpoint)
+        flow.check_complete()
+
+
+class _SenderEndpoint:
+    """Sender-side ACK sink; dispatches to the congestion controller."""
+
+    __slots__ = ("flow",)
+
+    def __init__(self, flow: "Flow"):
+        self.flow = flow
+
+    def receive(self, packet: Packet) -> None:
+        self.flow.sender.handle_ack_packet(packet)
+
+
+class Flow:
+    """One transport connection through the simulated network.
+
+    Args:
+        sim: The simulator.
+        sender: Congestion-control sender (bound to this flow here).
+        forward_path: Path carrying data packets.
+        reverse_path: Path carrying ACKs.
+        flow_id: Identifier recorded in packets and stats.
+        size_bytes: Total bytes to deliver, or None for an unbounded bulk
+            flow. Chunked applications use ``chunked=True`` + ``add_bytes``.
+        chunked: Start with no data and let the application meter bytes in
+            with :meth:`add_bytes`; the flow never auto-completes.
+        start_time: Absolute simulated time at which the sender starts.
+        on_complete: Callback fired once ``size_bytes`` are delivered.
+        on_delivery: Callback ``(now, nbytes)`` for every delivered packet.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender: SenderProtocol,
+        forward_path: Path,
+        reverse_path: Path,
+        flow_id: int = 0,
+        size_bytes: int | None = None,
+        start_time: float = 0.0,
+        chunked: bool = False,
+        on_complete: Callable[["Flow", float], None] | None = None,
+        on_delivery: Callable[[float, int], None] | None = None,
+    ):
+        if chunked and size_bytes is not None:
+            raise ValueError("chunked flows meter data via add_bytes")
+        self.sim = sim
+        self.sender = sender
+        self.forward_path = forward_path
+        self.reverse_path = reverse_path
+        self.flow_id = flow_id
+        self.size_bytes = size_bytes
+        # Flows created mid-run (e.g. web objects) start immediately.
+        self.start_time = max(start_time, sim.now)
+        self.on_complete = on_complete
+        self.on_delivery = on_delivery
+        self.stats = FlowStats(flow_id)
+        self.stats.start_time = self.start_time
+        self.receiver = FlowReceiver(self)
+        self.sender_endpoint = _SenderEndpoint(self)
+        self.completed = False
+        self._next_seq = 0
+        # Unbounded flows always have data; bounded/chunked flows meter it.
+        if chunked:
+            self.bytes_unsent: float = 0.0
+        else:
+            self.bytes_unsent = float("inf") if size_bytes is None else size_bytes
+
+        sender.bind(sim, self)
+        sim.schedule_at(self.start_time, self._start)
+
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        if not self.completed:
+            self.sender.start()
+
+    def add_bytes(self, nbytes: int) -> None:
+        """Make ``nbytes`` more application data available to send."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        if self.bytes_unsent == float("inf"):
+            raise RuntimeError("cannot add bytes to an unbounded flow")
+        was_idle = self.bytes_unsent <= 0
+        self.bytes_unsent += nbytes
+        if was_idle:
+            self.sender.on_data_available()
+
+    def transmit(self, size_bytes: int) -> tuple[int, bool]:
+        """Send one data packet of ``size_bytes``; returns (seq, accepted).
+
+        ``accepted`` is False when the first hop tail-dropped the packet.
+        The sender still tracks the sequence number so the drop is detected
+        like any other loss (via the ACK gap).
+        """
+        self._next_seq += 1
+        seq = self._next_seq
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=seq,
+            size_bytes=size_bytes,
+            sent_time=self.sim.now,
+        )
+        self.stats.record_send()
+        if self.bytes_unsent != float("inf"):
+            self.bytes_unsent -= size_bytes
+        accepted = self.forward_path.send(packet, self.receiver)
+        return seq, accepted
+
+    def requeue_bytes(self, nbytes: int) -> None:
+        """Return lost bytes to the unsent pool (models retransmission)."""
+        if self.bytes_unsent != float("inf"):
+            self.bytes_unsent += nbytes
+
+    def has_data(self) -> bool:
+        return self.bytes_unsent > 0 and not self.completed
+
+    def check_complete(self) -> None:
+        if (
+            not self.completed
+            and self.size_bytes is not None
+            and self.stats.delivered_bytes >= self.size_bytes
+        ):
+            self.completed = True
+            self.stats.end_time = self.sim.now
+            self.sender.stop()
+            if self.on_complete is not None:
+                self.on_complete(self, self.sim.now)
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently sent data packet."""
+        return self._next_seq
+
+    def base_rtt(self) -> float:
+        """Propagation-only round-trip time of the flow's paths."""
+        return self.forward_path.base_delay() + self.reverse_path.base_delay()

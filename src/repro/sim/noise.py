@@ -1,0 +1,116 @@
+"""Latency-noise models for emulating wireless (WiFi-like) paths.
+
+The paper's live-Internet WiFi experiments (§6.2.1) attribute scavenger
+misbehaviour to two non-congestion phenomena:
+
+1. random RTT variability — "typical RTT deviation is up to 5 ms but RTT
+   occasionally spikes tens of milliseconds higher";
+2. bursty ACK reception "even on a non-congested link, possibly due to
+   irregular MAC scheduling".
+
+Both are modelled here as per-packet extra propagation delay.  Links
+enforce FIFO delivery, so a large delay injected on one packet naturally
+compresses the packets behind it into a burst — exactly the ACK-batching
+effect the paper's per-ACK filter targets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+
+class NoiseModel(Protocol):
+    """Produces a non-negative extra delay (seconds) for each packet."""
+
+    def sample(self, now: float, rng: random.Random) -> float:
+        """Extra one-way delay for a packet entering the link at ``now``."""
+        ...
+
+
+class NoNoise:
+    """Clean channel: zero extra delay."""
+
+    def sample(self, now: float, rng: random.Random) -> float:
+        return 0.0
+
+
+class GaussianJitter:
+    """Per-packet i.i.d. Gaussian jitter, truncated at zero.
+
+    A building block for mildly noisy paths; ``std`` of 1-2 ms is typical
+    of a lightly loaded WiFi link.
+    """
+
+    def __init__(self, std_s: float, mean_s: float = 0.0):
+        if std_s < 0:
+            raise ValueError("std_s must be non-negative")
+        self.std_s = std_s
+        self.mean_s = mean_s
+
+    def sample(self, now: float, rng: random.Random) -> float:
+        return max(0.0, rng.gauss(self.mean_s, self.std_s))
+
+
+class SpikeNoise:
+    """Occasional delay spikes of tens of milliseconds.
+
+    Spikes arrive as a Poisson process; while a spike is active every
+    packet is held by the spike magnitude.  Combined with FIFO ordering
+    this produces the burst-then-silence ACK pattern of MAC scheduling.
+    """
+
+    def __init__(
+        self,
+        rate_hz: float,
+        magnitude_s: float = 0.030,
+        duration_s: float = 0.020,
+    ):
+        if rate_hz < 0:
+            raise ValueError("rate_hz must be non-negative")
+        self.rate_hz = rate_hz
+        self.magnitude_s = magnitude_s
+        self.duration_s = duration_s
+        self._next_spike: float | None = None
+
+    def sample(self, now: float, rng: random.Random) -> float:
+        if self.rate_hz <= 0:
+            return 0.0
+        if self._next_spike is None:
+            self._next_spike = now + rng.expovariate(self.rate_hz)
+        # Advance past expired spike windows (exponential inter-spike gaps).
+        while now >= self._next_spike + self.duration_s:
+            self._next_spike += self.duration_s + rng.expovariate(self.rate_hz)
+        if now >= self._next_spike:
+            return rng.uniform(0.5, 1.0) * self.magnitude_s
+        return 0.0
+
+
+class CompositeNoise:
+    """Sum of independent noise components."""
+
+    def __init__(self, *components: NoiseModel):
+        self.components = components
+
+    def sample(self, now: float, rng: random.Random) -> float:
+        return sum(c.sample(now, rng) for c in self.components)
+
+
+def wifi_noise(severity: float = 1.0) -> CompositeNoise:
+    """A WiFi-like noise profile matching the paper's description.
+
+    ``severity`` scales both the baseline jitter and the spike frequency;
+    1.0 corresponds to "typical RTT deviation up to 5 ms with occasional
+    spikes tens of milliseconds higher".  Each direction of a path usually
+    gets its own instance (uplink noisier than the wired downlink).
+    """
+    if severity < 0:
+        raise ValueError("severity must be non-negative")
+    return CompositeNoise(
+        GaussianJitter(std_s=0.0015 * severity),
+        SpikeNoise(
+            rate_hz=0.5 * severity,
+            magnitude_s=0.030,
+            duration_s=0.015 + 0.010 * severity,
+        ),
+    )

@@ -1,0 +1,67 @@
+"""Packet representation shared by senders, links, and receivers.
+
+One class models both data packets and ACKs to keep the hot path free of
+isinstance dispatch.  ACKs echo the data packet's sequence number, sent
+timestamp and receive timestamp, which is what timestamp-based protocols
+(LEDBAT one-way delay, PCC monitor intervals) need.
+"""
+
+from __future__ import annotations
+
+MTU_BYTES = 1500
+"""Data packet size (payload + headers) used throughout the reproduction."""
+
+ACK_BYTES = 40
+"""Size of an acknowledgment packet."""
+
+
+class Packet:
+    """A simulated packet.
+
+    Attributes:
+        flow_id: Integer id of the owning flow.
+        seq: Per-flow sequence number (monotonic per direction).
+        size_bytes: Wire size; determines serialization time.
+        sent_time: When the sender transmitted the packet.
+        is_ack: Whether this is an acknowledgment.
+        data_seq: For ACKs, sequence of the acknowledged data packet.
+        data_sent_time: For ACKs, sent time of the acknowledged data packet.
+        data_recv_time: For ACKs, arrival time of the data packet at the
+            receiver (enables exact one-way-delay measurement, standing in
+            for the timestamp option LEDBAT relies on).
+    """
+
+    __slots__ = (
+        "flow_id",
+        "seq",
+        "size_bytes",
+        "sent_time",
+        "is_ack",
+        "data_seq",
+        "data_sent_time",
+        "data_recv_time",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        seq: int,
+        size_bytes: int = MTU_BYTES,
+        sent_time: float = 0.0,
+        is_ack: bool = False,
+        data_seq: int = -1,
+        data_sent_time: float = 0.0,
+        data_recv_time: float = 0.0,
+    ):
+        self.flow_id = flow_id
+        self.seq = seq
+        self.size_bytes = size_bytes
+        self.sent_time = sent_time
+        self.is_ack = is_ack
+        self.data_seq = data_seq
+        self.data_sent_time = data_sent_time
+        self.data_recv_time = data_recv_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "ACK" if self.is_ack else "DATA"
+        return f"<{kind} flow={self.flow_id} seq={self.seq} t={self.sent_time:.4f}>"

@@ -1,0 +1,132 @@
+"""Topology builders.
+
+All of the paper's transport experiments run over a single bottleneck, so
+the workhorse here is :class:`Dumbbell`: a shared forward bottleneck link
+plus an uncongested reverse path for ACKs.  Flow-specific extra
+propagation delay supports heterogeneous-RTT setups.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .engine import Simulator
+from .flow import Flow, Path
+from .link import Link
+from .noise import NoiseModel
+from .rng import spawn
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/s to bits/s."""
+    return value * 1e6
+
+
+class Dumbbell:
+    """Single shared bottleneck with per-flow access/return links.
+
+    Args:
+        sim: Simulator instance.
+        bandwidth_bps: Bottleneck rate.
+        rtt_s: Base round-trip propagation time; split evenly between the
+            forward bottleneck and the reverse path.
+        buffer_bytes: Bottleneck tail-drop buffer.
+        loss_rate: Random loss probability on the bottleneck.
+        noise: Optional forward-direction latency noise.
+        reverse_noise: Optional ACK-direction latency noise (WiFi uplink
+            experiments apply noise both ways).
+        rng: Seeded RNG; children are spawned for each stochastic element.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        rtt_s: float,
+        buffer_bytes: float,
+        loss_rate: float = 0.0,
+        noise: NoiseModel | None = None,
+        reverse_noise: NoiseModel | None = None,
+        rng: random.Random | None = None,
+        bottleneck=None,
+    ):
+        self.sim = sim
+        self.rng = rng if rng is not None else random.Random(0)
+        self.bandwidth_bps = bandwidth_bps
+        self.rtt_s = rtt_s
+        if bottleneck is not None:
+            # Caller-supplied forward bottleneck (e.g. a DynamicLink with
+            # an AQM discipline or time-varying rate).
+            self.bottleneck = bottleneck
+        else:
+            self.bottleneck = Link(
+                sim,
+                bandwidth_bps=bandwidth_bps,
+                delay_s=rtt_s / 2.0,
+                buffer_bytes=buffer_bytes,
+                loss_rate=loss_rate,
+                noise=noise,
+                rng=spawn(self.rng, "bottleneck"),
+                name="bottleneck",
+            )
+        # The reverse path is fast and deep enough never to be the
+        # constraint: ACK traffic is ~3% of data traffic by bytes.
+        self.reverse = Link(
+            sim,
+            bandwidth_bps=bandwidth_bps * 40.0,
+            delay_s=rtt_s / 2.0,
+            buffer_bytes=float("inf"),
+            noise=reverse_noise,
+            rng=spawn(self.rng, "reverse"),
+            name="reverse",
+        )
+        self._flow_count = 0
+
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product of the bottleneck in bytes."""
+        return self.bandwidth_bps * self.rtt_s / 8.0
+
+    def add_flow(
+        self,
+        sender,
+        flow_id: int | None = None,
+        size_bytes: int | None = None,
+        start_time: float = 0.0,
+        extra_delay_s: float = 0.0,
+        chunked: bool = False,
+        on_complete=None,
+        on_delivery=None,
+    ) -> Flow:
+        """Attach a sender to the shared bottleneck and return its Flow."""
+        self._flow_count += 1
+        if flow_id is None:
+            flow_id = self._flow_count
+        forward_links = [self.bottleneck]
+        reverse_links = [self.reverse]
+        if extra_delay_s > 0.0:
+            access = Link(
+                self.sim,
+                bandwidth_bps=self.bandwidth_bps * 40.0,
+                delay_s=extra_delay_s / 2.0,
+                name=f"access-{flow_id}",
+            )
+            back = Link(
+                self.sim,
+                bandwidth_bps=self.bandwidth_bps * 40.0,
+                delay_s=extra_delay_s / 2.0,
+                name=f"back-{flow_id}",
+            )
+            forward_links = [access, self.bottleneck]
+            reverse_links = [self.reverse, back]
+        return Flow(
+            self.sim,
+            sender,
+            Path(forward_links),
+            Path(reverse_links),
+            flow_id=flow_id,
+            size_bytes=size_bytes,
+            start_time=start_time,
+            chunked=chunked,
+            on_complete=on_complete,
+            on_delivery=on_delivery,
+        )

@@ -1,0 +1,121 @@
+"""Per-flow measurement collection.
+
+A :class:`FlowStats` instance is attached to every flow and records ACK
+arrivals (with RTT samples), deliveries, and losses.  All of the paper's
+transport-level metrics — throughput over a window, Jain-index inputs,
+95th-percentile RTT, inflation ratio — are derived from this record by
+:mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+
+class FlowStats:
+    """Measurement record for one flow.
+
+    RTT samples are stored as parallel time/value lists kept in arrival
+    order (simulated time is monotone), so windowed queries are two
+    bisects plus a slice.
+    """
+
+    def __init__(self, flow_id: int = 0):
+        self.flow_id = flow_id
+        self.start_time: float = 0.0
+        self.end_time: float | None = None
+        # ACK-side record (sender's view).
+        self.ack_times: list[float] = []
+        self.acked_bytes: list[int] = []
+        self.rtts: list[float] = []
+        self.total_acked_bytes: int = 0
+        # Receiver-side record.
+        self.delivered_bytes: int = 0
+        self.first_delivery: float | None = None
+        self.last_delivery: float | None = None
+        # Loss record.
+        self.loss_times: list[float] = []
+        self.packets_sent: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording (called by flow machinery)
+    # ------------------------------------------------------------------
+    def record_send(self) -> None:
+        self.packets_sent += 1
+
+    def record_ack(self, now: float, nbytes: int, rtt: float) -> None:
+        self.ack_times.append(now)
+        self.acked_bytes.append(nbytes)
+        self.rtts.append(rtt)
+        self.total_acked_bytes += nbytes
+
+    def record_delivery(self, now: float, nbytes: int) -> None:
+        self.delivered_bytes += nbytes
+        if self.first_delivery is None:
+            self.first_delivery = now
+        self.last_delivery = now
+
+    def record_loss(self, now: float) -> None:
+        self.loss_times.append(now)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def throughput_bps(self, t0: float, t1: float) -> float:
+        """Mean ACKed goodput over the window ``[t0, t1]`` in bits/s."""
+        if t1 <= t0:
+            raise ValueError("empty measurement window")
+        lo = bisect.bisect_left(self.ack_times, t0)
+        hi = bisect.bisect_right(self.ack_times, t1)
+        total = sum(self.acked_bytes[lo:hi])
+        return total * 8.0 / (t1 - t0)
+
+    def rtt_samples(self, t0: float = 0.0, t1: float = float("inf")) -> list[float]:
+        """RTT samples whose ACKs arrived within ``[t0, t1]``."""
+        lo = bisect.bisect_left(self.ack_times, t0)
+        hi = bisect.bisect_right(self.ack_times, t1)
+        return self.rtts[lo:hi]
+
+    def rtt_percentile(
+        self, percentile: float, t0: float = 0.0, t1: float = float("inf")
+    ) -> float:
+        """Percentile of RTT samples in a window (linear selection)."""
+        samples = sorted(self.rtt_samples(t0, t1))
+        if not samples:
+            raise ValueError("no RTT samples in window")
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        index = min(len(samples) - 1, int(round(percentile / 100.0 * (len(samples) - 1))))
+        return samples[index]
+
+    def min_rtt(self) -> float:
+        if not self.rtts:
+            raise ValueError("no RTT samples")
+        return min(self.rtts)
+
+    def loss_count(self, t0: float = 0.0, t1: float = float("inf")) -> int:
+        lo = bisect.bisect_left(self.loss_times, t0)
+        hi = bisect.bisect_right(self.loss_times, t1)
+        return hi - lo
+
+    def throughput_series(
+        self, bin_s: float, t0: float, t1: float
+    ) -> list[tuple[float, float]]:
+        """(bin_center_time, Mbps) series of ACKed throughput."""
+        if bin_s <= 0:
+            raise ValueError("bin_s must be positive")
+        series: list[tuple[float, float]] = []
+        t = t0
+        while t < t1:
+            end = min(t + bin_s, t1)
+            lo = bisect.bisect_left(self.ack_times, t)
+            # Half-open bins [t, end) so boundary ACKs are counted once;
+            # the final bin includes its right edge.
+            if end >= t1:
+                hi = bisect.bisect_right(self.ack_times, end)
+            else:
+                hi = bisect.bisect_left(self.ack_times, end)
+            total = sum(self.acked_bytes[lo:hi])
+            series.append((0.5 * (t + end), total * 8.0 / (end - t) / 1e6))
+            t = end
+        return series

@@ -1,0 +1,65 @@
+"""Tests for convergence diagnostics."""
+
+import pytest
+
+from repro.analysis import fairness_convergence_time, throughput_convergence
+from repro.sim import FlowStats
+
+
+def stats_with_rates(rates_by_second, bytes_per_tick=12500, ticks_per_s=10):
+    """Build FlowStats whose per-second throughput follows ``rates``.
+
+    ``rates_by_second`` maps to relative ack density per second.
+    """
+    stats = FlowStats()
+    t = 0.0
+    for rate in rates_by_second:
+        for tick in range(int(rate * ticks_per_s)):
+            stats.record_ack(t + tick / (rate * ticks_per_s + 1e-9), bytes_per_tick, 0.03)
+        t += 1.0
+    return stats
+
+
+def test_convergence_detects_settle_point():
+    # Ramp for 3 s, then steady at 10 units for 9 s.
+    stats = stats_with_rates([2, 5, 8] + [10] * 9)
+    report = throughput_convergence(stats, 0.0, 12.0, bin_s=1.0)
+    assert report.settle_time_s is not None
+    assert 2.0 <= report.settle_time_s <= 4.5
+    assert report.steady_cov < 0.05
+    assert report.overshoot_ratio == pytest.approx(1.0, abs=0.1)
+
+
+def test_convergence_reports_overshoot():
+    stats = stats_with_rates([2, 20, 14, 10, 10, 10, 10, 10, 10, 10, 10, 10])
+    report = throughput_convergence(stats, 0.0, 12.0, bin_s=1.0)
+    assert report.overshoot_ratio > 1.5
+
+
+def test_convergence_never_settling():
+    stats = stats_with_rates([2, 20, 2, 20, 2, 20, 2, 20, 2, 20, 2, 20])
+    report = throughput_convergence(stats, 0.0, 12.0, bin_s=1.0, tolerance=0.1)
+    assert report.settle_time_s is None
+
+
+def test_convergence_requires_enough_bins():
+    stats = stats_with_rates([5, 5])
+    with pytest.raises(ValueError):
+        throughput_convergence(stats, 0.0, 2.0, bin_s=1.0)
+
+
+def test_fairness_convergence_time():
+    # Flow A constant; flow B ramps to equality by t=5.
+    a = stats_with_rates([10] * 10)
+    b = stats_with_rates([1, 2, 4, 7, 9, 10, 10, 10, 10, 10])
+    t = fairness_convergence_time([a, b], 0.0, 10.0, bin_s=1.0, target_index=0.95)
+    assert t is not None
+    assert 2.0 <= t <= 6.0
+
+
+def test_fairness_convergence_never():
+    a = stats_with_rates([10] * 8)
+    b = stats_with_rates([1] * 8)
+    assert fairness_convergence_time([a, b], 0.0, 8.0, target_index=0.99) is None
+    with pytest.raises(ValueError):
+        fairness_convergence_time([], 0.0, 8.0)

@@ -1,0 +1,157 @@
+"""Validation of the Appendix A equilibrium theory.
+
+These tests exercise the numeric best-response solver against the
+paper's formal results: Theorems 4.1 and 4.2 (fair, saturating
+equilibria for homogeneous populations), the uniqueness-driven mixed
+P/S equilibrium where scavengers yield, and the §4.4 Proteus-H
+four-case rate-split prediction.
+"""
+
+import pytest
+
+from repro.analysis import (
+    GameConfig,
+    SenderSpec,
+    best_response,
+    hybrid_rate_prediction,
+    solve_equilibrium,
+    utility,
+)
+
+
+CONFIG = GameConfig(capacity_mbps=100.0)
+
+
+def test_theorem_4_1_primary_only_equilibrium_is_fair_and_saturating():
+    for n in (2, 3, 5):
+        rates = solve_equilibrium([SenderSpec("P")] * n, CONFIG)
+        total = sum(rates)
+        assert total == pytest.approx(CONFIG.capacity_mbps, rel=0.02)
+        for r in rates:
+            assert r == pytest.approx(rates[0], rel=0.02)
+
+
+def test_theorem_4_2_scavenger_only_equilibrium_is_fair_and_saturating():
+    for n in (2, 4):
+        rates = solve_equilibrium([SenderSpec("S")] * n, CONFIG)
+        total = sum(rates)
+        assert total == pytest.approx(CONFIG.capacity_mbps, rel=0.02)
+        for r in rates:
+            assert r == pytest.approx(rates[0], rel=0.02)
+
+
+def test_mixed_equilibrium_saturates_with_scavenger_not_ahead():
+    """Mixed P/S populations: unique equilibrium saturates the link.
+
+    Note the paper explicitly leaves the formal analysis of *yielding*
+    (S getting much less than P) to future work — the static model only
+    guarantees saturation and that the scavenger is not advantaged; the
+    deep yielding comes from the dynamic response to RTT fluctuation
+    that the simulator (not this model) captures.
+    """
+    rates = solve_equilibrium([SenderSpec("P"), SenderSpec("S")], CONFIG)
+    primary, scavenger = rates
+    assert primary + scavenger == pytest.approx(CONFIG.capacity_mbps, rel=0.05)
+    assert scavenger <= primary + 1e-3
+
+
+def test_deviation_coefficient_controls_overload_penalty():
+    """Larger d makes overload strictly worse for the scavenger."""
+    spec = SenderSpec("S")
+    soft = GameConfig(capacity_mbps=100.0, d=150.0)
+    hard = GameConfig(capacity_mbps=100.0, d=15000.0)
+    # Overloaded operating point: x = 30, others = 80 (S = 110 > C).
+    assert utility(30.0, 80.0, spec, hard) < utility(30.0, 80.0, spec, soft)
+
+
+def test_equilibrium_unique_from_different_starts():
+    """Appendix A: the game has a unique equilibrium — the damped
+    best-response iteration must land on the same point regardless of
+    the (implicit) starting allocation encoded by sender order."""
+    specs = [SenderSpec("P"), SenderSpec("S"), SenderSpec("P")]
+    rates_a = solve_equilibrium(specs, CONFIG)
+    rates_b = solve_equilibrium(list(reversed(specs)), CONFIG)
+    assert sorted(rates_a) == pytest.approx(sorted(rates_b), rel=0.02)
+
+
+def test_best_response_exceeds_capacity_in_aggregate():
+    """Observation in Appendix A: any equilibrium has S >= C."""
+    for spec in (SenderSpec("P"), SenderSpec("S")):
+        rates = solve_equilibrium([spec, spec], CONFIG)
+        assert sum(rates) >= CONFIG.capacity_mbps * 0.99
+
+
+def test_utility_model_shapes():
+    spec_p, spec_s = SenderSpec("P"), SenderSpec("S")
+    # Below capacity: both modes reward rate, no penalty difference from
+    # the gradient term; the scavenger pays |S - C|/C even when under.
+    below_p = utility(10.0, 20.0, spec_p, CONFIG)
+    below_s = utility(10.0, 20.0, spec_s, CONFIG)
+    assert below_p == pytest.approx(10.0 ** CONFIG.t)
+    assert below_s < below_p
+    # Above capacity both are penalized; S more than P.
+    above_p = utility(60.0, 60.0, spec_p, CONFIG)
+    above_s = utility(60.0, 60.0, spec_s, CONFIG)
+    assert above_s < above_p < 60.0 ** CONFIG.t
+    # Negative rates are infeasible.
+    assert utility(-1.0, 0.0, spec_p, CONFIG) == float("-inf")
+
+
+def test_best_response_is_positive_and_bounded():
+    for others in (0.0, 50.0, 99.0, 150.0):
+        r = best_response(others, SenderSpec("P"), CONFIG)
+        assert 0.0 <= r <= 2 * CONFIG.capacity_mbps
+
+
+def test_hybrid_prediction_four_cases():
+    # C < 2 r1: both primary, fair split.
+    assert hybrid_rate_prediction(30.0, 60.0, 40.0) == (20.0, 20.0)
+    # 2 r1 <= C < r1 + r2: sender 1 pinned at its threshold.
+    assert hybrid_rate_prediction(30.0, 60.0, 80.0) == (30.0, 50.0)
+    # r1 + r2 <= C < 2 r2: sender 2 pinned at its threshold.
+    assert hybrid_rate_prediction(30.0, 60.0, 100.0) == (40.0, 60.0)
+    # C >= 2 r2: unconstrained, fair split.
+    assert hybrid_rate_prediction(30.0, 60.0, 140.0) == (70.0, 70.0)
+
+
+def test_hybrid_prediction_validation():
+    with pytest.raises(ValueError):
+        hybrid_rate_prediction(60.0, 30.0, 100.0)
+
+
+def test_hybrid_prediction_is_a_fixed_point_case_2():
+    """§4.4's ideal split (r1, C - r1) admits no profitable deviation.
+
+    The static model has a continuum of kink equilibria at S = C; the
+    paper's prediction is the one selected by the yielding dynamics.  We
+    verify it is indeed an equilibrium: each sender's best response to
+    the other's predicted rate is (approximately) its own predicted rate.
+    """
+    r1, r2 = 20.0, 60.0
+    config = GameConfig(capacity_mbps=70.0)  # 2 r1 <= C < r1 + r2
+    x1, x2 = hybrid_rate_prediction(r1, r2, 70.0)
+    assert (x1, x2) == (20.0, 50.0)
+    br1 = best_response(x2, SenderSpec("H", threshold_mbps=r1), config)
+    br2 = best_response(x1, SenderSpec("H", threshold_mbps=r2), config)
+    assert br1 == pytest.approx(x1, abs=1.0)
+    assert br2 == pytest.approx(x2, abs=1.0)
+
+
+def test_hybrid_numeric_equilibrium_saturates():
+    r1, r2 = 20.0, 60.0
+    config = GameConfig(capacity_mbps=70.0)
+    rates = solve_equilibrium(
+        [SenderSpec("H", threshold_mbps=r1), SenderSpec("H", threshold_mbps=r2)],
+        config,
+    )
+    assert sum(rates) == pytest.approx(70.0, rel=0.05)
+
+
+def test_sender_spec_validation():
+    with pytest.raises(ValueError):
+        SenderSpec("X")
+
+
+def test_solver_validation():
+    with pytest.raises(ValueError):
+        solve_equilibrium([], CONFIG)

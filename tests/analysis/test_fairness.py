@@ -1,0 +1,55 @@
+"""Unit tests for Jain's fairness index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import jains_index
+
+
+def test_equal_allocation_is_perfectly_fair():
+    assert jains_index([5.0, 5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+
+def test_single_flow_is_fair():
+    assert jains_index([42.0]) == pytest.approx(1.0)
+
+
+def test_one_hog_approaches_one_over_n():
+    assert jains_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+def test_known_value():
+    # (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+    assert jains_index([1.0, 2.0, 3.0]) == pytest.approx(36 / 42)
+
+
+def test_all_zero_is_conventionally_fair():
+    assert jains_index([0.0, 0.0]) == 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        jains_index([])
+    with pytest.raises(ValueError):
+        jains_index([1.0, -1.0])
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30)
+)
+def test_property_bounds(allocations):
+    index = jains_index(allocations)
+    n = len(allocations)
+    assert 1.0 / n - 1e-9 <= index <= 1.0 + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=1e3), min_size=2, max_size=20),
+    st.floats(min_value=0.01, max_value=100.0),
+)
+def test_property_scale_invariance(allocations, factor):
+    scaled = [a * factor for a in allocations]
+    assert jains_index(scaled) == pytest.approx(jains_index(allocations), rel=1e-6)

@@ -1,0 +1,111 @@
+"""Unit tests for the paper-specific statistics."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    cdf_points,
+    confusion_probability,
+    histogram_pdf,
+    inflation_ratio_95th,
+    percentile,
+    windowed_latency_metrics,
+)
+
+
+def test_percentile_basics():
+    data = list(range(101))
+    assert percentile(data, 0) == 0
+    assert percentile(data, 50) == 50
+    assert percentile(data, 95) == 95
+    assert percentile(data, 100) == 100
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_cdf_points_monotone():
+    points = cdf_points([3.0, 1.0, 2.0])
+    values = [v for v, _ in points]
+    fractions = [f for _, f in points]
+    assert values == [1.0, 2.0, 3.0]
+    assert fractions == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+
+def test_inflation_ratio_full_buffer_is_one():
+    # p95 RTT = base + full drain time => ratio 1.
+    base = 0.030
+    buffer_bytes = 375e3
+    bw = 50e6
+    drain = buffer_bytes * 8 / bw
+    rtts = [base + drain] * 100
+    assert inflation_ratio_95th(rtts, base, buffer_bytes, bw) == pytest.approx(1.0)
+
+
+def test_inflation_ratio_empty_queue_is_zero():
+    rtts = [0.030] * 50
+    assert inflation_ratio_95th(rtts, 0.030, 375e3, 50e6) == pytest.approx(0.0)
+
+
+def test_inflation_ratio_validation():
+    with pytest.raises(ValueError):
+        inflation_ratio_95th([0.03], 0.03, 0.0, 50e6)
+
+
+def test_confusion_probability_separable_distributions():
+    uncongested = [0.001] * 100
+    congested = [0.010] * 100
+    assert confusion_probability(congested, uncongested) == 0.0
+
+
+def test_confusion_probability_identical_distributions():
+    rng = random.Random(1)
+    samples_a = [rng.random() for _ in range(500)]
+    samples_b = [rng.random() for _ in range(500)]
+    p = confusion_probability(samples_a, samples_b, rng=random.Random(2))
+    assert 0.4 < p < 0.6
+
+
+def test_confusion_probability_validation():
+    with pytest.raises(ValueError):
+        confusion_probability([], [1.0])
+
+
+def test_windowed_latency_metrics_groups_by_window():
+    # Two windows of 5 samples each; second window has RTT spread.
+    ack_times = [0.1 * i for i in range(10)]
+    send_times = [t - 0.03 for t in ack_times]
+    rtts = [0.030] * 5 + [0.030, 0.040, 0.050, 0.060, 0.070]
+    devs, grads = windowed_latency_metrics(
+        ack_times, send_times, rtts, window_s=0.5, t0=0.0, t1=1.0
+    )
+    assert len(devs) == 2
+    assert devs[0] == pytest.approx(0.0)
+    assert devs[1] > 0.01
+    assert grads[1] > grads[0]
+
+
+def test_windowed_latency_metrics_skips_sparse_windows():
+    devs, grads = windowed_latency_metrics(
+        [0.0, 10.0], [0.0, 10.0], [0.03, 0.03], window_s=1.0, t0=0.0, t1=20.0
+    )
+    assert devs == [] and grads == []
+
+
+def test_histogram_pdf_normalises():
+    samples = [0.5, 1.5, 1.5, 2.5]
+    pdf = histogram_pdf(samples, bins=3, lo=0.0, hi=3.0)
+    assert [p for _, p in pdf] == pytest.approx([0.25, 0.5, 0.25])
+    assert sum(p for _, p in pdf) == pytest.approx(1.0)
+
+
+def test_histogram_pdf_empty_range():
+    pdf = histogram_pdf([10.0], bins=2, lo=0.0, hi=1.0)
+    assert all(p == 0.0 for _, p in pdf)
+    with pytest.raises(ValueError):
+        histogram_pdf([1.0], bins=0, lo=0.0, hi=1.0)

@@ -1,0 +1,96 @@
+"""Tests for the alternative ABR agents."""
+
+import pytest
+
+from repro.apps import BufferThresholdAbrAgent, ThroughputAbrAgent, VideoDefinition
+
+
+def make_video():
+    return VideoDefinition(
+        name="v",
+        bitrates_bps=(1e6, 2.5e6, 5e6, 10e6),
+        chunk_duration_s=3.0,
+        duration_s=60.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Throughput ABR
+# ----------------------------------------------------------------------
+def test_throughput_abr_starts_at_lowest():
+    agent = ThroughputAbrAgent(make_video())
+    assert agent.estimate_bps() == 0.0
+    assert agent.choose_level(10.0) == 0
+
+
+def test_throughput_abr_tracks_observed_rate():
+    agent = ThroughputAbrAgent(make_video(), safety=1.0)
+    # 6 Mbps downloads: top rung below 6 is 5 Mbps (index 2).
+    agent.record_chunk(nbytes=750_000, download_s=1.0)
+    assert agent.estimate_bps() == pytest.approx(6e6)
+    assert agent.choose_level(10.0) == 2
+
+
+def test_throughput_abr_harmonic_mean_is_conservative():
+    agent = ThroughputAbrAgent(make_video(), safety=1.0)
+    agent.record_chunk(1_250_000, 1.0)  # 10 Mbps
+    agent.record_chunk(125_000, 1.0)  # 1 Mbps
+    harmonic = agent.estimate_bps()
+    arithmetic = (10e6 + 1e6) / 2
+    assert harmonic < arithmetic
+    assert harmonic == pytest.approx(2 / (1 / 10e6 + 1 / 1e6))
+
+
+def test_throughput_abr_safety_discount():
+    agent = ThroughputAbrAgent(make_video(), safety=0.4)
+    agent.record_chunk(750_000, 1.0)  # 6 Mbps -> budget 2.4 Mbps
+    assert agent.choose_level(10.0) == 0  # only 1 Mbps fits under 2.4? index of 1e6
+    agent2 = ThroughputAbrAgent(make_video(), safety=0.5)
+    agent2.record_chunk(750_000, 1.0)  # budget 3.0: 2.5 Mbps fits
+    assert agent2.choose_level(10.0) == 1
+
+
+def test_throughput_abr_validation():
+    agent = ThroughputAbrAgent(make_video())
+    with pytest.raises(ValueError):
+        agent.record_chunk(1000, 0.0)
+    with pytest.raises(ValueError):
+        ThroughputAbrAgent(make_video(), safety=0.0)
+    with pytest.raises(ValueError):
+        ThroughputAbrAgent(make_video(), window=0)
+
+
+def test_throughput_abr_scavenger_feedback_loop():
+    """The §4.4 caveat in miniature: feed the agent the low throughput a
+    yielding transport delivers and it locks onto the bottom rung even
+    with a full buffer — exactly why Proteus-H pairs with buffer-based
+    ABR instead."""
+    agent = ThroughputAbrAgent(make_video())
+    for _ in range(5):
+        agent.record_chunk(150_000, 1.0)  # 1.2 Mbps scavenged trickle
+    assert agent.choose_level(buffer_level_s=14.0) == 0
+
+
+# ----------------------------------------------------------------------
+# Buffer-threshold ABR
+# ----------------------------------------------------------------------
+def test_buffer_threshold_reservoir_and_cushion():
+    agent = BufferThresholdAbrAgent(make_video(), reservoir_s=3.0, cushion_s=12.0)
+    assert agent.choose_level(0.0) == 0
+    assert agent.choose_level(3.0) == 0
+    assert agent.choose_level(12.0) == 3
+    assert agent.choose_level(20.0) == 3
+
+
+def test_buffer_threshold_monotone():
+    agent = BufferThresholdAbrAgent(make_video())
+    levels = [agent.choose_level(q) for q in (0.0, 4.0, 7.0, 10.0, 13.0)]
+    assert levels == sorted(levels)
+
+
+def test_buffer_threshold_validation():
+    with pytest.raises(ValueError):
+        BufferThresholdAbrAgent(make_video(), reservoir_s=5.0, cushion_s=5.0)
+    agent = BufferThresholdAbrAgent(make_video())
+    with pytest.raises(ValueError):
+        agent.choose_level(-1.0)

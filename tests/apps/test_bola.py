@@ -1,0 +1,60 @@
+"""Unit tests for BOLA bitrate adaptation."""
+
+import pytest
+
+from repro.apps import BolaAgent, VideoDefinition
+
+
+def make_video():
+    return VideoDefinition(
+        name="test",
+        bitrates_bps=(1e6, 2.5e6, 5e6, 8e6, 16e6),
+        chunk_duration_s=3.0,
+        duration_s=180.0,
+    )
+
+
+def test_empty_buffer_picks_lowest():
+    agent = BolaAgent(make_video(), buffer_capacity_s=15.0)
+    assert agent.choose_level(0.0) == 0
+
+
+def test_full_buffer_picks_highest():
+    agent = BolaAgent(make_video(), buffer_capacity_s=15.0)
+    top = len(make_video().bitrates_bps) - 1
+    assert agent.choose_level(12.0) == top
+
+
+def test_choice_is_monotone_in_buffer_level():
+    agent = BolaAgent(make_video(), buffer_capacity_s=15.0)
+    levels = [agent.choose_level(q) for q in [0.0, 3.0, 6.0, 9.0, 12.0, 15.0]]
+    assert levels == sorted(levels)
+
+
+def test_switch_points_are_ordered():
+    agent = BolaAgent(make_video(), buffer_capacity_s=15.0)
+    switches = [agent.switch_buffer_s(m) for m in range(1, 5)]
+    assert switches == sorted(switches)
+    # All switch points live inside the buffer range.
+    assert switches[0] > 0.0
+    assert switches[-1] < 15.0
+
+
+def test_switch_point_consistency_with_choices():
+    agent = BolaAgent(make_video(), buffer_capacity_s=15.0)
+    q = agent.switch_buffer_s(2)
+    assert agent.choose_level(q - 0.2) <= 1
+    assert agent.choose_level(q + 0.2) >= 2
+
+
+def test_validation():
+    video = make_video()
+    with pytest.raises(ValueError):
+        BolaAgent(video, buffer_capacity_s=2.0)  # <= one chunk
+    with pytest.raises(ValueError):
+        BolaAgent(video, buffer_capacity_s=15.0, gp=0.5)
+    agent = BolaAgent(video, buffer_capacity_s=15.0)
+    with pytest.raises(ValueError):
+        agent.choose_level(-1.0)
+    with pytest.raises(IndexError):
+        agent.switch_buffer_s(0)

@@ -1,0 +1,83 @@
+"""Unit tests for the emulated playback buffer."""
+
+import pytest
+
+from repro.apps import PlaybackBuffer
+
+
+def test_playback_starts_after_startup_threshold():
+    buf = PlaybackBuffer(capacity_s=15.0, startup_s=3.0)
+    buf.add_chunk(0.0, 3.0)
+    assert buf.started
+    assert buf.playing
+    assert buf.startup_delay_s == 0.0
+
+
+def test_playback_does_not_start_below_threshold():
+    buf = PlaybackBuffer(capacity_s=15.0, startup_s=6.0)
+    buf.add_chunk(0.0, 3.0)
+    assert not buf.started
+    buf.add_chunk(1.0, 3.0)
+    assert buf.started
+
+
+def test_buffer_drains_in_real_time():
+    buf = PlaybackBuffer(capacity_s=15.0, startup_s=3.0)
+    buf.add_chunk(0.0, 3.0)
+    buf.update(2.0)
+    assert buf.level_s == pytest.approx(1.0)
+    assert buf.play_time_s == pytest.approx(2.0)
+
+
+def test_rebuffer_when_buffer_runs_dry():
+    buf = PlaybackBuffer(capacity_s=15.0, startup_s=3.0)
+    buf.add_chunk(0.0, 3.0)
+    buf.update(5.0)  # 3 s played, then 2 s stalled
+    assert not buf.playing
+    assert buf.rebuffer_events == 1
+    assert buf.rebuffer_time_s == pytest.approx(2.0)
+    assert buf.play_time_s == pytest.approx(3.0)
+    assert buf.rebuffer_ratio() == pytest.approx(2.0 / 5.0)
+
+
+def test_playback_resumes_after_rebuffer():
+    buf = PlaybackBuffer(capacity_s=15.0, startup_s=3.0)
+    buf.add_chunk(0.0, 3.0)
+    buf.update(5.0)
+    assert buf.is_rebuffering(5.0)
+    buf.add_chunk(6.0, 3.0)  # one chunk is enough (startup_s = 3)
+    assert buf.playing
+    buf.update(7.0)
+    assert buf.level_s == pytest.approx(2.0)
+    # Stall lasted from t=3 to t=6.
+    assert buf.rebuffer_time_s == pytest.approx(3.0)
+
+
+def test_capacity_clamps_buffer_level():
+    buf = PlaybackBuffer(capacity_s=6.0, startup_s=3.0)
+    for t in (0.0, 0.1, 0.2, 0.3):
+        buf.add_chunk(t, 3.0)
+    assert buf.level_s <= 6.0
+    assert buf.free_s(0.3) >= 0.0
+
+
+def test_no_stall_time_before_start():
+    buf = PlaybackBuffer(capacity_s=15.0, startup_s=6.0)
+    buf.add_chunk(0.0, 3.0)  # below startup threshold
+    buf.update(10.0)
+    assert buf.rebuffer_time_s == 0.0
+    assert buf.play_time_s == 0.0
+
+
+def test_time_going_backwards_raises():
+    buf = PlaybackBuffer(capacity_s=15.0)
+    buf.update(5.0)
+    with pytest.raises(ValueError):
+        buf.update(4.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        PlaybackBuffer(capacity_s=0.0)
+    with pytest.raises(ValueError):
+        PlaybackBuffer(capacity_s=10.0, startup_s=-1.0)

@@ -1,0 +1,164 @@
+"""Integration tests for streaming sessions and the web workload."""
+
+import pytest
+
+from repro.apps import VideoDefinition, make_corpus, sample_page
+from repro.apps.streaming import StreamingSession
+from repro.apps.web import run_poisson_page_loads
+from repro.harness import FlowSpec, LinkConfig, run_streaming
+from repro.protocols import make_sender
+from repro.sim import Dumbbell, Simulator, make_rng, mbps
+
+
+def small_video(max_mbps=8.0, n_chunks=12):
+    ladder = tuple(b * 1e6 for b in (1.0, 2.0, 4.0, max_mbps))
+    return VideoDefinition(
+        name="small",
+        bitrates_bps=ladder,
+        chunk_duration_s=3.0,
+        duration_s=n_chunks * 3.0,
+    )
+
+
+def build(bandwidth_mbps=50.0):
+    sim = Simulator()
+    dumbbell = Dumbbell(
+        sim,
+        bandwidth_bps=mbps(bandwidth_mbps),
+        rtt_s=0.030,
+        buffer_bytes=375e3,
+        rng=make_rng(1),
+    )
+    return sim, dumbbell
+
+
+def test_session_plays_whole_video_on_fast_link():
+    sim, dumbbell = build(bandwidth_mbps=50.0)
+    video = small_video()
+    sender = make_sender("proteus-p")
+    flow = dumbbell.add_flow(sender, chunked=True)
+    session = StreamingSession(sim, flow, video)
+    sim.run(until=60.0)
+    assert session.finished
+    assert len(session.chunks) == video.n_chunks
+    assert session.rebuffer_ratio() < 0.02
+    # Plenty of bandwidth: BOLA should mostly sit at the top rung.
+    assert session.average_bitrate_bps() > 0.6 * video.max_bitrate_bps
+
+
+def test_session_downshifts_on_slow_link():
+    sim, dumbbell = build(bandwidth_mbps=3.0)
+    video = small_video()
+    sender = make_sender("proteus-p")
+    flow = dumbbell.add_flow(sender, chunked=True)
+    session = StreamingSession(sim, flow, video)
+    sim.run(until=80.0)
+    assert session.chunks, "some chunks must complete"
+    assert session.average_bitrate_bps() < 4e6  # stays near the bottom rungs
+
+
+def test_chunk_records_are_ordered_and_complete():
+    sim, dumbbell = build()
+    video = small_video()
+    flow = dumbbell.add_flow(make_sender("proteus-p"), chunked=True)
+    session = StreamingSession(sim, flow, video)
+    sim.run(until=60.0)
+    indices = [c.index for c in session.chunks]
+    assert indices == list(range(len(indices)))
+    for c in session.chunks:
+        assert c.completed_at >= c.requested_at
+
+
+def test_forced_level_overrides_bola():
+    sim, dumbbell = build()
+    video = small_video()
+    flow = dumbbell.add_flow(make_sender("proteus-p"), chunked=True)
+    session = StreamingSession(sim, flow, video, forced_level=3)
+    sim.run(until=60.0)
+    assert all(c.level == 3 for c in session.chunks)
+
+
+def test_hybrid_transport_receives_threshold_updates():
+    sim, dumbbell = build()
+    video = small_video()
+    sender = make_sender("proteus-h")
+    flow = dumbbell.add_flow(sender, chunked=True)
+    StreamingSession(sim, flow, video)
+    sim.run(until=20.0)
+    # The side channel must have installed a finite threshold by now.
+    assert sender.utility.threshold_bps < float("inf")
+    assert sender.utility.threshold_bps <= 1.5 * video.max_bitrate_bps + 1.0
+
+
+def test_run_streaming_harness_end_to_end():
+    corpus = make_corpus(seed=3)
+    videos = corpus.pick(make_rng(5), 0, 2)
+    config = LinkConfig(bandwidth_mbps=40.0, rtt_ms=30.0, buffer_kb=500.0)
+    results = run_streaming(videos, "proteus-p", config, duration_s=40.0)
+    assert len(results) == 2
+    for r in results:
+        assert r.chunks_delivered > 5
+        assert 0.0 <= r.rebuffer_ratio <= 1.0
+        assert r.average_bitrate_mbps > 1.0
+
+
+def test_run_streaming_with_background_flow():
+    corpus = make_corpus(seed=3)
+    videos = corpus.pick(make_rng(5), 0, 1)
+    config = LinkConfig(bandwidth_mbps=30.0, rtt_ms=30.0, buffer_kb=400.0)
+    with_bg = run_streaming(
+        videos,
+        "cubic",
+        config,
+        duration_s=40.0,
+        background=[FlowSpec("proteus-s", start_time=1.0)],
+    )
+    assert with_bg[0].chunks_delivered > 5
+
+
+# ----------------------------------------------------------------------
+# Web workload
+# ----------------------------------------------------------------------
+def test_sample_page_shape():
+    rng = make_rng(2)
+    page = sample_page(rng)
+    assert 20 <= len(page.object_sizes) <= 80
+    assert all(s >= 200 for s in page.object_sizes)
+    assert page.total_bytes > 100_000
+
+
+def test_sample_page_validation():
+    with pytest.raises(ValueError):
+        sample_page(make_rng(1), n_objects_range=(0, 5))
+
+
+def test_poisson_page_loads_complete():
+    sim, dumbbell = build(bandwidth_mbps=50.0)
+    client = run_poisson_page_loads(
+        sim, dumbbell, duration_s=40.0, rate_per_s=0.2, seed=4
+    )
+    sim.run(until=60.0)
+    times = client.completed_load_times()
+    assert len(times) >= 3
+    assert all(t > 0.0 for t in times)
+    # On an idle 50 Mbps link pages of a few MB load within seconds.
+    assert sorted(times)[len(times) // 2] < 10.0
+
+
+def test_page_loads_faster_with_proteus_than_ledbat_background():
+    """Fig 11(b)'s claim: pages load faster with Proteus-S scavenging in
+    the background than with LEDBAT (§6.2.2)."""
+    def run(background: str | None) -> float:
+        sim, dumbbell = build(bandwidth_mbps=30.0)
+        if background is not None:
+            dumbbell.add_flow(make_sender(background), flow_id=999)
+        client = run_poisson_page_loads(
+            sim, dumbbell, duration_s=50.0, rate_per_s=0.2, seed=6
+        )
+        sim.run(until=70.0)
+        times = sorted(client.completed_load_times())
+        return times[len(times) // 2]
+
+    scavenger_plt = run("proteus-s")
+    ledbat_plt = run("ledbat")
+    assert scavenger_plt < ledbat_plt

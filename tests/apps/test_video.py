@@ -1,0 +1,59 @@
+"""Unit tests for the DASH video corpus."""
+
+import pytest
+
+from repro.apps import VideoDefinition, make_corpus
+from repro.sim import make_rng
+
+
+def test_video_definition_chunks_and_sizes():
+    video = VideoDefinition(
+        name="v", bitrates_bps=(1e6, 4e6), chunk_duration_s=3.0, duration_s=180.0
+    )
+    assert video.n_chunks == 60
+    assert video.chunk_bytes(0) == int(1e6 * 3 / 8)
+    assert video.chunk_bytes(1) == int(4e6 * 3 / 8)
+    assert video.max_bitrate_bps == 4e6
+
+
+def test_video_definition_validation():
+    with pytest.raises(ValueError):
+        VideoDefinition(name="v", bitrates_bps=())
+    with pytest.raises(ValueError):
+        VideoDefinition(name="v", bitrates_bps=(4e6, 1e6))  # not ascending
+    with pytest.raises(ValueError):
+        VideoDefinition(name="v", bitrates_bps=(1e6,), chunk_duration_s=0.0)
+    video = VideoDefinition(name="v", bitrates_bps=(1e6, 2e6))
+    with pytest.raises(IndexError):
+        video.chunk_bytes(5)
+
+
+def test_corpus_matches_paper_constraints():
+    corpus = make_corpus(seed=0)
+    assert len(corpus.videos_4k) == 10
+    assert len(corpus.videos_1080p) == 10
+    for v in corpus.videos_4k:
+        assert v.max_bitrate_bps > 40e6  # "highest bitrates of above 40 Mbps"
+        assert v.duration_s >= 180.0  # "at least 3 minutes long"
+        assert v.chunk_duration_s == 3.0  # "3-second chunks"
+    for v in corpus.videos_1080p:
+        assert v.max_bitrate_bps > 10e6
+        assert v.duration_s >= 180.0
+
+
+def test_corpus_is_deterministic_per_seed():
+    a = make_corpus(seed=7)
+    b = make_corpus(seed=7)
+    assert a.videos_4k[3].bitrates_bps == b.videos_4k[3].bitrates_bps
+    c = make_corpus(seed=8)
+    assert a.videos_4k[3].bitrates_bps != c.videos_4k[3].bitrates_bps
+
+
+def test_corpus_pick_selection():
+    corpus = make_corpus(seed=0)
+    rng = make_rng(1)
+    videos = corpus.pick(rng, 1, 3)
+    assert len(videos) == 4
+    assert sum(1 for v in videos if v.name.startswith("4k")) == 1
+    with pytest.raises(ValueError):
+        corpus.pick(rng, 11, 0)

@@ -1,0 +1,73 @@
+"""Unit tests for the web page-load client internals."""
+
+import pytest
+
+from repro.apps import PageLoadClient, WebPage, sample_page
+from repro.sim import Dumbbell, Simulator, make_rng, mbps
+
+
+def build(bandwidth_mbps=40.0):
+    sim = Simulator()
+    dumbbell = Dumbbell(
+        sim,
+        bandwidth_bps=mbps(bandwidth_mbps),
+        rtt_s=0.030,
+        buffer_bytes=400e3,
+        rng=make_rng(2),
+    )
+    return sim, dumbbell
+
+
+def test_page_load_completes_and_counts_all_objects():
+    sim, dumbbell = build()
+    client = PageLoadClient(sim, dumbbell, protocol="cubic", seed=1)
+    page = WebPage(object_sizes=(50_000, 30_000, 20_000, 10_000))
+    load = client.load_page(page)
+    sim.run(until=20.0)
+    assert load.completed_at is not None
+    assert load.load_time_s > 0.0
+    assert load._outstanding == 0
+    assert load._queue == []
+
+
+def test_parallelism_limited_to_connection_pool():
+    sim, dumbbell = build()
+    client = PageLoadClient(sim, dumbbell, max_parallel=2, seed=1)
+    page = WebPage(object_sizes=tuple([20_000] * 8))
+    load = client.load_page(page)
+    # Immediately after start only 2 objects are in flight.
+    assert load._outstanding == 2
+    assert len(load._queue) == 6
+    sim.run(until=30.0)
+    assert load.completed_at is not None
+
+
+def test_big_objects_fetched_first():
+    sim, dumbbell = build()
+    client = PageLoadClient(sim, dumbbell, max_parallel=1, seed=1)
+    page = WebPage(object_sizes=(1_000, 90_000, 5_000))
+    load = client.load_page(page)
+    # Remaining queue is sorted descending after the largest was taken.
+    assert load._queue == [5_000, 1_000]
+    sim.run(until=30.0)
+
+
+def test_concurrent_pages_all_complete():
+    sim, dumbbell = build()
+    client = PageLoadClient(sim, dumbbell, seed=1)
+    rng = make_rng(3)
+    for _ in range(3):
+        client.load_page(sample_page(rng, n_objects_range=(5, 10)))
+    sim.run(until=60.0)
+    assert len(client.completed_load_times()) == 3
+
+
+def test_client_validation():
+    sim, dumbbell = build()
+    with pytest.raises(ValueError):
+        PageLoadClient(sim, dumbbell, max_parallel=0)
+
+
+def test_page_total_bytes():
+    page = WebPage(object_sizes=(100, 200, 300))
+    assert page.total_bytes == 600

@@ -1,0 +1,170 @@
+"""Tests for the emergency brake, startup guard, and idle-restart paths."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    AckIntervalFilter,
+    IntervalMetrics,
+    MonitorInterval,
+    PrimaryUtility,
+    RateControlConfig,
+    RateController,
+)
+
+
+def metrics(rate=50.0, loss=0.0, n=100):
+    return IntervalMetrics(
+        duration_s=0.03,
+        rate_mbps=rate,
+        throughput_mbps=rate * (1 - loss),
+        loss_rate=loss,
+        n_samples=n,
+        avg_rtt_s=0.03,
+        rtt_gradient=0.0,
+        rtt_deviation_s=0.0,
+        regression_error=0.0,
+    )
+
+
+def feed(controller, rate_bps, utility, tag=None, overloaded=False):
+    mi = MonitorInterval(0, rate_bps, 0.0, 0.03)
+    mi.tag = tag
+    controller.on_result(mi, utility, overloaded=overloaded)
+
+
+# ----------------------------------------------------------------------
+# loss_overloaded classification
+# ----------------------------------------------------------------------
+def test_loss_overload_requires_heavy_loss():
+    u = PrimaryUtility()
+    assert not u.loss_overloaded(metrics(rate=50.0, loss=0.04))
+    # x^0.9 < 11.35 * x * L at x=50 needs L > ~5.6%.
+    assert u.loss_overloaded(metrics(rate=50.0, loss=0.15))
+
+
+def test_loss_overload_requires_samples():
+    u = PrimaryUtility()
+    assert not u.loss_overloaded(metrics(rate=50.0, loss=0.5, n=5))
+    assert u.loss_overloaded(metrics(rate=50.0, loss=0.5, n=50))
+
+
+def test_loss_overload_zero_rate_safe():
+    assert not PrimaryUtility().loss_overloaded(metrics(rate=0.0, loss=1.0))
+
+
+# ----------------------------------------------------------------------
+# Controller brake behaviour
+# ----------------------------------------------------------------------
+def test_overloaded_result_brakes_multiplicatively():
+    controller = RateController(40e6, rng=random.Random(1))
+    controller.state = "PROBING"
+    controller._enter_probing()
+    rate, tag = controller.next_rate()
+    feed(controller, rate, -100.0, tag, overloaded=True)
+    assert controller.rate_bps < 40e6 * 0.85
+    assert controller.state == "PROBING"
+
+
+def test_overload_during_starting_stops_doubling():
+    controller = RateController(1e6, rng=random.Random(2))
+    rate, tag = controller.next_rate()
+    assert controller.state == "STARTING"
+    feed(controller, rate, -100.0, tag, overloaded=True)
+    assert controller.state == "PROBING"
+    assert controller.rate_bps <= rate
+
+
+def test_stale_overload_does_not_double_brake():
+    controller = RateController(40e6, rng=random.Random(3))
+    controller.state = "PROBING"
+    controller._enter_probing()
+    # An old MI from a higher-rate episode: rate far below current base.
+    feed(controller, 10e6, -100.0, "filler", overloaded=True)
+    assert controller.rate_bps == pytest.approx(40e6)
+
+
+def test_brake_disabled_by_config():
+    config = RateControlConfig(emergency_brake=False)
+    controller = RateController(40e6, config, rng=random.Random(4))
+    controller.state = "PROBING"
+    controller._enter_probing()
+    rate, tag = controller.next_rate()
+    feed(controller, rate, -100.0, tag, overloaded=True)
+    assert controller.rate_bps == pytest.approx(40e6)
+
+
+def test_starting_holds_after_four_unanswered_mis():
+    controller = RateController(1e6, rng=random.Random(5))
+    rates = [controller.next_rate() for _ in range(8)]
+    tagged = [r for r, t in rates if t.startswith("start:")]
+    fillers = [r for r, t in rates if t == "filler"]
+    assert len(tagged) == 4  # doubling stops without results
+    assert len(fillers) == 4
+    assert max(tagged) == pytest.approx(8e6)  # 1 -> 2 -> 4 -> 8
+
+
+def test_restart_reenters_starting():
+    controller = RateController(10e6, rng=random.Random(6))
+    controller.state = "MOVING"
+    controller.restart()
+    assert controller.state == "STARTING"
+    rate, tag = controller.next_rate()
+    assert tag.startswith("start:")
+    assert rate == pytest.approx(10e6)
+
+
+def test_early_majority_decision_with_two_agreeing_pairs():
+    controller = RateController(10e6, rng=random.Random(7))
+    controller._enter_probing()
+    plan = []
+    while controller._plan:
+        plan.append(controller.next_rate())
+    # Feed only the first two pairs, both voting "up".
+    fed = 0
+    for rate, tag in plan:
+        pair = int(tag.split(":")[2])
+        if pair > 1:
+            continue
+        feed(controller, rate, rate / 1e6, tag)
+        fed += 1
+    assert fed == 4
+    assert controller.state == "MOVING"  # decided without the third pair
+
+
+# ----------------------------------------------------------------------
+# ACK filter gating
+# ----------------------------------------------------------------------
+def test_ack_filter_ignores_sub_rtt_gaps():
+    f = AckIntervalFilter()
+    t = 0.0
+    for _ in range(10):
+        assert f.accept(t, 0.030, srtt=0.030)
+        t += 0.0001
+    # A 6 ms gap: 60x ratio but well below RTT scale -> no suppression.
+    t += 0.006
+    assert f.accept(t, 0.090, srtt=0.030)
+
+
+def test_ack_filter_triggers_on_rtt_scale_gaps():
+    f = AckIntervalFilter()
+    t = 0.0
+    for _ in range(10):
+        assert f.accept(t, 0.030, srtt=0.030)
+        t += 0.0001
+    t += 0.020  # 200x ratio and ~RTT scale: MAC stall
+    assert not f.accept(t, 0.090, srtt=0.030)
+
+
+def test_ack_filter_suppression_expires():
+    f = AckIntervalFilter(max_suppression_s=0.1)
+    t = 0.0
+    for _ in range(5):
+        f.accept(t, 0.030, srtt=0.030)
+        t += 0.0001
+    t += 0.020
+    assert not f.accept(t, 0.130, srtt=0.030)
+    # RTT never recovers below the EWMA, but suppression must still end.
+    t += 0.150
+    assert f.accept(t, 0.130, srtt=0.030)

@@ -1,0 +1,129 @@
+"""Unit tests for per-interval metric computation (§4.2, §5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    compute_interval_metrics,
+    linear_regression,
+    regression_error,
+    rtt_deviation,
+    rtt_gradient,
+)
+
+
+def test_linear_regression_exact_line():
+    xs = [0.0, 1.0, 2.0, 3.0]
+    ys = [1.0, 3.0, 5.0, 7.0]
+    slope, intercept = linear_regression(xs, ys)
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(1.0)
+
+
+def test_linear_regression_degenerate_cases():
+    assert linear_regression([], []) == (0.0, 0.0)
+    assert linear_regression([1.0], [5.0]) == (0.0, 5.0)
+    # Zero x-variance.
+    slope, intercept = linear_regression([2.0, 2.0], [1.0, 3.0])
+    assert slope == 0.0
+    assert intercept == pytest.approx(2.0)
+
+
+def test_linear_regression_length_mismatch():
+    with pytest.raises(ValueError):
+        linear_regression([1.0], [1.0, 2.0])
+
+
+def test_rtt_gradient_positive_for_growing_queue():
+    sends = [i * 0.001 for i in range(50)]
+    rtts = [0.030 + 0.5 * t for t in sends]  # RTT grows at 0.5 s/s
+    assert rtt_gradient(sends, rtts) == pytest.approx(0.5)
+
+
+def test_rtt_deviation_of_constant_is_zero():
+    # Exactly zero (not float dust): the implementation clamps cancellation
+    # noise so constant-RTT intervals carry no scavenger penalty.
+    assert rtt_deviation([0.03] * 20) == 0.0
+    assert rtt_deviation([0.03]) == 0.0
+    assert rtt_deviation([]) == 0.0
+
+
+def test_rtt_deviation_matches_population_std():
+    rtts = [0.030, 0.032, 0.028, 0.034, 0.026]
+    mean = sum(rtts) / len(rtts)
+    expected = math.sqrt(sum((r - mean) ** 2 for r in rtts) / len(rtts))
+    assert rtt_deviation(rtts) == pytest.approx(expected)
+
+
+def test_regression_error_zero_for_perfect_fit():
+    sends = [i * 0.001 for i in range(20)]
+    rtts = [0.030 + 0.2 * t for t in sends]
+    assert regression_error(sends, rtts, duration_s=0.03) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_regression_error_positive_for_noisy_samples():
+    sends = [i * 0.001 for i in range(20)]
+    rtts = [0.030 + (0.002 if i % 2 else -0.002) for i in range(20)]
+    err = regression_error(sends, rtts, duration_s=0.03)
+    assert err == pytest.approx(0.002 / 0.03, rel=0.05)
+
+
+def test_compute_interval_metrics_aggregates():
+    sends = [i * 0.002 for i in range(10)]
+    rtts = [0.030] * 10
+    metrics = compute_interval_metrics(
+        duration_s=0.030,
+        rate_mbps=4.0,
+        bytes_acked=15_000,
+        n_sent=12,
+        n_lost=2,
+        send_times=sends,
+        rtts=rtts,
+    )
+    assert metrics.loss_rate == pytest.approx(2 / 12)
+    assert metrics.throughput_mbps == pytest.approx(15_000 * 8 / 0.03 / 1e6)
+    assert metrics.avg_rtt_s == pytest.approx(0.030)
+    assert metrics.rtt_gradient == pytest.approx(0.0, abs=1e-12)
+    assert metrics.rtt_deviation_s == 0.0
+    assert metrics.n_samples == 10
+
+
+def test_compute_interval_metrics_invalid_duration():
+    with pytest.raises(ValueError):
+        compute_interval_metrics(0.0, 1.0, 0, 0, 0, [], [])
+
+
+def test_replace_latency_signals_only_changes_latency():
+    metrics = compute_interval_metrics(
+        0.03, 4.0, 1000, 2, 0, [0.0, 0.01], [0.030, 0.040]
+    )
+    filtered = metrics.replace_latency_signals(0.0, 0.0)
+    assert filtered.rtt_gradient == 0.0
+    assert filtered.rtt_deviation_s == 0.0
+    assert filtered.rate_mbps == metrics.rate_mbps
+    assert filtered.loss_rate == metrics.loss_rate
+    assert filtered.avg_rtt_s == metrics.avg_rtt_s
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=2, max_size=60)
+)
+def test_property_deviation_invariant_under_shift(rtts):
+    shifted = [r + 5.0 for r in rtts]
+    assert rtt_deviation(rtts) == pytest.approx(rtt_deviation(shifted), abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    slope=st.floats(min_value=-2.0, max_value=2.0),
+    intercept=st.floats(min_value=0.0, max_value=1.0),
+    n=st.integers(min_value=3, max_value=40),
+)
+def test_property_gradient_recovers_linear_trend(slope, intercept, n):
+    sends = [i * 0.003 for i in range(n)]
+    rtts = [intercept + slope * t for t in sends]
+    assert rtt_gradient(sends, rtts) == pytest.approx(slope, abs=1e-6)

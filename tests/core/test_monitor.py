@@ -1,0 +1,64 @@
+"""Unit tests for monitor-interval bookkeeping."""
+
+import pytest
+
+from repro.core import MonitorInterval
+
+
+def make_mi(rate_bps=10e6, duration=0.03):
+    return MonitorInterval(1, rate_bps, start=0.0, duration=duration)
+
+
+def test_completion_requires_closure_and_accounting():
+    mi = make_mi()
+    mi.record_send(1500)
+    mi.record_send(1500)
+    assert not mi.is_complete()
+    mi.record_ack(0.0, 0.03, 1500)
+    mi.record_loss()
+    assert not mi.is_complete()  # still open for sending
+    mi.closed = True
+    assert mi.is_complete()
+
+
+def test_empty_closed_mi_is_complete():
+    mi = make_mi()
+    mi.closed = True
+    assert mi.is_complete()
+
+
+def test_actual_rate_and_app_limited():
+    mi = make_mi(rate_bps=10e6, duration=0.03)
+    # Planned bytes at 10 Mbps for 30 ms = 37.5 KB; send only 15 KB.
+    for _ in range(10):
+        mi.record_send(1500)
+    assert mi.actual_rate_bps() == pytest.approx(10 * 1500 * 8 / 0.03)
+    assert mi.app_limited()
+    # Fill to ~100% of plan: no longer app-limited.
+    for _ in range(15):
+        mi.record_send(1500)
+    assert not mi.app_limited()
+
+
+def test_metrics_use_planned_rate_and_are_cached():
+    mi = make_mi(rate_bps=8e6, duration=0.03)
+    for i in range(5):
+        mi.record_send(1500)
+        mi.record_ack(i * 0.005, 0.03, 1500)
+    mi.closed = True
+    metrics = mi.compute_metrics()
+    assert metrics.rate_mbps == pytest.approx(8.0)
+    assert metrics.n_samples == 5
+    assert mi.compute_metrics() is metrics  # cached
+
+
+def test_loss_rate_in_metrics():
+    mi = make_mi()
+    for i in range(8):
+        mi.record_send(1500)
+    for i in range(6):
+        mi.record_ack(i * 0.003, 0.03, 1500)
+    mi.record_loss()
+    mi.record_loss()
+    mi.closed = True
+    assert mi.compute_metrics().loss_rate == pytest.approx(2 / 8)

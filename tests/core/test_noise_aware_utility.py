@@ -1,0 +1,67 @@
+"""Tests for the §7.2 noise-aware utility extension."""
+
+import pytest
+
+from repro.core import (
+    IntervalMetrics,
+    NoiseAwareScavengerUtility,
+    ScavengerUtility,
+    make_utility,
+)
+
+
+def metrics(rate=20.0, deviation=0.002, regression_err=0.0, duration=0.03):
+    return IntervalMetrics(
+        duration_s=duration,
+        rate_mbps=rate,
+        throughput_mbps=rate,
+        loss_rate=0.0,
+        n_samples=60,
+        avg_rtt_s=0.03,
+        rtt_gradient=0.0,
+        rtt_deviation_s=deviation,
+        regression_error=regression_err,
+    )
+
+
+def test_zero_noise_equals_plain_scavenger():
+    plain = ScavengerUtility()
+    aware = NoiseAwareScavengerUtility()
+    m = metrics(regression_err=0.0)
+    assert aware(m) == pytest.approx(plain(m))
+
+
+def test_noisy_interval_discounts_deviation_penalty():
+    plain = ScavengerUtility()
+    aware = NoiseAwareScavengerUtility()
+    # Residual in seconds comparable to the deviation: confidence ~0.5.
+    m = metrics(deviation=0.002, regression_err=0.002 / 0.03)
+    assert aware(m) > plain(m)
+    # Residual dwarfing the deviation: penalty nearly vanishes.
+    very_noisy = metrics(deviation=0.002, regression_err=0.02 / 0.03)
+    primary_only = aware.primary(very_noisy)
+    full_penalty = 1500.0 * 20.0 * 0.002  # = 60 utility units undiscounted
+    assert primary_only - aware(very_noisy) < 0.02 * full_penalty
+
+
+def test_clean_strong_signal_keeps_full_penalty():
+    aware = NoiseAwareScavengerUtility()
+    m = metrics(deviation=0.010, regression_err=0.0001)
+    plain = ScavengerUtility()
+    assert aware(m) == pytest.approx(plain(m), rel=0.01)
+
+
+def test_discount_k_scales_sensitivity():
+    gentle = NoiseAwareScavengerUtility(noise_discount_k=0.5)
+    harsh = NoiseAwareScavengerUtility(noise_discount_k=4.0)
+    m = metrics(deviation=0.002, regression_err=0.002 / 0.03)
+    # Larger k treats the same residual as stronger noise evidence.
+    assert harsh(m) > gentle(m)
+
+
+def test_factory_and_validation():
+    u = make_utility("proteus-s-noise-aware")
+    assert isinstance(u, NoiseAwareScavengerUtility)
+    assert u.uses_deviation()
+    with pytest.raises(ValueError):
+        NoiseAwareScavengerUtility(noise_discount_k=0.0)

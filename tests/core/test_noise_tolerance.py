@@ -1,0 +1,175 @@
+"""Unit tests for the §5 noise-tolerance mechanisms."""
+
+import pytest
+
+from repro.core import (
+    AckIntervalFilter,
+    IntervalMetrics,
+    NoiseToleranceConfig,
+    NoiseTolerancePipeline,
+    TrendingTracker,
+)
+
+
+def metrics(gradient=0.0, deviation=0.0, regression_err=0.0, avg_rtt=0.030):
+    return IntervalMetrics(
+        duration_s=0.030,
+        rate_mbps=10.0,
+        throughput_mbps=10.0,
+        loss_rate=0.0,
+        n_samples=50,
+        avg_rtt_s=avg_rtt,
+        rtt_gradient=gradient,
+        rtt_deviation_s=deviation,
+        regression_error=regression_err,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-ACK filtering
+# ----------------------------------------------------------------------
+def test_ack_filter_accepts_regular_stream():
+    f = AckIntervalFilter()
+    assert all(f.accept(i * 0.01, 0.030) for i in range(100))
+    assert f.suppressed_count == 0
+
+
+def test_ack_filter_suppresses_after_burst_gap():
+    f = AckIntervalFilter(ratio_threshold=50.0)
+    t = 0.0
+    for _ in range(20):
+        assert f.accept(t, 0.030)
+        t += 0.001
+    # A 100x gap (MAC stall) then a burst of high-RTT samples.
+    t += 0.100
+    assert not f.accept(t, 0.130)
+    assert not f.accept(t + 0.0001, 0.128)
+    assert f.suppressed_count == 2
+    # Recovery: an RTT below the EWMA average re-enables sampling.
+    assert f.accept(t + 0.0002, 0.029)
+
+
+def test_ack_filter_ratio_threshold_validation():
+    with pytest.raises(ValueError):
+        AckIntervalFilter(ratio_threshold=1.0)
+
+
+def test_ack_filter_ewma_ignores_suppressed_samples():
+    f = AckIntervalFilter()
+    for i in range(10):
+        f.accept(i * 0.001, 0.030)
+    before = f._ewma_rtt
+    f.accept(0.009 + 0.200, 0.230)  # suppressed: giant gap
+    assert f._ewma_rtt == before
+
+
+# ----------------------------------------------------------------------
+# Trending tracker
+# ----------------------------------------------------------------------
+def test_trending_gradient_detects_slow_persistent_increase():
+    tracker = TrendingTracker(history_k=6)
+    # Stable RTTs first to settle the estimators.
+    for _ in range(30):
+        tracker.update(avg_rtt_s=0.030, rtt_deviation_s=0.0005)
+    assert tracker.gradient_is_noise()
+    # Slow persistent increase: +1 ms per MI. Detection fires at the trend
+    # onset (the EWMA band later adapts, as the kernel estimators do).
+    detections = []
+    for i in range(8):
+        tracker.update(avg_rtt_s=0.030 + 0.001 * (i + 1), rtt_deviation_s=0.0005)
+        detections.append(not tracker.gradient_is_noise())
+    assert any(detections[:4])
+
+
+def test_trending_deviation_detects_excursion():
+    tracker = TrendingTracker(history_k=6)
+    for _ in range(30):
+        tracker.update(avg_rtt_s=0.030, rtt_deviation_s=0.0005)
+    assert tracker.deviation_is_noise()
+    detections = []
+    for _ in range(4):
+        tracker.update(avg_rtt_s=0.030, rtt_deviation_s=0.008)
+        detections.append(not tracker.deviation_is_noise())
+    assert any(detections)
+
+
+def test_trending_tracker_validation():
+    with pytest.raises(ValueError):
+        TrendingTracker(history_k=1)
+
+
+# ----------------------------------------------------------------------
+# Pipeline composition
+# ----------------------------------------------------------------------
+def test_pipeline_zeroes_sub_error_gradient_in_steady_noise():
+    pipeline = NoiseTolerancePipeline()
+    # Settle the trending estimators on steady noise.
+    for _ in range(30):
+        pipeline.filter_metrics(
+            metrics(gradient=0.001, deviation=0.0005, regression_err=0.01)
+        )
+    out = pipeline.filter_metrics(
+        metrics(gradient=0.001, deviation=0.0005, regression_err=0.01)
+    )
+    assert out.rtt_gradient == 0.0
+    assert out.rtt_deviation_s == 0.0
+
+
+def test_pipeline_keeps_significant_gradient():
+    pipeline = NoiseTolerancePipeline()
+    for _ in range(30):
+        pipeline.filter_metrics(metrics(gradient=0.0, deviation=0.0))
+    out = pipeline.filter_metrics(
+        metrics(gradient=0.05, deviation=0.002, regression_err=0.001)
+    )
+    # |gradient| >= regression error: signal passes untouched.
+    assert out.rtt_gradient == 0.05
+    assert out.rtt_deviation_s == 0.002
+
+
+def test_pipeline_trending_rescues_persistent_trend():
+    """A slow trend hidden by per-MI tolerance is kept via trending."""
+    pipeline = NoiseTolerancePipeline()
+    for _ in range(30):
+        pipeline.filter_metrics(
+            metrics(gradient=0.0005, deviation=0.0002, regression_err=0.01)
+        )
+    # Persistent RTT climb, each individual MI within regression error.
+    outs = []
+    for i in range(8):
+        outs.append(
+            pipeline.filter_metrics(
+                metrics(
+                    gradient=0.002,
+                    deviation=0.0002,
+                    regression_err=0.01,
+                    avg_rtt=0.030 + 0.002 * (i + 1),
+                )
+            )
+        )
+    assert any(o.rtt_gradient != 0.0 for o in outs)
+
+
+def test_pipeline_disabled_passes_everything_through():
+    config = NoiseToleranceConfig(
+        ack_filter=False, regression_tolerance=False, trending_tolerance=False
+    )
+    pipeline = NoiseTolerancePipeline(config)
+    m = metrics(gradient=0.0001, deviation=0.00005, regression_err=1.0)
+    out = pipeline.filter_metrics(m)
+    assert out.rtt_gradient == m.rtt_gradient
+    assert out.rtt_deviation_s == m.rtt_deviation_s
+
+
+def test_pipeline_regression_only_mode():
+    config = NoiseToleranceConfig(trending_tolerance=False)
+    pipeline = NoiseTolerancePipeline(config)
+    out = pipeline.filter_metrics(
+        metrics(gradient=0.001, deviation=0.002, regression_err=0.01)
+    )
+    assert out.rtt_gradient == 0.0
+    assert out.rtt_deviation_s == 0.0
+    out = pipeline.filter_metrics(
+        metrics(gradient=0.1, deviation=0.002, regression_err=0.01)
+    )
+    assert out.rtt_gradient == 0.1

@@ -1,0 +1,168 @@
+"""Unit tests for the gradient-ascent rate controller."""
+
+import random
+
+import pytest
+
+from repro.core import MonitorInterval, RateControlConfig, RateController
+
+
+def feed(controller, rate_bps, utility, tag=None):
+    """Create a completed MI at (rate, utility) and feed it in."""
+    mi = MonitorInterval(0, rate_bps, 0.0, 0.03)
+    mi.tag = tag
+    controller.on_result(mi, utility)
+
+
+def drive_concave(controller, peak_mbps, n_steps=400):
+    """Drive the controller against u(x) = -(x - peak)^2 (concave)."""
+    for _ in range(n_steps):
+        rate, tag = controller.next_rate()
+        x = rate / 1e6
+        feed(controller, rate, -((x - peak_mbps) ** 2), tag)
+    return controller.rate_bps / 1e6
+
+
+def test_starting_doubles_until_utility_drops():
+    controller = RateController(1e6, rng=random.Random(0))
+    assert controller.state == "STARTING"
+    rates = []
+    # Utility increases with rate up to 8 Mbps, then collapses.
+    for _ in range(6):
+        rate, tag = controller.next_rate()
+        rates.append(rate)
+        utility = rate / 1e6 if rate <= 8e6 else -100.0
+        feed(controller, rate, utility, tag)
+        if controller.state != "STARTING":
+            break
+    assert rates[1] == pytest.approx(2 * rates[0])
+    assert controller.state == "PROBING"
+    # Reverted to the last good rate (one of the earlier rates).
+    assert controller.rate_bps <= 8e6 * (1 + 0.05)
+
+
+def test_probing_plan_contains_paired_rates():
+    controller = RateController(10e6, rng=random.Random(1))
+    controller._enter_probing()
+    rates = [controller.next_rate()[0] for _ in range(6)]
+    hi = 10e6 * 1.05
+    lo = 10e6 * 0.95
+    assert sorted(set(round(r) for r in rates)) == sorted(
+        {round(hi), round(lo)}
+    )
+    # 3 pairs by default (majority rule).
+    assert len(rates) == 6
+    assert controller.next_rate()[1] == "filler"
+
+
+def test_vivace_mode_uses_two_pairs():
+    config = RateControlConfig(probe_pairs=2, require_unanimous=True)
+    controller = RateController(10e6, config, rng=random.Random(1))
+    controller._enter_probing()
+    tags = []
+    while controller._plan:
+        tags.append(controller.next_rate()[1])
+    assert len(tags) == 4
+
+
+def test_majority_vote_decides_direction():
+    controller = RateController(10e6, rng=random.Random(2))
+    controller._enter_probing()
+    plan = []
+    while controller._plan:
+        plan.append(controller.next_rate())
+    # Vote: higher rate always yields higher utility (2 of 3 suffice, give 3).
+    for rate, tag in plan:
+        feed(controller, rate, rate / 1e6, tag)
+    assert controller.state == "MOVING"
+    assert controller.rate_bps > 10e6  # moving upward
+
+
+def test_inconsistent_probes_restart_probing():
+    config = RateControlConfig(probe_pairs=2, require_unanimous=True)
+    controller = RateController(10e6, config, rng=random.Random(3))
+    controller._enter_probing()
+    plan = []
+    while controller._plan:
+        plan.append(controller.next_rate())
+    # Pair 0 says up; pair 1 says down: inconsistent.
+    for rate, tag in plan:
+        up = rate > 10e6
+        pair = int(tag.split(":")[2])
+        utility = (1.0 if up else 0.0) if pair == 0 else (0.0 if up else 1.0)
+        feed(controller, rate, utility, tag)
+    assert controller.state == "PROBING"
+    assert controller.rate_bps == pytest.approx(10e6)
+
+
+def test_moving_reverts_on_utility_drop():
+    controller = RateController(10e6, rng=random.Random(4))
+    drive = drive_concave(controller, peak_mbps=20.0, n_steps=60)
+    assert drive > 10.0  # moved toward the peak
+    # Now crash the utility: controller must fall back to probing.
+    seen_states = set()
+    for _ in range(10):
+        rate, tag = controller.next_rate()
+        feed(controller, rate, -1e9, tag)
+        seen_states.add(controller.state)
+    assert "PROBING" in seen_states
+
+
+def test_converges_near_concave_peak():
+    controller = RateController(2e6, rng=random.Random(5))
+    final = drive_concave(controller, peak_mbps=30.0)
+    assert final == pytest.approx(30.0, rel=0.15)
+
+
+def test_converges_downward_too():
+    controller = RateController(80e6, rng=random.Random(6))
+    controller.state = "PROBING"
+    controller._enter_probing()
+    final = drive_concave(controller, peak_mbps=10.0)
+    assert final == pytest.approx(10.0, rel=0.2)
+
+
+def test_timeout_halves_rate():
+    controller = RateController(40e6, rng=random.Random(7))
+    controller.on_timeout()
+    assert controller.rate_bps == pytest.approx(20e6)
+    assert controller.state == "PROBING"
+
+
+def test_rate_floor_enforced():
+    config = RateControlConfig(min_rate_bps=64_000.0)
+    controller = RateController(100_000.0, config, rng=random.Random(8))
+    for _ in range(40):
+        controller.on_timeout()
+    assert controller.rate_bps == pytest.approx(64_000.0)
+
+
+def test_discarded_probe_restarts_probing():
+    controller = RateController(10e6, rng=random.Random(9))
+    controller._enter_probing()
+    rate, tag = controller.next_rate()
+    mi = MonitorInterval(1, rate, 0.0, 0.03)
+    mi.tag = tag
+    round_before = controller._probe_round
+    controller.on_result(mi, None)
+    assert controller.state == "PROBING"
+    assert controller._probe_round == round_before + 1
+
+
+def test_filler_results_carry_no_weight():
+    controller = RateController(10e6, rng=random.Random(10))
+    controller._enter_probing()
+    state = controller.state
+    rate = controller.rate_bps
+    for _ in range(20):
+        feed(controller, rate, -1e9, "filler")
+    assert controller.state == state
+    assert controller.rate_bps == rate
+
+
+def test_move_step_bounded_by_omega():
+    config = RateControlConfig(omega_base=0.05, omega_step=0.1, omega_max=0.5)
+    controller = RateController(10e6, config, rng=random.Random(11))
+    controller._enter_moving(1, gradient=1e9)  # absurd gradient
+    # First step bounded by omega_base of the rate.
+    assert controller.rate_bps <= 10e6 * 1.05 * (1 + 1e-9)

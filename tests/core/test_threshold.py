@@ -1,0 +1,60 @@
+"""Unit tests for the Proteus-H cross-layer threshold policy (§4.4)."""
+
+import pytest
+
+from repro.core import VideoThresholdPolicy
+
+
+def test_sufficient_rate_rule_caps_at_g_times_max():
+    policy = VideoThresholdPolicy(max_bitrate_bps=40e6)
+    # Plenty of free buffer: only rule 1 applies.
+    assert policy.threshold_bps(40e6, free_buffer_chunks=10.0) == pytest.approx(
+        1.5 * 40e6
+    )
+
+
+def test_buffer_limit_rule_shrinks_threshold_as_buffer_fills():
+    policy = VideoThresholdPolicy(max_bitrate_bps=40e6)
+    # current bitrate 10 Mbps keeps rule 2 the binding constraint.
+    nearly_full = policy.threshold_bps(10e6, free_buffer_chunks=0.5)
+    half = policy.threshold_bps(10e6, free_buffer_chunks=1.5)
+    assert nearly_full == pytest.approx(10e6 / 1.5)
+    assert half == pytest.approx(10e6 / 0.5)
+    assert nearly_full < half
+
+
+def test_buffer_limit_only_applies_below_two_chunks():
+    policy = VideoThresholdPolicy(max_bitrate_bps=10e6)
+    assert policy.threshold_bps(10e6, free_buffer_chunks=2.0) == pytest.approx(15e6)
+    # Just below two free chunks: rule 2 caps at 10 / (2 - 1.9) ~ 100 Mbps,
+    # still above rule 1; shrink further to bind.
+    assert policy.threshold_bps(10e6, free_buffer_chunks=0.5) < 15e6
+
+
+def test_buffer_full_threshold_halves_current_bitrate():
+    policy = VideoThresholdPolicy(max_bitrate_bps=40e6)
+    # f -> 0: threshold -> bitrate/2 (loading fast is pointless).
+    assert policy.threshold_bps(8e6, free_buffer_chunks=0.0) == pytest.approx(4e6)
+
+
+def test_emergency_rule_overrides_everything():
+    policy = VideoThresholdPolicy(max_bitrate_bps=40e6)
+    policy.on_rebuffer_start()
+    assert policy.threshold_bps(1e6, free_buffer_chunks=0.1) == float("inf")
+    policy.on_rebuffer_end()
+    assert policy.threshold_bps(1e6, free_buffer_chunks=0.1) < float("inf")
+
+
+def test_threshold_is_max_satisfying_both_rules():
+    policy = VideoThresholdPolicy(max_bitrate_bps=10e6)
+    # Rule 1 cap: 15 Mbps. Rule 2 with f=1, bitrate=20: 20 Mbps. Min wins.
+    assert policy.threshold_bps(20e6, free_buffer_chunks=1.0) == pytest.approx(15e6)
+    # Rule 2 tighter: f=0.5, bitrate=6: 4 Mbps.
+    assert policy.threshold_bps(6e6, free_buffer_chunks=0.5) == pytest.approx(4e6)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        VideoThresholdPolicy(max_bitrate_bps=0.0)
+    with pytest.raises(ValueError):
+        VideoThresholdPolicy(max_bitrate_bps=1e6, g=0.0)

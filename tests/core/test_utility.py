@@ -1,0 +1,153 @@
+"""Unit tests for the Proteus utility library (§4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AllegroUtility,
+    HybridUtility,
+    IntervalMetrics,
+    PrimaryUtility,
+    ScavengerUtility,
+    VivaceUtility,
+    make_utility,
+)
+
+
+def metrics(
+    rate_mbps=10.0, loss=0.0, gradient=0.0, deviation=0.0, avg_rtt=0.030
+) -> IntervalMetrics:
+    return IntervalMetrics(
+        duration_s=0.030,
+        rate_mbps=rate_mbps,
+        throughput_mbps=rate_mbps * (1 - loss),
+        loss_rate=loss,
+        n_samples=50,
+        avg_rtt_s=avg_rtt,
+        rtt_gradient=gradient,
+        rtt_deviation_s=deviation,
+        regression_error=0.0,
+    )
+
+
+def test_primary_clean_interval_rewards_rate():
+    u = PrimaryUtility()
+    assert u(metrics(rate_mbps=10.0)) == pytest.approx(10.0 ** 0.9)
+    assert u(metrics(rate_mbps=20.0)) > u(metrics(rate_mbps=10.0))
+
+
+def test_primary_penalizes_positive_gradient_only():
+    u = PrimaryUtility()
+    clean = u(metrics())
+    inflating = u(metrics(gradient=0.01))
+    deflating = u(metrics(gradient=-0.01))
+    assert inflating < clean
+    assert deflating == pytest.approx(clean)  # Eq. 1: negative grad ignored
+
+
+def test_vivace_rewards_negative_gradient():
+    u = VivaceUtility()
+    clean = u(metrics())
+    deflating = u(metrics(gradient=-0.01))
+    assert deflating > clean  # original Vivace semantics
+
+
+def test_primary_loss_penalty_matches_coefficients():
+    u = PrimaryUtility()
+    x = 10.0
+    expected = x ** 0.9 - 11.35 * x * 0.02
+    assert u(metrics(rate_mbps=x, loss=0.02)) == pytest.approx(expected)
+
+
+def test_loss_coefficient_tolerates_5_percent():
+    """c = 11.35 keeps marginal utility positive below ~5% random loss."""
+    u = PrimaryUtility()
+    lo, hi = 10.0, 10.5
+    for loss, expect_growth in ((0.04, True), (0.10, False)):
+        grows = u(metrics(rate_mbps=hi, loss=loss)) > u(metrics(rate_mbps=lo, loss=loss))
+        assert grows is expect_growth
+
+
+def test_scavenger_deviation_penalty():
+    u = ScavengerUtility()
+    x = 10.0
+    sigma = 0.002
+    expected = x ** 0.9 - 1500.0 * x * sigma
+    assert u(metrics(rate_mbps=x, deviation=sigma)) == pytest.approx(expected)
+
+
+def test_scavenger_equals_primary_without_deviation():
+    p, s = PrimaryUtility(), ScavengerUtility()
+    m = metrics(rate_mbps=7.0, loss=0.01, gradient=0.005)
+    assert s(m) == pytest.approx(p(m))
+
+
+def test_hybrid_switches_at_threshold():
+    u = HybridUtility(threshold_bps=8e6)
+    below = metrics(rate_mbps=7.0, deviation=0.002)
+    above = metrics(rate_mbps=9.0, deviation=0.002)
+    assert u(below) == pytest.approx(PrimaryUtility()(below))
+    assert u(above) == pytest.approx(ScavengerUtility()(above))
+
+
+def test_hybrid_threshold_updates_live():
+    u = HybridUtility(threshold_bps=float("inf"))
+    m = metrics(rate_mbps=9.0, deviation=0.002)
+    assert u(m) == pytest.approx(PrimaryUtility()(m))
+    u.set_threshold(5e6)
+    assert u(m) == pytest.approx(ScavengerUtility()(m))
+    with pytest.raises(ValueError):
+        u.set_threshold(-1.0)
+
+
+def test_utility_parameter_validation():
+    with pytest.raises(ValueError):
+        VivaceUtility(t=1.5)
+    with pytest.raises(ValueError):
+        VivaceUtility(b=-1.0)
+    with pytest.raises(ValueError):
+        ScavengerUtility(d=0.0)
+
+
+def test_make_utility_factory():
+    assert isinstance(make_utility("proteus-p"), PrimaryUtility)
+    assert isinstance(make_utility("proteus-s"), ScavengerUtility)
+    assert isinstance(make_utility("proteus-h"), HybridUtility)
+    assert isinstance(make_utility("vivace"), VivaceUtility)
+    assert isinstance(make_utility("allegro"), AllegroUtility)
+    with pytest.raises(ValueError, match="unknown utility"):
+        make_utility("bogus")
+
+
+def test_uses_deviation_flags():
+    assert not make_utility("proteus-p").uses_deviation()
+    assert make_utility("proteus-s").uses_deviation()
+    assert make_utility("proteus-h").uses_deviation()
+
+
+def test_allegro_sigmoid_collapses_on_heavy_loss():
+    u = AllegroUtility()
+    assert u(metrics(rate_mbps=10.0, loss=0.0)) > 0
+    assert u(metrics(rate_mbps=10.0, loss=0.2)) < 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    x=st.floats(min_value=0.1, max_value=500.0),
+    sigma=st.floats(min_value=0.0, max_value=0.1),
+    grad=st.floats(min_value=0.0, max_value=1.0),
+    loss=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_property_scavenger_never_exceeds_primary(x, sigma, grad, loss):
+    """u_S <= u_P pointwise: the deviation term is a pure penalty."""
+    m = metrics(rate_mbps=x, loss=loss, gradient=grad, deviation=sigma)
+    assert ScavengerUtility()(m) <= PrimaryUtility()(m) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(x=st.floats(min_value=0.1, max_value=500.0))
+def test_property_clean_utility_monotone_in_rate(x):
+    """With no penalties, more rate is always better (concave but rising)."""
+    u = PrimaryUtility()
+    assert u(metrics(rate_mbps=x * 1.1)) > u(metrics(rate_mbps=x))

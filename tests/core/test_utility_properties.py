@@ -1,0 +1,107 @@
+"""Property-based tests for the utility library's theoretical premises.
+
+Appendix A's equilibrium proofs rest on structural properties of the
+utility functions (concavity in own rate, penalties linear in rate).
+These tests check the implemented functions satisfy them numerically,
+so a future edit cannot silently break the theory the paper depends on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HybridUtility,
+    IntervalMetrics,
+    PrimaryUtility,
+    ScavengerUtility,
+    VivaceUtility,
+)
+
+
+def metrics(rate, loss=0.0, gradient=0.0, deviation=0.0):
+    return IntervalMetrics(
+        duration_s=0.03,
+        rate_mbps=rate,
+        throughput_mbps=rate * (1 - loss),
+        loss_rate=loss,
+        n_samples=100,
+        avg_rtt_s=0.03,
+        rtt_gradient=gradient,
+        rtt_deviation_s=deviation,
+        regression_error=0.0,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    x=st.floats(min_value=1.0, max_value=400.0),
+    loss=st.floats(min_value=0.0, max_value=0.3),
+    gradient=st.floats(min_value=0.0, max_value=0.5),
+    deviation=st.floats(min_value=0.0, max_value=0.05),
+)
+def test_property_concavity_in_own_rate(x, loss, gradient, deviation):
+    """u(x) is concave: the chord never exceeds the midpoint value.
+
+    (With fixed penalty signals, as in the Appendix A model where each
+    sender treats the others' contribution as given.)
+    """
+    for utility in (PrimaryUtility(), ScavengerUtility(), VivaceUtility()):
+        lo, hi = 0.8 * x, 1.2 * x
+        mid = 0.5 * (lo + hi)
+        u_lo = utility(metrics(lo, loss, gradient, deviation))
+        u_hi = utility(metrics(hi, loss, gradient, deviation))
+        u_mid = utility(metrics(mid, loss, gradient, deviation))
+        assert u_mid >= 0.5 * (u_lo + u_hi) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    x=st.floats(min_value=0.5, max_value=400.0),
+    penalty=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_property_penalties_linear_in_rate(x, penalty):
+    """The loss/gradient/deviation penalties scale linearly with x."""
+    u = PrimaryUtility()
+    base_lo = u(metrics(x)) - u(metrics(x, loss=penalty))
+    base_hi = u(metrics(2 * x)) - u(metrics(2 * x, loss=penalty))
+    assert base_hi == pytest.approx(2 * base_lo, rel=1e-6)
+    s = ScavengerUtility()
+    dev_lo = s(metrics(x)) - s(metrics(x, deviation=0.01))
+    dev_hi = s(metrics(2 * x)) - s(metrics(2 * x, deviation=0.01))
+    assert dev_hi == pytest.approx(2 * dev_lo, rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x=st.floats(min_value=0.5, max_value=200.0),
+    threshold=st.floats(min_value=1.0, max_value=150.0),
+    deviation=st.floats(min_value=0.0, max_value=0.02),
+)
+def test_property_hybrid_is_exactly_one_of_its_pieces(x, threshold, deviation):
+    h = HybridUtility(threshold_bps=threshold * 1e6)
+    m = metrics(x, deviation=deviation)
+    value = h(m)
+    p = h.primary(m)
+    s = h.scavenger(m)
+    assert value == pytest.approx(p) or value == pytest.approx(s)
+    if x < threshold:
+        assert value == pytest.approx(p)
+    else:
+        assert value == pytest.approx(s)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x=st.floats(min_value=1.0, max_value=300.0),
+    grad=st.floats(min_value=-0.5, max_value=0.5),
+)
+def test_property_p_and_vivace_agree_on_nonnegative_gradient(x, grad):
+    """Eq. 1's only change is ignoring negative gradients."""
+    p = PrimaryUtility()
+    v = VivaceUtility()
+    m = metrics(x, gradient=grad)
+    if grad >= 0:
+        assert p(m) == pytest.approx(v(m))
+    else:
+        assert p(m) <= v(m)

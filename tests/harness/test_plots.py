@@ -1,0 +1,73 @@
+"""Tests for the ASCII plot helpers."""
+
+import pytest
+
+from repro.harness import cdf_plot, sparkline, timeseries_plot
+
+
+def test_sparkline_monotone_ramp():
+    line = sparkline([0.0, 1.0, 2.0, 3.0, 4.0])
+    assert len(line) == 5
+    assert line[0] == " "
+    assert line[-1] == "@"
+    # Characters rise monotonically with the data.
+    order = {c: i for i, c in enumerate(" .:-=+*#%@")}
+    assert [order[c] for c in line] == sorted(order[c] for c in line)
+
+
+def test_sparkline_constant_series():
+    assert sparkline([5.0, 5.0, 5.0]) == "   "
+
+
+def test_sparkline_explicit_bounds_clamp():
+    line = sparkline([-10.0, 50.0], lo=0.0, hi=10.0)
+    assert line[0] == " "
+    assert line[1] == "@"
+
+
+def test_sparkline_empty_raises():
+    with pytest.raises(ValueError):
+        sparkline([])
+
+
+def test_timeseries_plot_rows_and_scale():
+    series = {
+        "flow-a": [(float(t), float(t)) for t in range(10)],
+        "flow-b": [(float(t), 9.0 - t) for t in range(10)],
+    }
+    text = timeseries_plot(series, width=10)
+    lines = text.splitlines()
+    assert len(lines) == 3  # scale header + 2 rows
+    assert "scale: 0.0 .. 9.0" in lines[0]
+    assert lines[1].startswith("flow-a")
+    assert lines[2].startswith("flow-b")
+
+
+def test_timeseries_plot_resamples_long_series():
+    series = {"x": [(float(t), float(t % 7)) for t in range(500)]}
+    text = timeseries_plot(series, width=40)
+    row = text.splitlines()[1]
+    assert len(row) == 12 + 2 + 40  # label + separator + sparkline columns
+
+
+def test_timeseries_plot_validation():
+    with pytest.raises(ValueError):
+        timeseries_plot({})
+    with pytest.raises(ValueError):
+        timeseries_plot({"x": [(0.0, 1.0)]}, width=1)
+    with pytest.raises(ValueError):
+        timeseries_plot({"x": []})
+
+
+def test_cdf_plot_marks_quantiles():
+    text = cdf_plot(list(range(100)), width=20, rows=4)
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("p100")
+    assert lines[-1].startswith("p 25")
+    assert all("|" in line for line in lines)
+
+
+def test_cdf_plot_empty_raises():
+    with pytest.raises(ValueError):
+        cdf_plot([])

@@ -1,0 +1,80 @@
+"""Integration tests for the experiment runner and reporting."""
+
+import pytest
+
+from repro.harness import (
+    EMULAB_DEFAULT,
+    FlowSpec,
+    LinkConfig,
+    format_cdf,
+    format_table,
+    run_flows,
+    run_homogeneous,
+    run_pair,
+    run_single,
+)
+
+
+def test_run_single_produces_measurements():
+    result = run_single("cubic", EMULAB_DEFAULT, duration_s=10.0)
+    assert result.throughput_mbps(0) > 30.0
+    assert 0.0 < result.utilization() <= 1.05
+    t0, t1 = result.measurement_window()
+    assert 0.0 < t0 < t1 == 10.0
+
+
+def test_run_single_deterministic_per_seed():
+    a = run_single("cubic", EMULAB_DEFAULT, duration_s=8.0, seed=5)
+    b = run_single("cubic", EMULAB_DEFAULT, duration_s=8.0, seed=5)
+    assert a.throughput_mbps(0) == b.throughput_mbps(0)
+    assert a.stats[0].rtts == b.stats[0].rtts
+    # On a stochastic link (random loss) the seed changes the outcome.
+    lossy = EMULAB_DEFAULT.with_loss(0.01)
+    c = run_single("cubic", lossy, duration_s=8.0, seed=5)
+    d = run_single("cubic", lossy, duration_s=8.0, seed=6)
+    assert c.stats[0].rtts != d.stats[0].rtts
+
+
+def test_run_flows_rejects_empty():
+    with pytest.raises(ValueError):
+        run_flows([], EMULAB_DEFAULT, duration_s=1.0)
+
+
+def test_run_pair_metrics_are_consistent():
+    pair = run_pair("cubic", "proteus-s", EMULAB_DEFAULT, duration_s=15.0)
+    assert 0.0 <= pair.primary_throughput_ratio <= 1.3
+    assert pair.primary_with_scavenger_mbps <= pair.primary_solo_mbps * 1.3
+    assert pair.scavenger_mbps >= 0.0
+    assert pair.utilization <= 1.05
+    assert pair.primary_rtt_ratio_95th > 0.5
+
+
+def test_run_homogeneous_staggers_starts():
+    config = LinkConfig(bandwidth_mbps=40.0, rtt_ms=30.0, buffer_kb=600.0)
+    result = run_homogeneous("cubic", 2, config, stagger_s=4.0, measure_s=10.0)
+    assert result.specs[0].start_time == 0.0
+    assert result.specs[1].start_time == 4.0
+    assert result.duration_s == 14.0
+    assert len(result.stats) == 2
+
+
+def test_run_homogeneous_validation():
+    with pytest.raises(ValueError):
+        run_homogeneous("cubic", 0, EMULAB_DEFAULT)
+
+
+def test_format_table_alignment_and_errors():
+    text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "333" in text
+    with pytest.raises(ValueError):
+        format_table(["a"], [["1", "2"]])
+
+
+def test_format_cdf_quantiles():
+    points = [(float(i), (i + 1) / 10) for i in range(10)]
+    text = format_cdf("x", points)
+    assert "p50=" in text
+    with pytest.raises(ValueError):
+        format_cdf("x", [])

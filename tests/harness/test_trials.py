@@ -1,0 +1,64 @@
+"""Tests for the multi-trial statistics runner."""
+
+import pytest
+
+from repro.harness import run_trials, run_trials_multi, summarize
+
+
+def test_summarize_basic_statistics():
+    s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert s.n == 5
+    assert s.mean == pytest.approx(3.0)
+    assert s.median == pytest.approx(3.0)
+    assert s.minimum == 1.0
+    assert s.maximum == 5.0
+    assert s.ci_low <= s.mean <= s.ci_high
+
+
+def test_summarize_even_count_median():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.median == pytest.approx(2.5)
+
+
+def test_summarize_single_value_degenerate_ci():
+    s = summarize([7.0])
+    assert s.ci_low == s.ci_high == 7.0
+    assert s.std == 0.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_bootstrap_ci_narrows_with_consistency():
+    tight = summarize([10.0, 10.1, 9.9, 10.0, 10.05] * 4)
+    wide = summarize([5.0, 15.0, 2.0, 18.0, 10.0] * 4)
+    assert (tight.ci_high - tight.ci_low) < (wide.ci_high - wide.ci_low)
+
+
+def test_run_trials_feeds_distinct_seeds():
+    seen = []
+
+    def experiment(seed: int) -> float:
+        seen.append(seed)
+        return float(seed)
+
+    s = run_trials(experiment, n_trials=5, base_seed=10)
+    assert seen == [10, 11, 12, 13, 14]
+    assert s.mean == pytest.approx(12.0)
+
+
+def test_run_trials_validation():
+    with pytest.raises(ValueError):
+        run_trials(lambda s: 0.0, n_trials=0)
+
+
+def test_run_trials_multi_collects_all_metrics():
+    def experiment(seed: int) -> dict:
+        return {"a": float(seed), "b": float(seed * 2)}
+
+    out = run_trials_multi(experiment, n_trials=3, base_seed=1)
+    assert set(out) == {"a", "b"}
+    assert out["a"].mean == pytest.approx(2.0)
+    assert out["b"].mean == pytest.approx(4.0)

@@ -1,0 +1,76 @@
+"""Behavioural tests for COPA."""
+
+import pytest
+
+from repro.protocols import CopaSender
+from repro.sim import Dumbbell, Simulator, make_rng, mbps
+
+
+def build(bandwidth_mbps=50.0, rtt_ms=30.0, buffer_kb=375.0, loss=0.0, seed=1):
+    sim = Simulator()
+    dumbbell = Dumbbell(
+        sim,
+        bandwidth_bps=mbps(bandwidth_mbps),
+        rtt_s=rtt_ms / 1e3,
+        buffer_bytes=buffer_kb * 1e3,
+        loss_rate=loss,
+        rng=make_rng(seed),
+    )
+    return sim, dumbbell
+
+
+def test_copa_saturates_a_clean_link():
+    sim, dumbbell = build()
+    flow = dumbbell.add_flow(CopaSender())
+    sim.run(until=20.0)
+    assert flow.stats.throughput_bps(10.0, 20.0) / 1e6 > 45.0
+
+
+def test_copa_keeps_low_standing_queue():
+    """COPA targets 1/(delta*d_q): the queue stays a small RTT fraction."""
+    sim, dumbbell = build(buffer_kb=600.0)
+    flow = dumbbell.add_flow(CopaSender())
+    sim.run(until=20.0)
+    p95 = flow.stats.rtt_percentile(95, 10.0, 20.0)
+    # Base 30 ms; 600 KB at 50 Mbps would be +96 ms if filled. COPA stays low.
+    assert p95 < 0.060
+
+
+def test_copa_tolerates_random_loss():
+    """Fig 4: default-mode COPA does not react to loss."""
+    sim, dumbbell = build(loss=0.03)
+    flow = dumbbell.add_flow(CopaSender())
+    sim.run(until=20.0)
+    assert flow.stats.throughput_bps(10.0, 20.0) / 1e6 > 40.0
+
+
+def test_copa_fair_with_itself():
+    sim, dumbbell = build(bandwidth_mbps=40.0)
+    a = dumbbell.add_flow(CopaSender())
+    b = dumbbell.add_flow(CopaSender(), start_time=5.0)
+    sim.run(until=40.0)
+    thr_a = a.stats.throughput_bps(20.0, 40.0) / 1e6
+    thr_b = b.stats.throughput_bps(20.0, 40.0) / 1e6
+    assert thr_a + thr_b > 35.0
+    assert min(thr_a, thr_b) / max(thr_a, thr_b) > 0.6
+
+
+def test_copa_velocity_resets_on_direction_change():
+    sim, dumbbell = build()
+    sender = CopaSender()
+    dumbbell.add_flow(sender)
+    sim.run(until=20.0)
+    # At steady state velocity cannot be unbounded.
+    assert sender.velocity <= sender.cwnd
+    assert sender.cwnd >= CopaSender.min_cwnd
+
+
+def test_copa_timeout_halves_window():
+    sim, dumbbell = build()
+    sender = CopaSender()
+    dumbbell.add_flow(sender)
+    sim.run(until=10.0)
+    before = sender.cwnd
+    sender.on_timeout()
+    assert sender.cwnd == pytest.approx(max(2.0, before / 2.0))
+    assert sender.velocity == 1.0

@@ -1,0 +1,105 @@
+"""Behavioural tests for TCP CUBIC (and Reno)."""
+
+import pytest
+
+from repro.protocols import CubicSender, RenoSender
+from repro.sim import Dumbbell, Simulator, make_rng, mbps
+
+
+def build(bandwidth_mbps=20.0, rtt_ms=30.0, buffer_kb=150.0, loss=0.0, seed=1):
+    sim = Simulator()
+    dumbbell = Dumbbell(
+        sim,
+        bandwidth_bps=mbps(bandwidth_mbps),
+        rtt_s=rtt_ms / 1e3,
+        buffer_bytes=buffer_kb * 1e3,
+        loss_rate=loss,
+        rng=make_rng(seed),
+    )
+    return sim, dumbbell
+
+
+def test_cubic_saturates_a_clean_link():
+    sim, dumbbell = build()
+    flow = dumbbell.add_flow(CubicSender())
+    sim.run(until=20.0)
+    assert flow.stats.throughput_bps(10.0, 20.0) / 1e6 > 18.0
+
+
+def test_cubic_slow_start_doubles_window():
+    sim, dumbbell = build(bandwidth_mbps=1000.0, buffer_kb=10_000.0)
+    sender = CubicSender()
+    dumbbell.add_flow(sender)
+    sim.run(until=0.031)  # just after one RTT
+    # Initial 10, one ACK per packet => cwnd ~20 after one round.
+    assert 18.0 <= sender.cwnd <= 25.0
+
+
+def test_cubic_multiplicative_decrease_on_loss():
+    sim, dumbbell = build()
+    sender = CubicSender()
+    dumbbell.add_flow(sender)
+    sim.run(until=20.0)
+    sender_cwnd = sender.cwnd
+    sender.on_loss(seq=10**9, sent_time=sim.now)
+    assert sender.cwnd == pytest.approx(sender_cwnd * CubicSender.beta)
+    assert sender.ssthresh == sender.cwnd
+
+
+def test_cubic_single_reduction_per_episode():
+    sim, dumbbell = build()
+    sender = CubicSender()
+    dumbbell.add_flow(sender)
+    sim.run(until=10.0)
+    before = sender.cwnd
+    now = sim.now
+    sender.on_loss(seq=1, sent_time=now)
+    after_first = sender.cwnd
+    # Another loss from a packet sent before the reduction: same episode.
+    sender.on_loss(seq=2, sent_time=now - 0.001)
+    assert sender.cwnd == after_first
+    assert after_first < before
+
+
+def test_cubic_fills_deep_buffers():
+    """CUBIC is loss-based: it inflates the standing queue (Fig 3b)."""
+    sim, dumbbell = build(buffer_kb=375.0)
+    flow = dumbbell.add_flow(CubicSender())
+    sim.run(until=30.0)
+    p95 = flow.stats.rtt_percentile(95, 15.0, 30.0)
+    # Base RTT 30 ms; 375 KB @ 20 Mbps = 150 ms of queue. CUBIC should
+    # push p95 well above base.
+    assert p95 > 0.100
+
+
+def test_cubic_recovers_after_timeout():
+    sim, dumbbell = build()
+    sender = CubicSender()
+    flow = dumbbell.add_flow(sender)
+    sim.run(until=5.0)
+    sender.on_timeout()
+    assert sender.cwnd == CubicSender.min_cwnd
+    sim.run(until=20.0)
+    assert flow.stats.throughput_bps(15.0, 20.0) / 1e6 > 15.0
+
+
+def test_cubic_beats_reno_on_high_bdp():
+    results = {}
+    for cls in (CubicSender, RenoSender):
+        sim, dumbbell = build(
+            bandwidth_mbps=200.0, rtt_ms=100.0, buffer_kb=500.0, loss=1e-5, seed=4
+        )
+        flow = dumbbell.add_flow(cls())
+        sim.run(until=30.0)
+        results[cls.__name__] = flow.stats.throughput_bps(10.0, 30.0)
+    assert results["CubicSender"] >= results["RenoSender"]
+
+
+def test_reno_halves_on_loss():
+    sim, dumbbell = build()
+    sender = RenoSender()
+    dumbbell.add_flow(sender)
+    sim.run(until=10.0)
+    before = sender.cwnd
+    sender.on_loss(seq=10**9, sent_time=sim.now)
+    assert sender.cwnd == pytest.approx(max(2.0, before / 2.0))

@@ -1,0 +1,99 @@
+"""Behavioural tests for LEDBAT: target delay, yielding, latecomer effect."""
+
+import pytest
+
+from repro.protocols import CubicSender, Ledbat25Sender, LedbatSender
+from repro.sim import Dumbbell, Simulator, make_rng, mbps
+
+
+def build(bandwidth_mbps=20.0, rtt_ms=30.0, buffer_kb=1000.0, loss=0.0, seed=1):
+    sim = Simulator()
+    dumbbell = Dumbbell(
+        sim,
+        bandwidth_bps=mbps(bandwidth_mbps),
+        rtt_s=rtt_ms / 1e3,
+        buffer_bytes=buffer_kb * 1e3,
+        loss_rate=loss,
+        rng=make_rng(seed),
+    )
+    return sim, dumbbell
+
+
+def test_ledbat_converges_to_target_delay():
+    sim, dumbbell = build()
+    sender = LedbatSender()
+    flow = dumbbell.add_flow(sender)
+    sim.run(until=40.0)
+    # Standing queue should sit near the 100 ms target (one-way).
+    queuing = dumbbell.bottleneck.queueing_delay()
+    assert queuing == pytest.approx(0.100, abs=0.03)
+    assert flow.stats.throughput_bps(20.0, 40.0) / 1e6 > 18.0
+
+
+def test_ledbat25_converges_to_smaller_target():
+    sim, dumbbell = build()
+    dumbbell.add_flow(Ledbat25Sender())
+    sim.run(until=40.0)
+    queuing = dumbbell.bottleneck.queueing_delay()
+    assert queuing == pytest.approx(0.025, abs=0.012)
+
+
+def test_ledbat_yields_to_cubic_with_deep_buffer():
+    """With buffer >> target, LEDBAT backs off while CUBIC fills the queue."""
+    sim, dumbbell = build(buffer_kb=2000.0)  # 800 ms of queue at 20 Mbps
+    ledbat_flow = dumbbell.add_flow(LedbatSender())
+    cubic_flow = dumbbell.add_flow(CubicSender(), start_time=5.0)
+    sim.run(until=60.0)
+    cubic_share = cubic_flow.stats.throughput_bps(30.0, 60.0)
+    ledbat_share = ledbat_flow.stats.throughput_bps(30.0, 60.0)
+    assert cubic_share > 4.0 * ledbat_share
+
+
+def test_ledbat_fails_to_yield_with_shallow_buffer():
+    """Paper §6.2: when the buffer can't fit the target, LEDBAT competes."""
+    sim, dumbbell = build(buffer_kb=75.0)  # 30 ms of queue < 100 ms target
+    ledbat_flow = dumbbell.add_flow(LedbatSender())
+    cubic_flow = dumbbell.add_flow(CubicSender(), start_time=5.0)
+    sim.run(until=60.0)
+    cubic_share = cubic_flow.stats.throughput_bps(30.0, 60.0)
+    ledbat_share = ledbat_flow.stats.throughput_bps(30.0, 60.0)
+    # LEDBAT holds a substantial (rough fair) share instead of yielding.
+    assert ledbat_share > 0.5 * cubic_share
+
+
+def test_ledbat_fragile_under_random_loss():
+    """Fig 4: LEDBAT inherits TCP's loss halving."""
+    clean_sim, clean_dumbbell = build(buffer_kb=375.0)
+    clean = clean_dumbbell.add_flow(LedbatSender())
+    clean_sim.run(until=30.0)
+    lossy_sim, lossy_dumbbell = build(buffer_kb=375.0, loss=0.01)
+    lossy = lossy_dumbbell.add_flow(LedbatSender())
+    lossy_sim.run(until=30.0)
+    clean_thr = clean.stats.throughput_bps(15.0, 30.0)
+    lossy_thr = lossy.stats.throughput_bps(15.0, 30.0)
+    assert lossy_thr < 0.5 * clean_thr
+
+
+def test_ledbat_latecomer_advantage():
+    """Fig 18: a later LEDBAT-25 flow dominates an earlier one."""
+    sim, dumbbell = build(bandwidth_mbps=80.0, buffer_kb=1200.0)
+    first = dumbbell.add_flow(Ledbat25Sender())
+    second = dumbbell.add_flow(Ledbat25Sender(), start_time=20.0)
+    sim.run(until=90.0)
+    first_thr = first.stats.throughput_bps(60.0, 90.0)
+    second_thr = second.stats.throughput_bps(60.0, 90.0)
+    assert second_thr > 1.5 * first_thr
+
+
+def test_base_delay_tracks_minimum():
+    sim, dumbbell = build()
+    sender = LedbatSender()
+    dumbbell.add_flow(sender)
+    sim.run(until=10.0)
+    # One-way base is rtt/2 = 15 ms plus serialization.
+    assert sender.base_delay() == pytest.approx(0.015, abs=0.005)
+
+
+def test_invalid_target_rejected():
+    with pytest.raises(ValueError):
+        LedbatSender(target_s=0.0)

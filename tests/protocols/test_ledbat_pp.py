@@ -1,0 +1,76 @@
+"""Tests for LEDBAT++ (periodic slowdowns, 60 ms target)."""
+
+import pytest
+
+from repro.protocols import CubicSender, LedbatPPSender, LedbatSender, make_sender
+from repro.sim import Dumbbell, Simulator, make_rng, mbps
+
+
+def build(bandwidth_mbps=20.0, rtt_ms=30.0, buffer_kb=1000.0, seed=1):
+    sim = Simulator()
+    dumbbell = Dumbbell(
+        sim,
+        bandwidth_bps=mbps(bandwidth_mbps),
+        rtt_s=rtt_ms / 1e3,
+        buffer_bytes=buffer_kb * 1e3,
+        rng=make_rng(seed),
+    )
+    return sim, dumbbell
+
+
+def test_factory_name():
+    assert isinstance(make_sender("ledbat++"), LedbatPPSender)
+    assert isinstance(make_sender("ledbat-pp"), LedbatPPSender)
+
+
+def test_converges_near_60ms_target():
+    sim, dumbbell = build()
+    flow = dumbbell.add_flow(LedbatPPSender())
+    sim.run(until=30.0)
+    queuing = dumbbell.bottleneck.queueing_delay()
+    # Near the 60 ms target outside slowdown windows.
+    assert queuing < 0.09
+    assert flow.stats.throughput_bps(10.0, 30.0) / 1e6 > 12.0
+
+
+def test_periodic_slowdowns_occur():
+    sim, dumbbell = build()
+    sender = LedbatPPSender()
+    dumbbell.add_flow(sender)
+    sim.run(until=60.0)
+    assert sender.slowdowns >= 1
+
+
+def test_slowdown_refreshes_base_delay():
+    """The designed fix for the latecomer problem: a second LEDBAT++
+    flow eventually observes the true base delay during slowdowns and
+    the pair ends up far fairer than plain LEDBAT-25."""
+    def final_split(proto):
+        sim, dumbbell = build(bandwidth_mbps=40.0, buffer_kb=800.0)
+        first = dumbbell.add_flow(make_sender(proto))
+        second = dumbbell.add_flow(make_sender(proto), start_time=15.0)
+        sim.run(until=90.0)
+        return (
+            first.stats.throughput_bps(60.0, 90.0) / 1e6,
+            second.stats.throughput_bps(60.0, 90.0) / 1e6,
+        )
+
+    pp_first, pp_second = final_split("ledbat++")
+    l25_first, l25_second = final_split("ledbat-25")
+    pp_ratio = min(pp_first, pp_second) / max(pp_first, pp_second)
+    l25_ratio = min(l25_first, l25_second) / max(l25_first, l25_second)
+    assert pp_ratio > l25_ratio
+
+
+def test_still_yields_to_cubic_with_deep_buffer():
+    sim, dumbbell = build(buffer_kb=2000.0)
+    scavenger = dumbbell.add_flow(LedbatPPSender())
+    cubic = dumbbell.add_flow(CubicSender(), start_time=5.0)
+    sim.run(until=50.0)
+    cubic_thr = cubic.stats.throughput_bps(25.0, 50.0)
+    scav_thr = scavenger.stats.throughput_bps(25.0, 50.0)
+    assert cubic_thr > 2.0 * scav_thr
+
+
+def test_lower_target_than_rfc_ledbat():
+    assert LedbatPPSender().target_s < LedbatSender().target_s

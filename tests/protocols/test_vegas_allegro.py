@@ -1,0 +1,72 @@
+"""Tests for the extra baselines: TCP Vegas and PCC Allegro."""
+
+import pytest
+
+from repro.protocols import VegasSender, make_sender
+from repro.sim import Dumbbell, Simulator, make_rng, mbps
+
+
+def build(bandwidth_mbps=20.0, rtt_ms=30.0, buffer_kb=300.0, loss=0.0, seed=1):
+    sim = Simulator()
+    dumbbell = Dumbbell(
+        sim,
+        bandwidth_bps=mbps(bandwidth_mbps),
+        rtt_s=rtt_ms / 1e3,
+        buffer_bytes=buffer_kb * 1e3,
+        loss_rate=loss,
+        rng=make_rng(seed),
+    )
+    return sim, dumbbell
+
+
+def test_vegas_saturates_with_low_queue():
+    sim, dumbbell = build()
+    flow = dumbbell.add_flow(VegasSender())
+    sim.run(until=20.0)
+    assert flow.stats.throughput_bps(10.0, 20.0) / 1e6 > 18.0
+    # Vegas holds alpha..beta packets of queue: a few ms at most.
+    assert flow.stats.rtt_percentile(95, 10.0, 20.0) < 0.045
+
+
+def test_vegas_backs_off_on_loss():
+    sim, dumbbell = build()
+    sender = VegasSender()
+    dumbbell.add_flow(sender)
+    sim.run(until=10.0)
+    before = sender.cwnd
+    sender.on_loss(seq=10**9, sent_time=sim.now)
+    assert sender.cwnd == pytest.approx(max(2.0, before * 0.75))
+
+
+def test_vegas_is_delay_fragile_like_the_related_work_says():
+    """Delay-based Vegas loses badly to loss-based CUBIC (the classic
+    result motivating the paper's broader protocol landscape)."""
+    sim, dumbbell = build(buffer_kb=600.0)
+    vegas = dumbbell.add_flow(VegasSender())
+    cubic = dumbbell.add_flow(make_sender("cubic"), start_time=3.0)
+    sim.run(until=30.0)
+    vegas_thr = vegas.stats.throughput_bps(15.0, 30.0)
+    cubic_thr = cubic.stats.throughput_bps(15.0, 30.0)
+    assert cubic_thr > 2.0 * vegas_thr
+
+
+def test_allegro_moves_data():
+    sim, dumbbell = build(bandwidth_mbps=30.0)
+    flow = dumbbell.add_flow(make_sender("allegro"))
+    sim.run(until=15.0)
+    assert flow.stats.throughput_bps(8.0, 15.0) / 1e6 > 15.0
+
+
+def test_allegro_is_loss_based_and_bufferbloats():
+    """PCC Allegro's sigmoid utility ignores latency: with a deep buffer
+    it inflates far more than Vivace (the Vivace paper's critique)."""
+    sim, dumbbell = build(bandwidth_mbps=30.0, buffer_kb=900.0)
+    allegro = dumbbell.add_flow(make_sender("allegro"))
+    sim.run(until=20.0)
+    allegro_p95 = allegro.stats.rtt_percentile(95, 10.0, 20.0)
+
+    sim2, dumbbell2 = build(bandwidth_mbps=30.0, buffer_kb=900.0)
+    vivace = dumbbell2.add_flow(make_sender("vivace"))
+    sim2.run(until=20.0)
+    vivace_p95 = vivace.stats.rtt_percentile(95, 10.0, 20.0)
+    assert allegro_p95 > vivace_p95

@@ -1,0 +1,99 @@
+"""Unit tests for latency-noise models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    CompositeNoise,
+    GaussianJitter,
+    NoNoise,
+    SpikeNoise,
+    wifi_noise,
+)
+
+
+def test_no_noise_is_zero():
+    rng = random.Random(0)
+    model = NoNoise()
+    assert all(model.sample(t, rng) == 0.0 for t in (0.0, 1.0, 100.0))
+
+
+def test_gaussian_jitter_nonnegative_and_spread():
+    rng = random.Random(1)
+    model = GaussianJitter(std_s=0.002)
+    samples = [model.sample(0.0, rng) for _ in range(2000)]
+    assert all(s >= 0.0 for s in samples)
+    assert max(samples) > 0.002  # spread exists
+    mean = sum(samples) / len(samples)
+    assert 0.0 < mean < 0.004
+
+
+def test_gaussian_jitter_rejects_negative_std():
+    with pytest.raises(ValueError):
+        GaussianJitter(std_s=-1.0)
+
+
+def test_spike_noise_produces_occasional_spikes():
+    rng = random.Random(2)
+    model = SpikeNoise(rate_hz=5.0, magnitude_s=0.030, duration_s=0.020)
+    t = 0.0
+    spiked = 0
+    quiet = 0
+    while t < 20.0:
+        s = model.sample(t, rng)
+        if s > 0.010:
+            spiked += 1
+        elif s == 0.0:
+            quiet += 1
+        t += 0.005
+    assert spiked > 0
+    assert quiet > spiked  # spikes are the exception, not the rule
+
+
+def test_spike_noise_zero_rate_never_spikes():
+    rng = random.Random(3)
+    model = SpikeNoise(rate_hz=0.0)
+    assert all(model.sample(t, rng) == 0.0 for t in (0.0, 5.0, 50.0))
+
+
+def test_composite_sums_components():
+    rng = random.Random(4)
+
+    class Constant:
+        def __init__(self, v):
+            self.v = v
+
+        def sample(self, now, rng):
+            return self.v
+
+    model = CompositeNoise(Constant(0.001), Constant(0.002))
+    assert model.sample(0.0, rng) == pytest.approx(0.003)
+
+
+def test_wifi_noise_severity_scales_magnitude():
+    rng_low = random.Random(5)
+    rng_high = random.Random(5)
+    low = wifi_noise(0.2)
+    high = wifi_noise(2.0)
+    low_total = sum(low.sample(t * 0.01, rng_low) for t in range(5000))
+    high_total = sum(high.sample(t * 0.01, rng_high) for t in range(5000))
+    assert high_total > low_total
+
+
+def test_wifi_noise_rejects_negative_severity():
+    with pytest.raises(ValueError):
+        wifi_noise(-0.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    severity=st.floats(min_value=0.0, max_value=5.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_wifi_noise_always_nonnegative(severity, seed):
+    rng = random.Random(seed)
+    model = wifi_noise(severity)
+    assert all(model.sample(t * 0.02, rng) >= 0.0 for t in range(200))

@@ -1,0 +1,79 @@
+"""Unit tests for topology building and multi-hop paths."""
+
+import pytest
+
+from repro.protocols import FixedRateSender
+from repro.sim import Dumbbell, Link, Packet, Path, Simulator, make_rng, mbps
+
+
+def test_mbps_helper():
+    assert mbps(50.0) == 50e6
+
+
+def test_dumbbell_bdp():
+    sim = Simulator()
+    dumbbell = Dumbbell(sim, mbps(50.0), 0.030, 375e3, rng=make_rng(1))
+    assert dumbbell.bdp_bytes() == pytest.approx(50e6 * 0.030 / 8)
+
+
+def test_dumbbell_reverse_path_never_bottlenecks():
+    sim = Simulator()
+    dumbbell = Dumbbell(sim, mbps(10.0), 0.020, 200e3, rng=make_rng(1))
+    flow = dumbbell.add_flow(FixedRateSender(rate_bps=mbps(9.0)))
+    sim.run(until=5.0)
+    # ACK path is 40x the bottleneck: no reverse-direction drops.
+    assert dumbbell.reverse.stats.tail_drops == 0
+    assert flow.stats.throughput_bps(2.0, 5.0) / 1e6 == pytest.approx(9.0, rel=0.05)
+
+
+def test_flow_ids_autoassigned_and_unique():
+    sim = Simulator()
+    dumbbell = Dumbbell(sim, mbps(10.0), 0.020, 200e3, rng=make_rng(1))
+    a = dumbbell.add_flow(FixedRateSender(rate_bps=mbps(1.0)))
+    b = dumbbell.add_flow(FixedRateSender(rate_bps=mbps(1.0)))
+    assert a.flow_id != b.flow_id
+
+
+class _Sink:
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append((self.sim.now, packet.seq))
+
+
+def test_multi_hop_path_sums_delays():
+    sim = Simulator()
+    links = [
+        Link(sim, bandwidth_bps=8e6, delay_s=0.010),
+        Link(sim, bandwidth_bps=8e6, delay_s=0.020),
+        Link(sim, bandwidth_bps=8e6, delay_s=0.005),
+    ]
+    path = Path(links)
+    assert path.base_delay() == pytest.approx(0.035)
+    sink = _Sink(sim)
+    path.send(Packet(1, 1, size_bytes=1000), sink)
+    sim.run()
+    # 3 serializations of 1 ms each + 35 ms propagation.
+    assert sink.arrivals[0][0] == pytest.approx(0.038)
+
+
+def test_multi_hop_path_bottleneck_governs_rate():
+    sim = Simulator()
+    fast = Link(sim, bandwidth_bps=80e6, delay_s=0.0)
+    slow = Link(sim, bandwidth_bps=8e6, delay_s=0.0)
+    path = Path([fast, slow])
+    sink = _Sink(sim)
+    for seq in range(10):
+        path.send(Packet(1, seq, size_bytes=1000), sink)
+    sim.run()
+    # Delivery spacing set by the slow hop: 1 ms per packet.
+    times = [t for t, _ in sink.arrivals]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(g == pytest.approx(0.001, rel=0.01) for g in gaps)
+
+
+def test_empty_path_rejected():
+    with pytest.raises(ValueError):
+        Path([])
