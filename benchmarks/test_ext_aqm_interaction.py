@@ -49,7 +49,7 @@ def run(kind: str, scavenger: str | None, duration: float, seed: int = 3):
     sim = Simulator()
     bottleneck = DynamicLink(
         sim,
-        rate=mbps(BANDWIDTH_MBPS),
+        rate_bps=mbps(BANDWIDTH_MBPS),
         delay_s=RTT_S / 2,
         discipline=make_discipline(kind),
         rng=make_rng(seed),

@@ -41,7 +41,7 @@ def build(seed):
     sim = Simulator()
     bottleneck = DynamicLink(
         sim,
-        rate=cellular_rate(mbps(MEAN_MBPS), period_s=2.0, depth=0.6, seed=seed),
+        rate_bps=cellular_rate(mbps(MEAN_MBPS), period_s=2.0, depth=0.6, seed=seed),
         delay_s=RTT_S / 2,
         discipline=TailDropDiscipline(BUFFER_BYTES),
         rng=make_rng(seed),

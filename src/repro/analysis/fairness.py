@@ -16,6 +16,6 @@ def jains_index(allocations: Sequence[float]) -> float:
         raise ValueError("allocations must be non-negative")
     total = sum(allocations)
     squares = sum(x * x for x in allocations)
-    if squares == 0.0:
+    if squares <= 0.0:
         return 1.0  # all-zero: degenerate but conventionally fair
     return total * total / (len(allocations) * squares)

@@ -8,10 +8,10 @@ the Fig 2 analysis, and plain CDF/percentile helpers.
 
 from __future__ import annotations
 
-import random
 from collections.abc import Sequence
 
 from ..core.metrics import rtt_deviation, rtt_gradient
+from ..sim.rng import Rng
 
 
 def percentile(samples: Sequence[float], p: float) -> float:
@@ -54,7 +54,7 @@ def inflation_ratio_95th(
 def confusion_probability(
     congested: Sequence[float],
     uncongested: Sequence[float],
-    rng: random.Random | None = None,
+    rng: Rng | None = None,
     n_pairs: int = 20000,
 ) -> float:
     """§4.2's confusion probability.
@@ -66,7 +66,7 @@ def confusion_probability(
     """
     if not congested or not uncongested:
         raise ValueError("need samples from both conditions")
-    rng = rng if rng is not None else random.Random(0)
+    rng = rng if rng is not None else Rng(0)
     confused = 0
     for _ in range(n_pairs):
         c = congested[rng.randrange(len(congested))]

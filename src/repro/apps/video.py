@@ -8,8 +8,9 @@ with 3-second chunks and at least 3 minutes long.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
+
+from ..sim.rng import Rng
 
 CHUNK_DURATION_S = 3.0
 
@@ -56,7 +57,7 @@ class VideoCorpus:
     videos_4k: list[VideoDefinition] = field(default_factory=list)
     videos_1080p: list[VideoDefinition] = field(default_factory=list)
 
-    def pick(self, rng: random.Random, n_4k: int, n_1080p: int) -> list[VideoDefinition]:
+    def pick(self, rng: Rng, n_4k: int, n_1080p: int) -> list[VideoDefinition]:
         """Random selection as in §6.3 (e.g. one 4K and three 1080p)."""
         if n_4k > len(self.videos_4k) or n_1080p > len(self.videos_1080p):
             raise ValueError("not enough videos in the corpus")
@@ -72,7 +73,7 @@ def make_corpus(seed: int = 0, n_each: int = 10) -> VideoCorpus:
     [0.95, 1.10], keeping the paper's constraints (4K top rung > 40 Mbps,
     1080p top rung > 10 Mbps).
     """
-    rng = random.Random(seed)
+    rng = Rng(seed)
     corpus = VideoCorpus()
     for kind, base, out in (
         ("4k", LADDER_4K_MBPS, corpus.videos_4k),

@@ -11,11 +11,11 @@ exactly the paper's Fig 11(b) setup.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
 
 from ..protocols import make_sender
 from ..sim.engine import Simulator
+from ..sim.rng import Rng
 from ..sim.topology import Dumbbell
 
 MAX_PARALLEL_CONNECTIONS = 6
@@ -33,7 +33,7 @@ class WebPage:
 
 
 def sample_page(
-    rng: random.Random,
+    rng: Rng,
     n_objects_range: tuple[int, int] = (20, 80),
     median_object_bytes: float = 30_000.0,
     sigma: float = 1.2,
@@ -136,7 +136,7 @@ def run_poisson_page_loads(
     """Schedule Poisson page-load arrivals (the paper uses 1 per 10 s)."""
     if rate_per_s <= 0:
         raise ValueError("rate must be positive")
-    rng = random.Random(seed)
+    rng = Rng(seed)
     client = PageLoadClient(sim, dumbbell, protocol=protocol, seed=seed)
 
     def arrival():

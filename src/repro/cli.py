@@ -140,6 +140,26 @@ def cmd_protocols(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Imported here so simulation commands never pay for the lint engine.
+    from .devtools.lint import describe_rules, format_json, format_text, lint_paths
+
+    if args.list_rules:
+        print(describe_rules())
+        return 0
+    paths = args.paths if args.paths else ["src"]
+    try:
+        violations = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(format_json(violations))
+    else:
+        print(format_text(violations))
+    return 1 if violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -167,6 +187,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("protocols", help="list protocol names")
     p_list.set_defaults(fn=cmd_protocols)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="determinism/unit-safety static analyzer (see docs/DEVTOOLS.md)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", help="files or directories (default: src)"
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="describe the rules and exit"
+    )
+    p_lint.add_argument(
+        "--json", action="store_true", help="emit violations as JSON"
+    )
+    p_lint.set_defaults(fn=cmd_lint)
     return parser
 
 

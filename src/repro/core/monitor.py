@@ -18,7 +18,7 @@ class MonitorInterval:
         "mi_id",
         "rate_bps",
         "start",
-        "duration",
+        "duration_s",
         "closed",
         "n_sent",
         "bytes_sent",
@@ -32,11 +32,11 @@ class MonitorInterval:
         "tag",
     )
 
-    def __init__(self, mi_id: int, rate_bps: float, start: float, duration: float):
+    def __init__(self, mi_id: int, rate_bps: float, start: float, duration_s: float) -> None:
         self.mi_id = mi_id
         self.rate_bps = rate_bps
         self.start = start
-        self.duration = duration
+        self.duration_s = duration_s
         self.closed = False  # no more sends attributed to this MI
         self.n_sent = 0
         self.bytes_sent = 0
@@ -54,11 +54,11 @@ class MonitorInterval:
         self.n_sent += 1
         self.bytes_sent += nbytes
 
-    def record_ack(self, send_time: float, rtt: float, nbytes: int) -> None:
+    def record_ack(self, send_time: float, rtt_s: float, nbytes: int) -> None:
         self.n_acked += 1
         self.bytes_acked += nbytes
         self.send_times.append(send_time)
-        self.rtts.append(rtt)
+        self.rtts.append(rtt_s)
 
     def record_loss(self) -> None:
         self.n_lost += 1
@@ -69,7 +69,7 @@ class MonitorInterval:
 
     def actual_rate_bps(self) -> float:
         """Achieved sending rate (what PCC's utility actually monitors)."""
-        return self.bytes_sent * 8.0 / self.duration
+        return self.bytes_sent * 8.0 / self.duration_s
 
     def app_limited(self, threshold: float = 0.7) -> bool:
         """True when the application supplied too little data for the MI's
@@ -87,7 +87,7 @@ class MonitorInterval:
         """
         if self.metrics is None:
             self.metrics = compute_interval_metrics(
-                duration_s=self.duration,
+                duration_s=self.duration_s,
                 rate_mbps=self.rate_bps / 1e6,
                 bytes_acked=self.bytes_acked,
                 n_sent=self.n_sent,

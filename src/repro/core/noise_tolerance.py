@@ -55,7 +55,7 @@ class AckIntervalFilter:
         ratio_threshold: float = DEFAULT_ACK_RATIO_THRESHOLD,
         max_suppression_s: float = 0.25,
         min_gap_rtt_fraction: float = 0.25,
-    ):
+    ) -> None:
         if ratio_threshold <= 1.0:
             raise ValueError("ratio_threshold must exceed 1")
         self.ratio_threshold = ratio_threshold
@@ -71,7 +71,7 @@ class AckIntervalFilter:
         self._suppressing_since = 0.0
         self.suppressed_count = 0
 
-    def accept(self, now: float, rtt: float, srtt: float | None = None) -> bool:
+    def accept(self, now: float, rtt_s: float, srtt: float | None = None) -> bool:
         """Return True if this RTT sample should be used."""
         interval: float | None = None
         if self._last_ack_time is not None:
@@ -93,7 +93,7 @@ class AckIntervalFilter:
             self._last_interval = interval
 
         if self._suppressing:
-            recovered = self._ewma_rtt is not None and rtt < self._ewma_rtt
+            recovered = self._ewma_rtt is not None and rtt_s < self._ewma_rtt
             expired = now - self._suppressing_since > self.max_suppression_s
             if recovered or expired:
                 self._suppressing = False
@@ -102,9 +102,9 @@ class AckIntervalFilter:
                 return False
         # Only accepted samples feed the EWMA so a burst cannot drag it up.
         if self._ewma_rtt is None:
-            self._ewma_rtt = rtt
+            self._ewma_rtt = rtt_s
         else:
-            self._ewma_rtt = 0.875 * self._ewma_rtt + 0.125 * rtt
+            self._ewma_rtt = 0.875 * self._ewma_rtt + 0.125 * rtt_s
         return True
 
 
@@ -149,7 +149,7 @@ class TrendingTracker:
         history_k: int = DEFAULT_HISTORY_K,
         g1: float = DEFAULT_G1,
         g2: float = DEFAULT_G2,
-    ):
+    ) -> None:
         if history_k < 2:
             raise ValueError("history_k must be at least 2")
         self.history_k = history_k
@@ -218,7 +218,7 @@ class NoiseToleranceConfig:
 class NoiseTolerancePipeline:
     """Applies mechanisms 2 and 3 to each completed MI's metrics."""
 
-    def __init__(self, config: NoiseToleranceConfig | None = None):
+    def __init__(self, config: NoiseToleranceConfig | None = None) -> None:
         self.config = config if config is not None else NoiseToleranceConfig()
         self.trending = TrendingTracker(
             history_k=self.config.history_k, g1=self.config.g1, g2=self.config.g2

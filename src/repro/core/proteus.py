@@ -13,11 +13,11 @@ selected by the application).
 
 from __future__ import annotations
 
-import random
 from collections import deque
 
 from ..protocols.base import AckInfo, RateSender
 from ..sim.engine import Event
+from ..sim.rng import Rng
 from .monitor import MonitorInterval
 from .noise_tolerance import (
     AckIntervalFilter,
@@ -54,7 +54,7 @@ class ProteusSender(RateSender):
         noise_config: NoiseToleranceConfig | None = None,
         control_config: RateControlConfig | None = None,
         seed: int = 0,
-    ):
+    ) -> None:
         if isinstance(utility, str):
             utility = make_utility(utility)
         super().__init__(name or f"proteus[{utility.name}]", initial_rate_bps)
@@ -67,7 +67,7 @@ class ProteusSender(RateSender):
                 probe_pairs=3 if self.noise_config.majority_rule else 2
             )
         self.controller = RateController(
-            initial_rate_bps, control_config, random.Random(seed)
+            initial_rate_bps, control_config, Rng(seed)
         )
         self.pipeline = NoiseTolerancePipeline(self.noise_config)
         self.ack_filter = (
@@ -158,7 +158,7 @@ class ProteusSender(RateSender):
         self._current_mi = mi
         self._pending.append(mi)
         self._cancel_mi_close()
-        self._mi_close_event = self.sim.schedule(mi.duration, self._close_mi)
+        self._mi_close_event = self.sim.schedule(mi.duration_s, self._close_mi)
 
     def _close_mi(self) -> None:
         self._mi_close_event = None
@@ -230,7 +230,7 @@ class ProteusSender(RateSender):
             self.started
             and not self.stopped
             and self._current_mi is not None
-            and self.sim.now - self._last_send_time > 2.0 * self._current_mi.duration
+            and self.sim.now - self._last_send_time > 2.0 * self._current_mi.duration_s
         ):
             self.controller.restart()
             self._abort_current_mi()

@@ -26,9 +26,9 @@ States:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
+from ..sim.rng import Rng
 from .monitor import MonitorInterval
 
 
@@ -60,10 +60,10 @@ class RateController:
         self,
         initial_rate_bps: float,
         config: RateControlConfig | None = None,
-        rng: random.Random | None = None,
-    ):
+        rng: Rng | None = None,
+    ) -> None:
         self.config = config if config is not None else RateControlConfig()
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else Rng(0)
         self.rate_bps = max(self.config.min_rate_bps, initial_rate_bps)
         self.state = "STARTING"
         # STARTING bookkeeping.

@@ -32,7 +32,7 @@ DEFAULT_DEADLINE_SAFETY = 1.25
 class VideoThresholdPolicy:
     """Computes the Proteus-H threshold for a video streaming session."""
 
-    def __init__(self, max_bitrate_bps: float, g: float = DEFAULT_SUFFICIENT_RATE_G):
+    def __init__(self, max_bitrate_bps: float, g: float = DEFAULT_SUFFICIENT_RATE_G) -> None:
         if max_bitrate_bps <= 0:
             raise ValueError("max_bitrate_bps must be positive")
         if g <= 0:
@@ -85,7 +85,7 @@ class DeadlineThresholdPolicy:
         deadline_s: float,
         safety: float = DEFAULT_DEADLINE_SAFETY,
         min_threshold_bps: float = 0.0,
-    ):
+    ) -> None:
         if total_bytes <= 0 or deadline_s <= 0:
             raise ValueError("total_bytes and deadline_s must be positive")
         if safety < 1.0:

@@ -68,7 +68,7 @@ class VivaceUtility(UtilityFunction):
         t: float = DEFAULT_EXPONENT_T,
         b: float = DEFAULT_LATENCY_B,
         c: float = DEFAULT_LOSS_C,
-    ):
+    ) -> None:
         if not 0.0 < t < 1.0:
             raise ValueError("exponent t must be in (0, 1) for concavity")
         if b <= 0 or c <= 0:
@@ -116,7 +116,7 @@ class ScavengerUtility(UtilityFunction):
         b: float = DEFAULT_LATENCY_B,
         c: float = DEFAULT_LOSS_C,
         d: float = DEFAULT_DEVIATION_D,
-    ):
+    ) -> None:
         if d <= 0:
             raise ValueError("deviation coefficient d must be positive")
         self.primary = PrimaryUtility(t, b, c)
@@ -150,7 +150,7 @@ class HybridUtility(UtilityFunction):
         b: float = DEFAULT_LATENCY_B,
         c: float = DEFAULT_LOSS_C,
         d: float = DEFAULT_DEVIATION_D,
-    ):
+    ) -> None:
         self.primary = PrimaryUtility(t, b, c)
         self.scavenger = ScavengerUtility(t, b, c, d)
         self.threshold_bps = threshold_bps
@@ -177,7 +177,7 @@ class AllegroUtility(UtilityFunction):
 
     name = "allegro"
 
-    def __init__(self, alpha: float = 100.0, loss_knee: float = 0.05):
+    def __init__(self, alpha: float = 100.0, loss_knee: float = 0.05) -> None:
         self.alpha = alpha
         self.loss_knee = loss_knee
 
@@ -205,7 +205,7 @@ class NoiseAwareScavengerUtility(ScavengerUtility):
 
     name = "proteus-s-noise-aware"
 
-    def __init__(self, *args, noise_discount_k: float = 1.0, **kwargs):
+    def __init__(self, *args, noise_discount_k: float = 1.0, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         if noise_discount_k <= 0:
             raise ValueError("noise_discount_k must be positive")

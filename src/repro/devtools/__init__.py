@@ -1,0 +1,26 @@
+"""Developer tooling for the reproduction.
+
+``repro.devtools`` hosts tooling that keeps the simulator trustworthy
+rather than code that runs inside simulations:
+
+* :mod:`repro.devtools.lint` — an AST-based static analyzer with
+  repo-specific determinism and unit-safety rules, exposed as the
+  ``repro lint`` CLI subcommand;
+* :mod:`repro.devtools.determinism` — trace fingerprinting used by the
+  determinism regression gate in the test suite.
+
+The runtime counterpart (invariant checking while a simulation runs)
+lives in :mod:`repro.sim.invariants` so the simulator package stays
+self-contained.
+"""
+
+from .determinism import stats_digest, trace_digest
+from .lint import LintEngine, Violation, lint_paths
+
+__all__ = [
+    "LintEngine",
+    "Violation",
+    "lint_paths",
+    "stats_digest",
+    "trace_digest",
+]

@@ -1,0 +1,143 @@
+"""Lint framework: violations, per-file context, rule base and registry.
+
+Rules are small classes that inspect AST nodes.  The engine walks each
+file's tree exactly once and dispatches every node to the rules
+registered for that node's type, so adding a rule never adds a tree
+traversal.  Suppression is line-scoped via ``# repro: noqa[rule-id]``
+(or a blanket ``# repro: noqa``) on the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s\-]+)\])?")
+
+ALL_RULES = "*"
+"""Sentinel stored in a noqa map entry for a blanket suppression."""
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: where, which rule, and why."""
+
+    path: str
+    line: int  # 1-based
+    col: int  # 1-based
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+class LintContext:
+    """Per-file state handed to every rule."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.parts = tuple(part for part in path.parts if part not in (".", ".."))
+        self._noqa: dict[int, set[str]] | None = None
+
+    def in_package(self, *names: str) -> bool:
+        """True when the file lives under any of the named directories."""
+        return any(name in self.parts[:-1] for name in names)
+
+    def is_file(self, *tail: str) -> bool:
+        """True when the file path ends with the given components."""
+        return self.parts[-len(tail):] == tail
+
+    # ------------------------------------------------------------------
+    def noqa_map(self) -> dict[int, set[str]]:
+        """Line number -> suppressed rule ids (or ``ALL_RULES``)."""
+        if self._noqa is None:
+            mapping: dict[int, set[str]] = {}
+            for lineno, line in enumerate(self.source.splitlines(), start=1):
+                match = _NOQA_RE.search(line)
+                if match is None:
+                    continue
+                ids = match.group(1)
+                if ids is None:
+                    mapping[lineno] = {ALL_RULES}
+                else:
+                    mapping[lineno] = {
+                        part.strip() for part in ids.split(",") if part.strip()
+                    }
+            self._noqa = mapping
+        return self._noqa
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        suppressed = self.noqa_map().get(line)
+        if suppressed is None:
+            return False
+        return ALL_RULES in suppressed or rule_id in suppressed
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the metadata class attributes, declare the AST node
+    types they want to see in ``node_types``, and implement
+    :meth:`visit`, yielding ``(node, message)`` pairs for violations.
+    ``applies_to`` scopes a rule to parts of the tree (e.g. only
+    ``sim/`` and ``core/``).
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    node_types: tuple[type[ast.AST], ...] = ()
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return True
+
+    def visit(
+        self, node: ast.AST, ctx: LintContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def make_violation(self, ctx: LintContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            message=message,
+        )
+
+
+@dataclass
+class RuleRegistry:
+    """Keeps the rule set; rules self-register via :meth:`register`."""
+
+    rules: dict[str, Rule] = field(default_factory=dict)
+
+    def register(self, rule_cls: type[Rule]) -> type[Rule]:
+        rule = rule_cls()
+        if not rule.id:
+            raise ValueError(f"rule {rule_cls.__name__} has no id")
+        if rule.id in self.rules:
+            raise ValueError(f"duplicate rule id {rule.id}")
+        self.rules[rule.id] = rule
+        return rule_cls
+
+    def all(self) -> list[Rule]:
+        return [self.rules[key] for key in sorted(self.rules)]
+
+    def get(self, rule_id: str) -> Rule:
+        return self.rules[rule_id]
+
+    def select(self, rule_ids: Iterable[str] | None) -> list[Rule]:
+        if rule_ids is None:
+            return self.all()
+        return [self.rules[rule_id] for rule_id in rule_ids]
+
+
+REGISTRY = RuleRegistry()
+register = REGISTRY.register

@@ -1,0 +1,128 @@
+"""Lint engine: file discovery, single-pass AST dispatch, reporting."""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .base import REGISTRY, LintContext, Rule, Violation
+
+SYNTAX_ERROR_RULE = "syntax-error"
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            found.add(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return sorted(found)
+
+
+class LintEngine:
+    """Runs a rule set over files.
+
+    The tree of each file is walked exactly once; every node is
+    dispatched to the rules registered for its type.  Violations on
+    lines carrying a matching ``# repro: noqa[...]`` comment are
+    dropped.
+    """
+
+    def __init__(self, rules: Sequence[Rule | str] | None = None):
+        if rules is None:
+            self.rules: list[Rule] = REGISTRY.all()
+        else:
+            self.rules = [
+                REGISTRY.get(rule) if isinstance(rule, str) else rule
+                for rule in rules
+            ]
+
+    # ------------------------------------------------------------------
+    def lint_source(self, source: str, path: str | Path) -> list[Violation]:
+        """Lint one in-memory source blob (used by tests and fixtures)."""
+        path = Path(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return [
+                Violation(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1),
+                    rule_id=SYNTAX_ERROR_RULE,
+                    message=f"cannot parse: {exc.msg}",
+                )
+            ]
+        ctx = LintContext(path, source, tree)
+        active = [rule for rule in self.rules if rule.applies_to(ctx)]
+        if not active:
+            return []
+        dispatch: dict[type[ast.AST], list[Rule]] = {}
+        for rule in active:
+            for node_type in rule.node_types:
+                dispatch.setdefault(node_type, []).append(rule)
+        violations: list[Violation] = []
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                for flagged, message in rule.visit(node, ctx):
+                    violation = rule.make_violation(ctx, flagged, message)
+                    if not ctx.is_suppressed(violation.line, rule.id):
+                        violations.append(violation)
+        violations.sort()
+        return violations
+
+    def lint_file(self, path: str | Path) -> list[Violation]:
+        return self.lint_source(Path(path).read_text(), path)
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> list[Violation]:
+        violations: list[Violation] = []
+        for path in iter_python_files(paths):
+            violations.extend(self.lint_file(path))
+        return violations
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
+) -> list[Violation]:
+    """Convenience wrapper: lint ``paths`` with ``rules`` (default: all)."""
+    return LintEngine(rules).lint_paths(paths)
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def format_text(violations: Sequence[Violation]) -> str:
+    lines = [violation.render() for violation in violations]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(f"{len(violations)} {noun}")
+    return "\n".join(lines)
+
+
+def format_json(violations: Sequence[Violation]) -> str:
+    return json.dumps(
+        [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule_id,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        indent=2,
+    )
+
+
+def describe_rules(rules: Sequence[Rule] | None = None) -> str:
+    """One line per rule, for ``repro lint --list-rules``."""
+    rules = list(rules) if rules is not None else REGISTRY.all()
+    width = max(len(rule.id) for rule in rules)
+    return "\n".join(f"{rule.id:<{width}}  {rule.description}" for rule in rules)

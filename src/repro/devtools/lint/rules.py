@@ -1,0 +1,313 @@
+"""Repo-specific lint rules.
+
+Each rule encodes a determinism or unit-safety convention of this
+codebase; `docs/DEVTOOLS.md` documents the rationale and the suppression
+syntax (``# repro: noqa[rule-id]``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .base import LintContext, Rule, register
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_identifier(node: ast.AST) -> str | None:
+    """The rightmost identifier of a Name/Attribute, else None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+_UNIT_SUFFIX_RE = re.compile(
+    r"_(s|ms|us|ns|bps|kbps|mbps|gbps|bytes|kb|mb|hz|pkts|fraction|ratio|fn|factor)$"
+)
+
+_TIME_RATE_STEM_RE = re.compile(
+    r"(^|_)(rate|delay|duration|interval|bandwidth|rtt|timeout|period|bitrate|"
+    r"latency|jitter)(_|$)"
+)
+
+_FLOATY_NAME_RE = re.compile(
+    r"(^|_)(now|time|rtt|srtt|rate|delay|deadline|interval|duration|bandwidth)(_|$)"
+    r"|_(s|ms|us|bps|kbps|mbps|gbps|hz)$"
+)
+
+
+# ----------------------------------------------------------------------
+# RPR001 no-bare-random
+# ----------------------------------------------------------------------
+@register
+class NoBareRandom(Rule):
+    """Ban direct use of ``random`` / ``np.random`` outside ``sim/rng.py``.
+
+    Every stochastic draw must come from an injected
+    :class:`repro.sim.rng.Rng` so a single seed reproduces a whole run;
+    a bare module-level RNG is invisible global state that destroys
+    bit-reproducibility the moment two call sites interleave
+    differently.
+    """
+
+    id = "no-bare-random"
+    name = "no bare random"
+    description = (
+        "use an injected repro.sim.rng.Rng instead of the random / "
+        "numpy.random modules"
+    )
+    node_types = (ast.Import, ast.ImportFrom, ast.Attribute)
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return not ctx.is_file("sim", "rng.py")
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[tuple[ast.AST, str]]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("numpy.random"):
+                    yield node, (
+                        f"bare 'import {alias.name}'; inject a seeded "
+                        "repro.sim.rng.Rng instead"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "random" or module.startswith("numpy.random"):
+                yield node, (
+                    f"import from {module!r}; inject a seeded "
+                    "repro.sim.rng.Rng instead"
+                )
+        elif isinstance(node, ast.Attribute):
+            value = node.value
+            if isinstance(value, ast.Name) and value.id == "random":
+                yield node, (
+                    f"'random.{node.attr}' draws from unseeded global state; "
+                    "use an injected Rng"
+                )
+            elif (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in ("np", "numpy")
+            ):
+                yield node, (
+                    f"'{value.value.id}.random.{node.attr}' draws from unseeded "
+                    "global state; use an injected Rng"
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR002 no-wallclock
+# ----------------------------------------------------------------------
+_WALLCLOCK_CALLS = {
+    "time.time",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+}
+
+
+@register
+class NoWallclock(Rule):
+    """Ban wall-clock reads inside the simulated world.
+
+    ``sim/``, ``core/`` and ``protocols/`` run on simulated time
+    (``Simulator.now``); reading the host clock there silently couples a
+    run's behaviour to machine load and makes traces non-reproducible.
+    """
+
+    id = "no-wallclock"
+    name = "no wall clock"
+    description = (
+        "time.time()/datetime.now() are banned in sim/, core/ and "
+        "protocols/; use Simulator.now"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_package("sim", "core", "protocols")
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[tuple[ast.AST, str]]:
+        assert isinstance(node, ast.Call)
+        name = dotted_name(node.func)
+        if name in _WALLCLOCK_CALLS:
+            yield node, (
+                f"'{name}()' reads the wall clock; simulated components "
+                "must use Simulator.now"
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR003 no-float-eq
+# ----------------------------------------------------------------------
+@register
+class NoFloatEq(Rule):
+    """Ban ``==`` / ``!=`` on simulated-time/rate floats.
+
+    Times and rates accumulate float rounding (the analytic queue model
+    adds and subtracts serialization intervals all run long), so exact
+    equality is a latent heisenbug.  Compare with ``<`` / ``>`` or an
+    explicit epsilon.  Comparisons against ``float('inf')`` sentinels
+    are exact and allowed.
+    """
+
+    id = "no-float-eq"
+    name = "no float equality"
+    description = (
+        "== / != on simulated-time or rate floats; use ordering or an "
+        "epsilon"
+    )
+    node_types = (ast.Compare,)
+
+    @staticmethod
+    def _is_inf_sentinel(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and str(node.args[0].value).lower() in ("inf", "-inf", "nan")
+        )
+
+    @classmethod
+    def _is_floaty(cls, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        name = terminal_identifier(node)
+        if name is None:
+            return False
+        return _FLOATY_NAME_RE.search(name) is not None
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[tuple[ast.AST, str]]:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            if self._is_inf_sentinel(left) or self._is_inf_sentinel(right):
+                continue
+            for side in (left, right):
+                if self._is_floaty(side):
+                    label = terminal_identifier(side)
+                    shown = f"'{label}'" if label else "a float literal"
+                    yield node, (
+                        f"exact equality on {shown} (simulated time/rate "
+                        "float); use ordering or an epsilon"
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# RPR004 unit-suffix
+# ----------------------------------------------------------------------
+@register
+class UnitSuffix(Rule):
+    """Require unit suffixes on rate/time parameters of public APIs.
+
+    In ``core/`` and ``sim/``, a public signature taking a rate or a
+    duration must say its unit in the name (``_bps``, ``_mbps``, ``_s``,
+    ``_ms``, ...): the Mbps-vs-bytes/sec-vs-pkts/MI confusion is exactly
+    the class of bug a test suite rarely reaches.  Probability-per-packet
+    names (``loss_rate``) and rate *functions* (``rate_fn``) are
+    unit-free and allowed.
+    """
+
+    id = "unit-suffix"
+    name = "unit suffix"
+    description = (
+        "public rate/time parameters in core/ and sim/ must carry a unit "
+        "suffix such as _s, _ms, _bps or _mbps"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    ALLOWED_NAMES = frozenset({"loss_rate", "rate_fn", "drop_rate"})
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_package("sim", "core")
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[tuple[ast.AST, str]]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        # __init__ signatures are the class's public constructor API.
+        if node.name.startswith("_") and node.name != "__init__":
+            return
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            name = arg.arg
+            if name in ("self", "cls") or name in self.ALLOWED_NAMES:
+                continue
+            if not _TIME_RATE_STEM_RE.search(name):
+                continue
+            if _UNIT_SUFFIX_RE.search(name):
+                continue
+            yield arg, (
+                f"parameter '{name}' of public '{node.name}()' names a "
+                "rate/time quantity without a unit suffix (_s, _ms, _bps, "
+                "_mbps, ...)"
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR005 mutable-default-arg
+# ----------------------------------------------------------------------
+@register
+class MutableDefaultArg(Rule):
+    """Ban mutable default argument values.
+
+    A ``list``/``dict``/``set`` default is created once at ``def`` time
+    and shared by every call — state leaks between what look like
+    independent invocations (and between simulation runs).
+    """
+
+    id = "mutable-default-arg"
+    name = "mutable default argument"
+    description = "default argument values must not be mutable"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "deque", "defaultdict"})
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name is not None and name.split(".")[-1] in self._MUTABLE_CALLS
+        return False
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[tuple[ast.AST, str]]:
+        args = node.args
+        for default in (*args.defaults, *args.kw_defaults):
+            if default is not None and self._is_mutable(default):
+                yield default, (
+                    "mutable default argument is shared across calls; "
+                    "default to None and create it in the body"
+                )

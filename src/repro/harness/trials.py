@@ -10,9 +10,10 @@ be checked against sampling noise rather than a single draw.
 from __future__ import annotations
 
 import math
-import random
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+
+from ..sim.rng import Rng
 
 
 @dataclass(frozen=True)
@@ -46,7 +47,7 @@ def summarize(values: Sequence[float], ci_resamples: int = 2000, seed: int = 0) 
     if n == 1:
         ci_low = ci_high = mean
     else:
-        rng = random.Random(seed)
+        rng = Rng(seed)
         means = []
         for _ in range(ci_resamples):
             sample = [ordered[rng.randrange(n)] for _ in range(n)]

@@ -16,12 +16,12 @@ requires.
 
 from __future__ import annotations
 
-import random
 from collections import deque
 
 from ..sim.engine import Event, Simulator
 from ..sim.flow import Flow
 from ..sim.packet import MTU_BYTES, Packet
+from ..sim.rng import Rng
 
 MIN_RTO_S = 0.25
 """Floor on the retransmission timeout."""
@@ -89,7 +89,7 @@ class SenderBase:
         self.flow = flow
         # Per-sender jitter stream (deterministic from flow identity); used
         # to break pathological phase-locking between paced senders.
-        self._jitter_rng = random.Random(f"sender:{flow.flow_id}:{self.name}")
+        self._jitter_rng = Rng(f"sender:{flow.flow_id}:{self.name}")
 
     def start(self) -> None:
         if self.sim is None:

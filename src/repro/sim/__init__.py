@@ -16,6 +16,7 @@ from .aqm import (
 )
 from .engine import Event, SimulationError, Simulator
 from .flow import Flow, FlowReceiver, Path
+from .invariants import InvariantChecker, InvariantError
 from .link import Link, LinkStats
 from .noise import (
     CompositeNoise,
@@ -25,7 +26,7 @@ from .noise import (
     wifi_noise,
 )
 from .packet import ACK_BYTES, MTU_BYTES, Packet
-from .rng import make_rng, spawn
+from .rng import Rng, make_rng, spawn
 from .topology import Dumbbell, mbps
 from .trace import FlowStats
 
@@ -44,12 +45,15 @@ __all__ = [
     "FlowReceiver",
     "FlowStats",
     "GaussianJitter",
+    "InvariantChecker",
+    "InvariantError",
     "Link",
     "LinkStats",
     "MTU_BYTES",
     "NoNoise",
     "Packet",
     "Path",
+    "Rng",
     "SimulationError",
     "Simulator",
     "SpikeNoise",

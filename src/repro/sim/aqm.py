@@ -19,7 +19,6 @@ observe.  This module provides:
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from typing import Callable, Protocol
 
@@ -27,18 +26,19 @@ from .engine import Simulator
 from .link import LinkStats, Receiver
 from .noise import NoiseModel
 from .packet import Packet
+from .rng import Rng
 
 
 class QueueDiscipline(Protocol):
     """Decides drops at enqueue and dequeue time."""
 
     def on_enqueue(self, packet: Packet, queue_bytes: float, now: float,
-                   rng: random.Random) -> bool:
+                   rng: Rng) -> bool:
         """Return True to DROP the arriving packet."""
         ...
 
     def on_dequeue(self, packet: Packet, sojourn_s: float, now: float,
-                   rng: random.Random) -> bool:
+                   rng: Rng) -> bool:
         """Return True to DROP the departing packet (CoDel-style)."""
         ...
 
@@ -159,7 +159,7 @@ class DynamicLink:
 
     Args:
         sim: The simulator.
-        rate: Constant bits/s, or a callable ``rate_fn(now) -> bps``
+        rate_bps: Constant bits/s, or a callable ``rate_fn(now) -> bps``
             sampled at each packet's service start (Mahimahi-style
             channel variation at per-packet granularity).
         delay_s: Propagation delay.
@@ -170,12 +170,12 @@ class DynamicLink:
     def __init__(
         self,
         sim: Simulator,
-        rate: float | RateFunction,
+        rate_bps: float | RateFunction,
         delay_s: float,
         discipline: QueueDiscipline | None = None,
         loss_rate: float = 0.0,
         noise: NoiseModel | None = None,
-        rng: random.Random | None = None,
+        rng: Rng | None = None,
         name: str = "dynamic-link",
     ):
         if delay_s < 0:
@@ -183,30 +183,40 @@ class DynamicLink:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         self.sim = sim
-        self._rate_fn: RateFunction = rate if callable(rate) else (lambda _t, _r=rate: _r)
-        if not callable(rate) and rate <= 0:
-            raise ValueError("rate must be positive")
+        if callable(rate_bps):
+            self._rate_fn: RateFunction = rate_bps
+        else:
+            if rate_bps <= 0:
+                raise ValueError("rate_bps must be positive")
+            self._rate_fn = lambda _t, _r=rate_bps: _r
         self.delay_s = delay_s
         self.discipline = discipline if discipline is not None else TailDropDiscipline(256e3)
         self.loss_rate = loss_rate
         self.noise = noise
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else Rng(0)
         self.name = name
         self.stats = LinkStats()
         self._queue: deque[tuple[Packet, Receiver, float]] = deque()
         self._queue_bytes = 0.0
         self._serving = False
         self._last_delivery = 0.0
+        if sim.invariants is not None:
+            sim.invariants.register_link(self)
 
     # ------------------------------------------------------------------
     def backlog_bytes(self) -> float:
         return self._queue_bytes
+
+    def queued_packets(self) -> int:
+        """Packets waiting in (or being served from) the explicit queue."""
+        return len(self._queue)
 
     def current_rate_bps(self) -> float:
         return max(1.0, self._rate_fn(self.sim.now))
 
     def send(self, packet: Packet, dst: Receiver) -> bool:
         now = self.sim.now
+        self.stats.offered += 1
         if self.discipline.on_enqueue(packet, self._queue_bytes, now, self.rng):
             self.stats.tail_drops += 1
             return False
@@ -289,7 +299,7 @@ def cellular_rate(
     def rate_fn(now: float) -> float:
         epoch = int(now / period_s)
         if epoch not in cache:
-            epoch_rng = random.Random(f"cellular:{seed}:{epoch}")
+            epoch_rng = Rng(f"cellular:{seed}:{epoch}")
             cache[epoch] = mean_bps * (1.0 + depth * (2.0 * epoch_rng.random() - 1.0))
         return cache[epoch]
 

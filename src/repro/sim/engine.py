@@ -9,12 +9,30 @@ The engine is deliberately minimal and allocation-light: a congestion
 control experiment pushes millions of events through it, so events are
 small ``__slots__`` objects and the hot path avoids any indirection beyond
 one heap push/pop per event.
+
+Cancellation is lazy (the event stays in the heap until popped), but the
+simulator compacts the heap whenever cancelled events outnumber live ones,
+so long-running workloads that arm-and-cancel timers at a high rate (RTO
+timers, pacing ticks) do not leak memory.
+
+Optional runtime invariant checking (``check_invariants=True``, or the
+``REPRO_CHECK_INVARIANTS=1`` environment variable) attaches a
+:class:`repro.sim.invariants.InvariantChecker` that audits clock
+monotonicity, per-link packet conservation, queue non-negativity, and RTT
+sample bounds as the simulation runs.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+import os
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .invariants import InvariantChecker
+
+_COMPACT_MIN_HEAP = 64
+"""Heap size below which compaction is not worth the heapify cost."""
 
 
 class SimulationError(RuntimeError):
@@ -26,25 +44,39 @@ class Event:
 
     Events are returned by :meth:`Simulator.schedule` so callers can cancel
     pending timers.  Cancellation is lazy: the event stays in the heap but
-    is skipped when popped.
+    is skipped when popped; the owning simulator counts cancellations and
+    compacts the heap when they dominate it.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator | None" = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.sim is not None:
+                self.sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
+        if self.time < other.time:
+            return True
+        if other.time < self.time:
+            return False
         return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -55,6 +87,13 @@ class Event:
 class Simulator:
     """The simulation clock and event queue.
 
+    Args:
+        check_invariants: Attach a runtime
+            :class:`~repro.sim.invariants.InvariantChecker`.  ``None``
+            (the default) consults the ``REPRO_CHECK_INVARIANTS``
+            environment variable so whole test suites can opt in without
+            threading a flag through every harness entry point.
+
     >>> sim = Simulator()
     >>> fired = []
     >>> _ = sim.schedule(1.5, fired.append, "hello")
@@ -63,31 +102,63 @@ class Simulator:
     (1.5, ['hello'])
     """
 
-    def __init__(self) -> None:
+    def __init__(self, check_invariants: bool | None = None) -> None:
         self.now: float = 0.0
         self._heap: list[Event] = []
         self._seq: int = 0
         self._running = False
+        self._cancelled = 0
+        if check_invariants is None:
+            check_invariants = os.environ.get("REPRO_CHECK_INVARIANTS", "") not in (
+                "",
+                "0",
+            )
+        self.invariants: "InvariantChecker | None" = None
+        if check_invariants:
+            from .invariants import InvariantChecker
+
+            self.invariants = InvariantChecker(self)
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
-        if time < self.now:
+    def schedule_at(self, time_s: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time_s``."""
+        if time_s < self.now:
             raise SimulationError(
-                f"cannot schedule event in the past ({time} < now={self.now})"
+                f"cannot schedule event in the past ({time_s} < now={self.now})"
             )
         self._seq += 1
-        event = Event(time, self._seq, fn, args)
+        event = Event(time_s, self._seq, fn, args, self)
         heapq.heappush(self._heap, event)
         return event
 
-    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` after ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(self.now + delay, fn, *args)
+    def schedule(self, delay_s: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay_s`` seconds from now."""
+        if delay_s < 0:
+            raise SimulationError(f"negative delay {delay_s}")
+        return self.schedule_at(self.now + delay_s, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts when >50% is dead."""
+        self._cancelled += 1
+        heap = self._heap
+        if len(heap) >= _COMPACT_MIN_HEAP and self._cancelled * 2 > len(heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap and re-heapify.
+
+        In place: ``step``/``run`` hold a local reference to the heap
+        list, so rebinding ``self._heap`` here would strand them on a
+        stale copy when an event handler cancels timers mid-run.
+        """
+        self._heap[:] = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -95,12 +166,17 @@ class Simulator:
     def step(self) -> bool:
         """Run the next pending event. Returns False when the queue is empty."""
         heap = self._heap
+        inv = self.invariants
         while heap:
             event = heapq.heappop(heap)
             if event.cancelled:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
                 continue
             self.now = event.time
             event.fn(*event.args)
+            if inv is not None:
+                inv.after_event(self.now)
             return True
         return False
 
@@ -114,23 +190,34 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        inv = self.invariants
         try:
             heap = self._heap
             while heap:
                 event = heap[0]
                 if event.cancelled:
                     heapq.heappop(heap)
+                    if self._cancelled > 0:
+                        self._cancelled -= 1
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(heap)
                 self.now = event.time
                 event.fn(*event.args)
+                if inv is not None:
+                    inv.after_event(self.now)
             if until is not None and until > self.now:
                 self.now = until
+            if inv is not None:
+                inv.final_check()
         finally:
             self._running = False
 
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events — for tests/debugging."""
+        """Number of queued live (non-cancelled) events — for tests/debugging."""
         return sum(1 for event in self._heap if not event.cancelled)
+
+    def heap_size(self) -> int:
+        """Raw heap length including cancelled entries — for tests/debugging."""
+        return len(self._heap)

@@ -158,6 +158,8 @@ class Flow:
         self.stats.start_time = self.start_time
         self.receiver = FlowReceiver(self)
         self.sender_endpoint = _SenderEndpoint(self)
+        if sim.invariants is not None:
+            sim.invariants.register_flow(self)
         self.completed = False
         self._next_seq = 0
         # Unbounded flows always have data; bounded/chunked flows meter it.

@@ -1,0 +1,142 @@
+"""Runtime invariant checking for the simulator.
+
+The paper's noise-tolerance claims (§5, Figs 9-10) rest on separating
+*injected* jitter from *accidental* nondeterminism or accounting bugs in
+the simulator itself.  This module audits structural invariants while a
+simulation runs, so a broken link or a clock regression fails loudly in
+the test suite instead of silently skewing a benchmark:
+
+* **packet conservation** — for every link, packets offered equal packets
+  delivered + tail-dropped + randomly lost + still queued;
+* **non-negative queues** — link backlogs never go negative;
+* **monotonic clock** — simulated time never moves backwards across
+  event dispatches;
+* **bounded RTT samples** — every RTT sample is finite, at least the
+  path's propagation delay, and no larger than the flow's lifetime.
+
+Attach a checker with ``Simulator(check_invariants=True)`` or by setting
+``REPRO_CHECK_INVARIANTS=1`` in the environment (the tier-1 test suite
+does the latter in ``tests/conftest.py``).  Links and flows register
+themselves automatically when their simulator carries a checker.
+
+The per-event cost is one float compare; the full sweep over links and
+flows runs every ``sweep_interval`` events and once more when
+:meth:`Simulator.run` returns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from .engine import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Simulator
+    from .flow import Flow
+
+_QUEUE_EPSILON_BYTES = 1e-6
+_RTT_EPSILON_S = 1e-9
+
+
+class InvariantError(SimulationError):
+    """A structural invariant of the simulation was violated."""
+
+
+class InvariantChecker:
+    """Audits conservation, queue, clock, and RTT invariants during a run.
+
+    Args:
+        sim: The simulator being audited.
+        sweep_every_events: Events between full link/flow sweeps.  The
+            monotonic-clock check runs on every event regardless.
+    """
+
+    def __init__(self, sim: "Simulator", sweep_every_events: int = 256):
+        if sweep_every_events < 1:
+            raise ValueError("sweep_every_events must be positive")
+        self.sim = sim
+        self.sweep_every_events = sweep_every_events
+        self._links: list = []
+        self._flows: list["Flow"] = []
+        self._rtt_checked: dict[int, int] = {}  # id(flow) -> samples audited
+        self._last_now = 0.0
+        self._events_since_sweep = 0
+        self.sweeps = 0  # total full sweeps (for tests)
+
+    # ------------------------------------------------------------------
+    # Registration (called from Link / DynamicLink / Flow constructors)
+    # ------------------------------------------------------------------
+    def register_link(self, link) -> None:
+        """Track a link-like object (needs ``stats``, ``backlog_bytes()``,
+        ``queued_packets()``)."""
+        self._links.append(link)
+
+    def register_flow(self, flow: "Flow") -> None:
+        """Track a flow's RTT samples."""
+        self._flows.append(flow)
+        self._rtt_checked[id(flow)] = 0
+
+    # ------------------------------------------------------------------
+    # Hooks (called from the engine)
+    # ------------------------------------------------------------------
+    def after_event(self, now: float) -> None:
+        """Per-event hook: clock monotonicity + periodic sweeps."""
+        if now < self._last_now:
+            raise InvariantError(
+                f"simulated clock moved backwards: {self._last_now} -> {now}"
+            )
+        self._last_now = now
+        self._events_since_sweep += 1
+        if self._events_since_sweep >= self.sweep_every_events:
+            self.check_now()
+
+    def final_check(self) -> None:
+        """End-of-run hook: one last full sweep."""
+        self.check_now()
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def check_now(self) -> None:
+        """Run every invariant immediately (also usable from tests)."""
+        self._events_since_sweep = 0
+        self.sweeps += 1
+        for link in self._links:
+            self._check_link(link)
+        for flow in self._flows:
+            self._check_flow_rtts(flow)
+
+    def _check_link(self, link) -> None:
+        stats = link.stats
+        queued = link.queued_packets()
+        accounted = stats.delivered + stats.tail_drops + stats.random_losses + queued
+        if stats.offered != accounted:
+            raise InvariantError(
+                f"packet conservation violated on {link.name!r}: "
+                f"offered={stats.offered} but delivered={stats.delivered} "
+                f"+ tail_drops={stats.tail_drops} "
+                f"+ random_losses={stats.random_losses} + queued={queued} "
+                f"= {accounted}"
+            )
+        backlog = link.backlog_bytes()
+        if backlog < -_QUEUE_EPSILON_BYTES or not math.isfinite(backlog):
+            raise InvariantError(
+                f"negative or non-finite backlog on {link.name!r}: {backlog}"
+            )
+
+    def _check_flow_rtts(self, flow: "Flow") -> None:
+        rtts = flow.stats.rtts
+        start = self._rtt_checked[id(flow)]
+        if start >= len(rtts):
+            return
+        floor_s = flow.base_rtt() - _RTT_EPSILON_S
+        ceiling_s = self.sim.now - flow.start_time + _RTT_EPSILON_S
+        for i in range(start, len(rtts)):
+            rtt = rtts[i]
+            if not math.isfinite(rtt) or rtt < floor_s or rtt > ceiling_s:
+                raise InvariantError(
+                    f"RTT sample {rtt} of flow {flow.flow_id} outside "
+                    f"[{floor_s}, {ceiling_s}] (sample #{i})"
+                )
+        self._rtt_checked[id(flow)] = len(rtts)

@@ -15,12 +15,12 @@ it into a burst (the ACK-compression effect discussed in §5 of the paper).
 
 from __future__ import annotations
 
-import random
 from typing import Protocol
 
 from .engine import Simulator
 from .noise import NoiseModel
 from .packet import Packet
+from .rng import Rng
 
 
 class Receiver(Protocol):
@@ -32,9 +32,16 @@ class Receiver(Protocol):
 class LinkStats:
     """Counters exposed by every link for assertions and reports."""
 
-    __slots__ = ("delivered", "tail_drops", "random_losses", "max_backlog_bytes")
+    __slots__ = (
+        "offered",
+        "delivered",
+        "tail_drops",
+        "random_losses",
+        "max_backlog_bytes",
+    )
 
     def __init__(self) -> None:
+        self.offered = 0
         self.delivered = 0
         self.tail_drops = 0
         self.random_losses = 0
@@ -63,7 +70,7 @@ class Link:
         buffer_bytes: float = float("inf"),
         loss_rate: float = 0.0,
         noise: NoiseModel | None = None,
-        rng: random.Random | None = None,
+        rng: Rng | None = None,
         name: str = "link",
     ):
         if bandwidth_bps <= 0:
@@ -78,11 +85,13 @@ class Link:
         self.buffer_bytes = buffer_bytes
         self.loss_rate = loss_rate
         self.noise = noise
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else Rng(0)
         self.name = name
         self.stats = LinkStats()
         self._busy_until = 0.0
         self._last_delivery = 0.0
+        if sim.invariants is not None:
+            sim.invariants.register_link(self)
 
     # ------------------------------------------------------------------
     def backlog_bytes(self) -> float:
@@ -93,6 +102,10 @@ class Link:
         """Waiting time a packet enqueued right now would experience."""
         return max(0.0, self._busy_until - self.sim.now)
 
+    def queued_packets(self) -> int:
+        """Packets held in an explicit queue (none: the queue is analytic)."""
+        return 0
+
     def send(self, packet: Packet, dst: Receiver) -> bool:
         """Enqueue ``packet`` for delivery to ``dst``.
 
@@ -100,6 +113,7 @@ class Link:
         lost on the wire) and False on a tail drop.
         """
         now = self.sim.now
+        self.stats.offered += 1
         backlog = max(0.0, self._busy_until - now) * self.bandwidth_bps / 8.0
         # Epsilon absorbs float error in the analytic backlog computation.
         if backlog + packet.size_bytes > self.buffer_bytes + 1e-6:

@@ -16,14 +16,15 @@ effect the paper's per-ACK filter targets.
 
 from __future__ import annotations
 
-import random
 from typing import Protocol
+
+from .rng import Rng
 
 
 class NoiseModel(Protocol):
     """Produces a non-negative extra delay (seconds) for each packet."""
 
-    def sample(self, now: float, rng: random.Random) -> float:
+    def sample(self, now: float, rng: Rng) -> float:
         """Extra one-way delay for a packet entering the link at ``now``."""
         ...
 
@@ -31,7 +32,7 @@ class NoiseModel(Protocol):
 class NoNoise:
     """Clean channel: zero extra delay."""
 
-    def sample(self, now: float, rng: random.Random) -> float:
+    def sample(self, now: float, rng: Rng) -> float:
         return 0.0
 
 
@@ -48,7 +49,7 @@ class GaussianJitter:
         self.std_s = std_s
         self.mean_s = mean_s
 
-    def sample(self, now: float, rng: random.Random) -> float:
+    def sample(self, now: float, rng: Rng) -> float:
         return max(0.0, rng.gauss(self.mean_s, self.std_s))
 
 
@@ -73,7 +74,7 @@ class SpikeNoise:
         self.duration_s = duration_s
         self._next_spike: float | None = None
 
-    def sample(self, now: float, rng: random.Random) -> float:
+    def sample(self, now: float, rng: Rng) -> float:
         if self.rate_hz <= 0:
             return 0.0
         if self._next_spike is None:
@@ -92,7 +93,7 @@ class CompositeNoise:
     def __init__(self, *components: NoiseModel):
         self.components = components
 
-    def sample(self, now: float, rng: random.Random) -> float:
+    def sample(self, now: float, rng: Rng) -> float:
         return sum(c.sample(now, rng) for c in self.components)
 
 

@@ -8,13 +8,11 @@ propagation delay supports heterogeneous-RTT setups.
 
 from __future__ import annotations
 
-import random
-
 from .engine import Simulator
 from .flow import Flow, Path
 from .link import Link
 from .noise import NoiseModel
-from .rng import spawn
+from .rng import Rng, spawn
 
 
 def mbps(value: float) -> float:
@@ -47,11 +45,11 @@ class Dumbbell:
         loss_rate: float = 0.0,
         noise: NoiseModel | None = None,
         reverse_noise: NoiseModel | None = None,
-        rng: random.Random | None = None,
+        rng: Rng | None = None,
         bottleneck=None,
     ):
         self.sim = sim
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else Rng(0)
         self.bandwidth_bps = bandwidth_bps
         self.rtt_s = rtt_s
         if bottleneck is not None:

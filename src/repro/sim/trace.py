@@ -43,10 +43,10 @@ class FlowStats:
     def record_send(self) -> None:
         self.packets_sent += 1
 
-    def record_ack(self, now: float, nbytes: int, rtt: float) -> None:
+    def record_ack(self, now: float, nbytes: int, rtt_s: float) -> None:
         self.ack_times.append(now)
         self.acked_bytes.append(nbytes)
-        self.rtts.append(rtt)
+        self.rtts.append(rtt_s)
         self.total_acked_bytes += nbytes
 
     def record_delivery(self, now: float, nbytes: int) -> None:

@@ -1,0 +1,35 @@
+"""Suite-wide configuration.
+
+Two devtools hooks live here:
+
+* every test runs with runtime invariant checking enabled
+  (``repro.sim.invariants``) unless a test overrides it explicitly, so
+  an accounting bug in the simulator fails the whole tier-1 suite;
+* ``--determinism-repeats`` controls how many times the determinism
+  regression tests re-run each scenario when asserting trace equality.
+"""
+
+import os
+
+import pytest
+
+# Must be set before any test constructs a Simulator().
+os.environ.setdefault("REPRO_CHECK_INVARIANTS", "1")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--determinism-repeats",
+        action="store",
+        type=int,
+        default=2,
+        help="runs per scenario in the determinism regression tests",
+    )
+
+
+@pytest.fixture
+def determinism_repeats(request):
+    repeats = request.config.getoption("--determinism-repeats")
+    if repeats < 2:
+        pytest.skip("determinism checks need at least 2 repeats")
+    return repeats

@@ -6,7 +6,7 @@ from repro.core import MonitorInterval
 
 
 def make_mi(rate_bps=10e6, duration=0.03):
-    return MonitorInterval(1, rate_bps, start=0.0, duration=duration)
+    return MonitorInterval(1, rate_bps, start=0.0, duration_s=duration)
 
 
 def test_completion_requires_closure_and_accounting():

@@ -1,0 +1,12 @@
+"""Fixture: no-bare-random violations (applies everywhere but sim/rng.py)."""
+import random
+
+from random import choice
+
+
+def roll():
+    return random.randint(1, 6)
+
+
+def np_style(np):
+    return np.random.uniform()

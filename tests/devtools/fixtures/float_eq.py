@@ -1,0 +1,9 @@
+"""Fixture: no-float-eq violations (and allowed sentinel comparisons)."""
+
+
+def check(now, deadline_s, rate_bps):
+    if now == deadline_s:
+        return True
+    if rate_bps != 1.5:
+        return False
+    return rate_bps == float("inf")  # sentinel comparison: allowed

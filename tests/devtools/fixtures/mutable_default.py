@@ -1,0 +1,13 @@
+"""Fixture: mutable-default-arg violations."""
+
+
+def collect(items=[]):
+    return items
+
+
+def index(table={}, tags=set()):
+    return table, tags
+
+
+def safe(items=None, n=3):
+    return items, n

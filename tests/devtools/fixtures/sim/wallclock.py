@@ -1,0 +1,11 @@
+"""Fixture: no-wallclock violations (path is scoped under sim/)."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def today():
+    return datetime.now()

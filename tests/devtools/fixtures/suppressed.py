@@ -1,0 +1,7 @@
+"""Fixture: noqa suppression precision."""
+import random  # repro: noqa[no-bare-random]
+import random as r2  # repro: noqa
+
+
+def wrong_rule():
+    return random.random()  # repro: noqa[no-wallclock]

@@ -1,0 +1,48 @@
+"""CLI surface of ``repro lint``: exit codes and output formats."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_lint_clean_tree_exits_zero(capsys):
+    assert main(["lint", str(REPO_SRC)]) == 0
+    out = capsys.readouterr().out
+    assert "0 violations" in out
+
+
+def test_lint_violations_exit_one(capsys):
+    assert main(["lint", str(FIXTURES / "bare_random.py")]) == 1
+    out = capsys.readouterr().out
+    assert "no-bare-random" in out
+    assert "4 violations" in out
+
+
+def test_lint_json_output(capsys):
+    assert main(["lint", "--json", str(FIXTURES / "mutable_default.py")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 3
+    assert payload[0]["rule"] == "mutable-default-arg"
+    assert {"path", "line", "col", "rule", "message"} <= set(payload[0])
+
+
+def test_lint_missing_path_exits_two(capsys):
+    assert main(["lint", "does/not/exist"]) == 2
+    assert "does/not/exist" in capsys.readouterr().err
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "no-bare-random",
+        "no-wallclock",
+        "no-float-eq",
+        "unit-suffix",
+        "mutable-default-arg",
+    ):
+        assert rule_id in out

@@ -1,0 +1,138 @@
+"""One test per lint rule, against planted-violation fixture files.
+
+The fixtures live under ``fixtures/`` — the ``sim/`` subdirectory exists
+so path-scoped rules (no-wallclock, unit-suffix) see an in-scope path,
+and ``fixtures/sim/rng.py`` exercises the no-bare-random exemption.
+"""
+
+from pathlib import Path
+
+from repro.devtools.lint import REGISTRY, LintEngine, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def lint_fixture(name, rules=None):
+    return lint_paths([str(FIXTURES / name)], rules=rules)
+
+
+def positions(violations, rule_id):
+    return [(v.line, v.col) for v in violations if v.rule_id == rule_id]
+
+
+def test_registry_has_all_five_rules():
+    ids = set(REGISTRY.rules)
+    assert ids >= {
+        "no-bare-random",
+        "no-wallclock",
+        "no-float-eq",
+        "unit-suffix",
+        "mutable-default-arg",
+    }
+
+
+def test_no_bare_random():
+    violations = lint_fixture("bare_random.py")
+    assert positions(violations, "no-bare-random") == [
+        (2, 1),  # import random
+        (4, 1),  # from random import choice
+        (8, 12),  # random.randint(...)
+        (12, 12),  # np.random.uniform()
+    ]
+    assert all(v.rule_id == "no-bare-random" for v in violations)
+
+
+def test_no_bare_random_exempts_sim_rng():
+    violations = lint_fixture("sim/rng.py")
+    assert violations == []
+
+
+def test_no_wallclock():
+    violations = lint_fixture("sim/wallclock.py")
+    assert positions(violations, "no-wallclock") == [
+        (7, 12),  # time.time()
+        (11, 12),  # datetime.now()
+    ]
+
+
+def test_no_wallclock_scoped_to_simulated_packages(tmp_path):
+    # The same source outside sim/core/protocols is fine (harness code
+    # legitimately timestamps runs).
+    src = (FIXTURES / "sim" / "wallclock.py").read_text()
+    out = tmp_path / "harness" / "wallclock.py"
+    out.parent.mkdir()
+    out.write_text(src)
+    assert lint_paths([str(out)]) == []
+
+
+def test_no_float_eq():
+    violations = lint_fixture("float_eq.py")
+    assert positions(violations, "no-float-eq") == [
+        (5, 8),  # now == deadline_s
+        (7, 8),  # rate_bps != 1.5
+    ]
+    # float('inf') sentinel on line 9 is allowed.
+    assert all(v.line != 9 for v in violations)
+
+
+def test_unit_suffix():
+    violations = lint_fixture("sim/unit_suffix.py")
+    assert positions(violations, "unit-suffix") == [
+        (5, 24),  # __init__(self, rate, ...)
+        (10, 17),  # set_timeout(timeout)
+    ]
+    # _private_ok's 'delay' and the allowed names are not flagged.
+    flagged = {v.message.split("'")[1] for v in violations}
+    assert flagged == {"rate", "timeout"}
+
+
+def test_mutable_default_arg():
+    violations = lint_fixture("mutable_default.py")
+    assert positions(violations, "mutable-default-arg") == [
+        (4, 19),  # items=[]
+        (8, 17),  # table={}
+        (8, 26),  # tags=set()
+    ]
+
+
+def test_noqa_suppression_is_rule_precise():
+    violations = lint_fixture("suppressed.py")
+    # line 2: suppressed by rule id; line 3: suppressed by bare noqa;
+    # line 7: noqa names the wrong rule, so the violation survives.
+    assert [(v.line, v.rule_id) for v in violations] == [
+        (7, "no-bare-random"),
+    ]
+
+
+def test_rule_filter():
+    violations = lint_fixture("bare_random.py", rules=["no-wallclock"])
+    assert violations == []
+
+
+def test_syntax_error_reported_as_violation(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    violations = lint_paths([str(bad)])
+    assert len(violations) == 1
+    assert violations[0].rule_id == "syntax-error"
+
+
+def test_violations_sorted_and_renderable():
+    violations = lint_fixture(".")
+    assert violations == sorted(violations)
+    for v in violations:
+        rendered = v.render()
+        assert f"{v.line}:{v.col}" in rendered
+        assert v.rule_id in rendered
+
+
+def test_engine_lint_source_directly():
+    engine = LintEngine()
+    violations = engine.lint_source("import random\n", "pkg/module.py")
+    assert [v.rule_id for v in violations] == ["no-bare-random"]
+
+
+def test_repo_source_tree_is_lint_clean():
+    # The acceptance bar: `repro lint src/` exits 0 on this repo.
+    assert lint_paths([str(REPO_SRC)]) == []

@@ -84,7 +84,7 @@ def test_codel_drops_on_persistent_sojourn():
 # ----------------------------------------------------------------------
 def test_dynamic_link_serializes_like_fifo():
     sim = Simulator()
-    link = DynamicLink(sim, rate=8e6, delay_s=0.0, discipline=TailDropDiscipline(1e6))
+    link = DynamicLink(sim, rate_bps=8e6, delay_s=0.0, discipline=TailDropDiscipline(1e6))
     sink = TimedSink(sim)
     for seq in range(3):
         link.send(Packet(1, seq, size_bytes=1000), sink)
@@ -97,13 +97,13 @@ def test_dynamic_link_step_rate_changes_service_speed():
     sim = Simulator()
     # 8 Mbps for the first second, then 0.8 Mbps.
     rate_fn = step_rate([(0.0, 8e6), (1.0, 0.8e6)])
-    link = DynamicLink(sim, rate=rate_fn, delay_s=0.0)
+    link = DynamicLink(sim, rate_bps=rate_fn, delay_s=0.0)
     sink = TimedSink(sim)
     link.send(Packet(1, 1, size_bytes=1000), sink)
     sim.run()
     fast = sink.arrivals[-1][0]
     sim2 = Simulator()
-    link2 = DynamicLink(sim2, rate=rate_fn, delay_s=0.0)
+    link2 = DynamicLink(sim2, rate_bps=rate_fn, delay_s=0.0)
     sink2 = TimedSink(sim2)
     sim2.schedule(2.0, link2.send, Packet(1, 1, size_bytes=1000), sink2)
     sim2.run()
@@ -138,7 +138,7 @@ def make_aqm_dumbbell(discipline, bandwidth_mbps=20.0, seed=1):
     sim = Simulator()
     bottleneck = DynamicLink(
         sim,
-        rate=mbps(bandwidth_mbps),
+        rate_bps=mbps(bandwidth_mbps),
         delay_s=0.015,
         discipline=discipline,
         rng=make_rng(seed),
@@ -180,7 +180,7 @@ def test_fixed_rate_over_cellular_link_tracks_capacity():
     sim = Simulator()
     bottleneck = DynamicLink(
         sim,
-        rate=cellular_rate(mean_bps=10e6, period_s=1.0, depth=0.5, seed=4),
+        rate_bps=cellular_rate(mean_bps=10e6, period_s=1.0, depth=0.5, seed=4),
         delay_s=0.015,
         discipline=TailDropDiscipline(200e3),
         rng=make_rng(5),

@@ -1,0 +1,86 @@
+"""Cancelled-event compaction: the heap must not grow without bound.
+
+Rate senders cancel and reschedule pacing timers constantly; before
+compaction, every cancelled event sat in the heap until its (possibly
+far-future) deadline popped.  The engine now rebuilds the heap once
+cancelled entries outnumber live ones (past a minimum size), so memory
+tracks live events, not cancellation churn.
+"""
+
+from repro.sim import Simulator
+from repro.sim.engine import _COMPACT_MIN_HEAP
+
+
+def test_compaction_shrinks_heap():
+    sim = Simulator(check_invariants=False)
+    events = [sim.schedule_at(1.0 + i, lambda: None) for i in range(200)]
+    assert sim.heap_size() == 200
+    for event in events[:150]:
+        event.cancel()
+    # Compaction fires when dead entries pass 50% (at the 101st cancel,
+    # leaving the 99 then-live events); the heap must never again hold
+    # all 200 slots, and live-event accounting stays exact.
+    assert sim.heap_size() == 99
+    assert sim.pending() == 50
+
+
+def test_no_compaction_below_min_heap_size():
+    sim = Simulator(check_invariants=False)
+    n = _COMPACT_MIN_HEAP - 2
+    events = [sim.schedule_at(1.0 + i, lambda: None) for i in range(n)]
+    for event in events:
+        event.cancel()
+    # Tiny heaps are not worth rebuilding: lazy skip handles them.
+    assert sim.heap_size() == n
+    assert sim.pending() == 0
+
+
+def test_double_cancel_counted_once():
+    sim = Simulator(check_invariants=False)
+    events = [sim.schedule_at(1.0 + i, lambda: None) for i in range(100)]
+    for event in events[:40]:
+        event.cancel()
+        event.cancel()  # second cancel must not inflate the counter
+    assert sim._cancelled == 40
+    assert sim.heap_size() == 100  # 40/100 dead: below the 50% threshold
+
+
+def test_ordering_preserved_after_compaction():
+    sim = Simulator(check_invariants=False)
+    fired = []
+    keep = []
+    for i in range(200):
+        event = sim.schedule_at(1.0 + 0.01 * i, fired.append, i)
+        if i % 4 != 0:
+            event.cancel()
+        else:
+            keep.append(i)
+    assert sim.heap_size() < 200
+    sim.run()
+    assert fired == keep
+
+
+def test_popping_cancelled_events_decrements_counter():
+    sim = Simulator(check_invariants=False)
+    events = [sim.schedule_at(1.0 + i, lambda: None) for i in range(100)]
+    for event in events[:45]:
+        event.cancel()
+    assert sim._cancelled == 45
+    sim.run()
+    assert sim._cancelled == 0
+    assert sim.heap_size() == 0
+
+
+def test_cancel_after_run_starts():
+    sim = Simulator(check_invariants=False)
+    fired = []
+
+    def cancel_rest():
+        for event in later:
+            event.cancel()
+
+    sim.schedule_at(0.5, cancel_rest)
+    later = [sim.schedule_at(1.0 + i, fired.append, i) for i in range(150)]
+    sim.run()
+    assert fired == []
+    assert sim.heap_size() == 0

@@ -10,7 +10,7 @@ from repro.sim import FlowStats
 def filled_stats():
     stats = FlowStats(flow_id=7)
     for i in range(10):
-        stats.record_ack(now=float(i), nbytes=1000, rtt=0.030 + 0.001 * i)
+        stats.record_ack(now=float(i), nbytes=1000, rtt_s=0.030 + 0.001 * i)
     return stats
 
 
@@ -102,7 +102,7 @@ def test_property_windowed_throughput_sums_to_total(events):
     events.sort()
     stats = FlowStats()
     for t, nbytes in events:
-        stats.record_ack(t, nbytes, rtt=0.03)
+        stats.record_ack(t, nbytes, rtt_s=0.03)
     total_bytes = sum(n for _, n in events)
     # One window covering everything recovers the exact byte count.
     assert stats.throughput_bps(-1.0, 101.0) * 102.0 / 8.0 == pytest.approx(
