@@ -21,7 +21,9 @@ if _here not in sys.path:  # allow `pytest benchmarks/` from the repo root
 
 def scaled(seconds: float) -> float:
     """Scale a duration by REPRO_SCALE (default 1)."""
-    return seconds * float(os.environ.get("REPRO_SCALE", "1"))
+    from repro.harness import scale  # cached env parse (one read per process)
+
+    return seconds * scale()
 
 
 def run_once(benchmark, fn):

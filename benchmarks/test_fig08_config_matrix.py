@@ -17,7 +17,7 @@ import statistics
 
 from _common import run_once, scaled
 
-from repro.harness import config_matrix, format_cdf, print_table, run_pair
+from repro.harness import config_matrix, format_cdf, pmap, print_table, run_pair
 from repro.analysis import cdf_points
 
 PRIMARIES = ("bbr", "cubic", "proteus-p")
@@ -36,19 +36,31 @@ def matrix():
     return config_matrix(bandwidths, rtts, buffers)
 
 
+def _matrix_point(point):
+    """One (config, primary, scavenger) cell — module-level so the sweep
+    can fan out across the REPRO_JOBS process pool."""
+    config, primary, scavenger, duration = point
+    pair = run_pair(primary, scavenger, config, duration_s=duration, seed=4)
+    return pair.primary_throughput_ratio
+
+
 def experiment():
     configs = matrix()
     duration = scaled(12.0)
+    points = [
+        (config, primary, scavenger, duration)
+        for config in configs
+        for primary in PRIMARIES
+        for scavenger in SCAVENGERS
+    ]
+    # The matrix is embarrassingly parallel; results come back in point
+    # order, so the grouped lists are identical to the old serial loop.
+    values = pmap(_matrix_point, points)
     ratios: dict[tuple[str, str], list[float]] = {
         (p, s): [] for p in PRIMARIES for s in SCAVENGERS
     }
-    for config in configs:
-        for primary in PRIMARIES:
-            for scavenger in SCAVENGERS:
-                pair = run_pair(
-                    primary, scavenger, config, duration_s=duration, seed=4
-                )
-                ratios[(primary, scavenger)].append(pair.primary_throughput_ratio)
+    for (_, primary, scavenger, _), value in zip(points, values):
+        ratios[(primary, scavenger)].append(value)
     return ratios, len(configs)
 
 

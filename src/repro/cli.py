@@ -140,6 +140,56 @@ def cmd_protocols(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    # Imported here so scenario commands never pay for the bench suite.
+    import json
+
+    from .harness.bench import check_regression, run_bench, write_bench_json
+
+    record = run_bench(
+        quick=args.quick,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_root=args.cache_dir,
+    )
+    engine = record["engine"]
+    cache = record["cache"]
+    print_table(
+        ["metric", "value"],
+        [
+            ("scenario events/sec", f"{record['events_per_sec']:,.0f}"),
+            ("engine fast-path events/sec", f"{engine['fast_events_per_sec']:,.0f}"),
+            ("engine Event-path events/sec", f"{engine['event_events_per_sec']:,.0f}"),
+            ("suite wall (s)", f"{record['suite_wall_s']:.2f}"),
+            ("jobs", record["jobs"]),
+            (
+                "cache hits/misses",
+                f"{cache['hits']}/{cache['misses']}" if cache["enabled"] else "off",
+            ),
+        ]
+        + [
+            (f"{name} wall (s)", f"{fig['wall_s']:.2f}")
+            for name, fig in record["figures"].items()
+        ],
+        title="repro bench" + (" --quick" if args.quick else ""),
+    )
+    write_bench_json(args.out, record)
+    print(f"wrote {args.out}")
+    if args.check_against:
+        try:
+            baseline = json.loads(open(args.check_against).read())
+        except (OSError, ValueError) as exc:
+            print(f"repro bench: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        failures = check_regression(record, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"no regression vs {args.check_against}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     # Imported here so simulation commands never pay for the lint engine.
     from .devtools.lint import describe_rules, format_json, format_text, lint_paths
@@ -187,6 +237,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("protocols", help="list protocol names")
     p_list.set_defaults(fn=cmd_protocols)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="performance benchmark suite (see docs/PERFORMANCE.md)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true", help="reduced scale for CI smoke runs"
+    )
+    p_bench.add_argument(
+        "--out", default="BENCH_sim.json", help="result JSON path"
+    )
+    p_bench.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE",
+        help="fail (exit 1) if events/sec regresses >30%% vs this JSON",
+    )
+    p_bench.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default REPRO_JOBS)"
+    )
+    p_bench.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    p_bench.add_argument(
+        "--cache-dir", default=None, help="cache root (default .repro-cache)"
+    )
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_lint = sub.add_parser(
         "lint",

@@ -1,11 +1,13 @@
 """Experiment harness: scenario definitions, runners, and reporting."""
 
+from .cache import ResultCache, disable_cache, enable_cache, source_digest
 from .export import (
     run_result_summary,
     write_csv,
     write_run_json,
     write_throughput_series_csv,
 )
+from .parallel import ParallelExecutor, default_jobs, pmap
 from .plots import cdf_plot, sparkline, timeseries_plot
 from .report import format_cdf, format_table, print_table
 from .trials import TrialSummary, run_trials, run_trials_multi, summarize
@@ -14,6 +16,7 @@ from .runner import (
     PairResult,
     RunResult,
     StreamingResult,
+    reset_scale_cache,
     run_flows,
     run_homogeneous,
     run_pair,
@@ -40,14 +43,22 @@ __all__ = [
     "LinkConfig",
     "PRIMARY_PROTOCOLS",
     "PairResult",
+    "ParallelExecutor",
+    "ResultCache",
     "RunResult",
     "SCAVENGER_PROTOCOLS",
     "StreamingResult",
     "TrialSummary",
     "cdf_plot",
     "config_matrix",
+    "default_jobs",
+    "disable_cache",
+    "enable_cache",
     "sparkline",
+    "source_digest",
     "timeseries_plot",
+    "pmap",
+    "reset_scale_cache",
     "run_trials",
     "run_trials_multi",
     "summarize",

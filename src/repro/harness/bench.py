@@ -1,0 +1,251 @@
+"""Performance benchmark suite (``repro bench``).
+
+Two layers of measurement, both emitted to ``BENCH_sim.json``:
+
+* **Engine microbenchmarks** — raw event throughput of the simulation
+  engine's two scheduling paths (cancellable :class:`Event` entries vs
+  the allocation-free fast path), plus events/sec of a real
+  congestion-control scenario.  These are the regression gate: CI runs
+  ``repro bench --quick --check-against benchmarks/perf/baseline.json``
+  and fails on a >30% events/sec drop.
+
+* **Figure workloads** — representative paper-figure scenarios timed
+  end-to-end (wall seconds per figure and for the whole suite).  These
+  exercise the parallel trial executor and the result cache: a warm
+  re-run of an unchanged figure is a set of cache hits and completes in
+  a small fraction of its cold time.
+
+Wall-clock reads live here — *outside* ``sim/``/``core/``/``protocols/``
+— so the ``no-wallclock`` lint rule still guarantees that nothing inside
+the simulated world can see the host clock.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..sim import Simulator
+from . import cache as cache_mod
+from .cache import disable_cache, enable_cache, reset_cache_state
+from .parallel import default_jobs
+from .runner import FlowSpec, run_flows, run_homogeneous, run_pair
+from .scenarios import EMULAB_DEFAULT, EMULAB_SHALLOW, LinkConfig
+from .trials import run_trials
+
+SCHEMA_VERSION = 1
+REGRESSION_TOLERANCE = 0.30
+"""CI gate: fail when events/sec drops more than this vs the baseline."""
+
+_CHAINS = 64
+"""Concurrent self-rescheduling chains in the microbenchmark — keeps the
+heap at a realistic depth instead of benchmarking a one-element heap."""
+
+
+# ----------------------------------------------------------------------
+# Engine microbenchmarks
+# ----------------------------------------------------------------------
+def engine_events_per_sec(n_events: int = 200_000, fast: bool = True) -> float:
+    """Throughput of ``n_events`` no-op callbacks through the engine.
+
+    ``fast=True`` exercises :meth:`Simulator.schedule_fast` (tuple-only
+    heap entries); ``fast=False`` the cancellable :class:`Event` path.
+    """
+    sim = Simulator(check_invariants=False)
+    remaining = n_events - _CHAINS
+
+    if fast:
+
+        def tick() -> None:
+            nonlocal remaining
+            if remaining > 0:
+                remaining -= 1
+                sim.schedule_fast(0.001, tick)
+
+    else:
+
+        def tick() -> None:
+            nonlocal remaining
+            if remaining > 0:
+                remaining -= 1
+                sim.schedule(0.001, tick)
+
+    for i in range(_CHAINS):
+        sim.schedule_fast_at(i * 1e-5, tick)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return sim.events_fired / elapsed
+
+
+def scenario_events_per_sec(duration_s: float = 6.0) -> tuple[float, int, float]:
+    """(events/sec, events, wall_s) of a real two-flow scenario.
+
+    Runs live (never through the cache): the point is to measure the
+    simulator, not the JSON decoder.
+    """
+    config = LinkConfig(bandwidth_mbps=50.0, rtt_ms=30.0, buffer_kb=375.0)
+    specs = [FlowSpec("cubic"), FlowSpec("proteus-s", start_time=1.0)]
+    saved = cache_mod._ACTIVE
+    disable_cache()
+    try:
+        start = time.perf_counter()
+        result = run_flows(specs, config, duration_s, seed=1)
+        elapsed = time.perf_counter() - start
+    finally:
+        cache_mod._ACTIVE = saved
+    assert result.dumbbell is not None  # live run, never cache-rebuilt
+    fired = result.dumbbell.sim.events_fired
+    return fired / elapsed, fired, elapsed
+
+
+# ----------------------------------------------------------------------
+# Figure workloads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FigureBench:
+    """One timed figure-shaped workload."""
+
+    name: str
+    run: Callable[[float], object]  # duration multiplier -> result
+
+
+def _fig03_buffer_point(scale_f: float) -> object:
+    return run_flows(
+        [FlowSpec("proteus-p")], EMULAB_SHALLOW, 8.0 * scale_f, seed=2
+    )
+
+
+def _fig05_fairness(scale_f: float) -> object:
+    return run_homogeneous(
+        "proteus-s", 3, EMULAB_DEFAULT, stagger_s=2.0, measure_s=8.0 * scale_f, seed=2
+    )
+
+
+def _fig07_pair(scale_f: float) -> object:
+    return run_pair("cubic", "proteus-s", EMULAB_DEFAULT, duration_s=10.0 * scale_f, seed=3)
+
+
+def _trial_experiment(seed: int) -> float:
+    """Module-level (hence picklable) experiment for the trial sweep."""
+    result = run_flows(
+        [FlowSpec("cubic"), FlowSpec("proteus-s", start_time=1.0)],
+        EMULAB_DEFAULT,
+        6.0,
+        seed=seed,
+    )
+    return result.throughput_mbps(0)
+
+
+def _trials_sweep(scale_f: float) -> object:
+    return run_trials(_trial_experiment, n_trials=max(2, int(4 * scale_f)), base_seed=1)
+
+
+FIGURE_BENCHES: tuple[FigureBench, ...] = (
+    FigureBench("fig03_buffer_point", _fig03_buffer_point),
+    FigureBench("fig05_fairness", _fig05_fairness),
+    FigureBench("fig07_pair", _fig07_pair),
+    FigureBench("trials_pair_sweep", _trials_sweep),
+)
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+def run_bench(
+    quick: bool = False,
+    jobs: int | None = None,
+    use_cache: bool = True,
+    cache_root: str | Path | None = None,
+) -> dict:
+    """Run the full benchmark suite and return the result record."""
+    if jobs is None:
+        jobs = default_jobs()
+    if use_cache:
+        cache = enable_cache(cache_root)
+    else:
+        cache = None
+        disable_cache()
+    try:
+        suite_start = time.perf_counter()
+        n_events = 50_000 if quick else 200_000
+        engine = {
+            "n_events": n_events,
+            "fast_events_per_sec": engine_events_per_sec(n_events, fast=True),
+            "event_events_per_sec": engine_events_per_sec(n_events, fast=False),
+        }
+        scenario_duration = 3.0 if quick else 6.0
+        events_per_sec, fired, wall = scenario_events_per_sec(scenario_duration)
+        scenario = {
+            "duration_s": scenario_duration,
+            "events": fired,
+            "wall_s": wall,
+            "events_per_sec": events_per_sec,
+        }
+        scale_f = 0.4 if quick else 1.0
+        figures = {}
+        for bench in FIGURE_BENCHES:
+            start = time.perf_counter()
+            bench.run(scale_f)
+            figures[bench.name] = {"wall_s": time.perf_counter() - start}
+        record = {
+            "schema": SCHEMA_VERSION,
+            "quick": quick,
+            "jobs": jobs,
+            "engine": engine,
+            "scenario": scenario,
+            # Headline number for the CI regression gate.
+            "events_per_sec": events_per_sec,
+            "figures": figures,
+            "cache": {
+                "enabled": cache is not None,
+                "hits": cache.hits if cache else 0,
+                "misses": cache.misses if cache else 0,
+                "stores": cache.stores if cache else 0,
+            },
+            "suite_wall_s": time.perf_counter() - suite_start,
+        }
+        return record
+    finally:
+        reset_cache_state()
+
+
+def write_bench_json(path: str | Path, record: dict) -> None:
+    Path(path).write_text(json.dumps(record, indent=2) + "\n")
+
+
+def check_regression(record: dict, baseline: dict) -> list[str]:
+    """Compare against a committed baseline; returns failure messages.
+
+    Only events/sec rates are gated (wall times shift with machine load
+    and scenario edits; throughput of the fixed microbenchmark is the
+    stable signal).  A metric missing from the baseline is skipped so the
+    gate never blocks adding new measurements.
+    """
+    failures: list[str] = []
+    checks = (
+        ("events_per_sec", record.get("events_per_sec"), baseline.get("events_per_sec")),
+        (
+            "engine.fast_events_per_sec",
+            record.get("engine", {}).get("fast_events_per_sec"),
+            baseline.get("engine", {}).get("fast_events_per_sec"),
+        ),
+        (
+            "engine.event_events_per_sec",
+            record.get("engine", {}).get("event_events_per_sec"),
+            baseline.get("engine", {}).get("event_events_per_sec"),
+        ),
+    )
+    for name, current, reference in checks:
+        if current is None or reference is None or reference <= 0:
+            continue
+        floor = (1.0 - REGRESSION_TOLERANCE) * reference
+        if current < floor:
+            failures.append(
+                f"{name} regressed: {current:,.0f}/s < {floor:,.0f}/s "
+                f"(baseline {reference:,.0f}/s - {REGRESSION_TOLERANCE:.0%})"
+            )
+    return failures

@@ -1,0 +1,236 @@
+"""On-disk content-addressed result cache for simulation runs.
+
+Every seeded run is deterministic, so its full measurement record is a
+pure function of (scenario config, seed, simulator source).  The cache
+exploits that: a run's :class:`~repro.sim.trace.FlowStats` records are
+stored as JSON under ``.repro-cache/`` keyed by
+
+    sha256(canonical scenario payload + seed + source-tree digest)
+
+where the source-tree digest hashes every ``.py`` file under the
+installed ``repro`` package.  Re-running an unchanged benchmark is a
+cache hit; *any* source edit changes the digest and invalidates every
+entry cleanly (stale entries are simply never addressed again).
+
+Floats are serialised via ``float.hex()`` — exact representation, no
+rounding — so a cache round-trip is byte-identical to recomputation and
+the determinism digest gate (``repro.devtools.trace_digest``) cannot
+tell them apart.  A corrupt or truncated cache entry is treated as a
+miss and recomputed, never an error.
+
+The cache is opt-in: set ``REPRO_CACHE=1`` (and optionally
+``REPRO_CACHE_DIR``), or call :func:`enable_cache` programmatically.
+``repro bench`` enables it by default.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from array import array
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..sim.trace import FlowStats
+
+SCHEMA_VERSION = 1
+
+# ----------------------------------------------------------------------
+# Source-tree digest
+# ----------------------------------------------------------------------
+_SOURCE_DIGEST: str | None = None
+
+
+def source_digest() -> str:
+    """sha256 over every ``.py`` file of the installed ``repro`` package.
+
+    Computed once per process (hashing ~150 files per ``run_flows`` call
+    would dwarf small runs); tests poke :func:`reset_source_digest_cache`
+    after editing files.
+    """
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        package_root = Path(__file__).resolve().parent.parent
+        hasher = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            hasher.update(path.relative_to(package_root).as_posix().encode())
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\0")
+        _SOURCE_DIGEST = hasher.hexdigest()
+    return _SOURCE_DIGEST
+
+
+def reset_source_digest_cache() -> None:
+    """Forget the memoised source digest (test hook)."""
+    global _SOURCE_DIGEST
+    _SOURCE_DIGEST = None
+
+
+# ----------------------------------------------------------------------
+# FlowStats (de)serialisation — exact float round-trip via float.hex()
+# ----------------------------------------------------------------------
+def _hex_list(values: Iterable[float]) -> list[str]:
+    return [float(v).hex() for v in values]
+
+
+def _opt_hex(value: float | None) -> str | None:
+    return None if value is None else float(value).hex()
+
+
+def _opt_unhex(value: str | None) -> float | None:
+    return None if value is None else float.fromhex(value)
+
+
+def stats_to_record(stats: FlowStats) -> dict:
+    """JSON-safe dict capturing one flow's full measurement record."""
+    return {
+        "flow_id": stats.flow_id,
+        "start_time": float(stats.start_time).hex(),
+        "end_time": _opt_hex(stats.end_time),
+        "ack_times": _hex_list(stats.ack_times),
+        "acked_bytes": list(stats.acked_bytes),
+        "rtts": _hex_list(stats.rtts),
+        "total_acked_bytes": stats.total_acked_bytes,
+        "delivered_bytes": stats.delivered_bytes,
+        "first_delivery": _opt_hex(stats.first_delivery),
+        "last_delivery": _opt_hex(stats.last_delivery),
+        "loss_times": _hex_list(stats.loss_times),
+        "packets_sent": stats.packets_sent,
+    }
+
+
+def stats_from_record(record: dict) -> FlowStats:
+    """Rebuild a :class:`FlowStats` bit-identical to the one serialised."""
+    stats = FlowStats(flow_id=record["flow_id"])
+    stats.start_time = float.fromhex(record["start_time"])
+    stats.end_time = _opt_unhex(record["end_time"])
+    stats.ack_times = array("d", (float.fromhex(v) for v in record["ack_times"]))
+    stats.acked_bytes = array("q", record["acked_bytes"])
+    stats.rtts = array("d", (float.fromhex(v) for v in record["rtts"]))
+    stats.total_acked_bytes = record["total_acked_bytes"]
+    stats.delivered_bytes = record["delivered_bytes"]
+    stats.first_delivery = _opt_unhex(record["first_delivery"])
+    stats.last_delivery = _opt_unhex(record["last_delivery"])
+    stats.loss_times = array("d", (float.fromhex(v) for v in record["loss_times"]))
+    stats.packets_sent = record["packets_sent"]
+    return stats
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed store of run results under ``root``.
+
+    Entries are one JSON file per key at ``root/<k[:2]>/<k>.json`` (the
+    two-char fan-out keeps directories small on big sweeps).  Writes are
+    atomic (tempfile + rename) so a crashed run never leaves a torn entry
+    that a later run would trust.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys ----------------------------------------------------------
+    def key_for(self, payload: dict) -> str:
+        """Content address of a canonicalised scenario payload."""
+        canonical = json.dumps(
+            {"schema": SCHEMA_VERSION, "source": source_digest(), **payload},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=repr,
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- raw records ---------------------------------------------------
+    def load(self, key: str) -> dict | None:
+        """The record stored under ``key``; None on miss or corruption."""
+        path = self._path(key)
+        try:
+            with path.open("r") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None  # missing, unreadable, or torn JSON: recompute
+        if not isinstance(record, dict) or record.get("schema") != SCHEMA_VERSION:
+            return None
+        return record
+
+    def store(self, key: str, record: dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps({"schema": SCHEMA_VERSION, **record}))
+        tmp.replace(path)
+        self.stores += 1
+
+    # -- run-level helpers --------------------------------------------
+    def load_stats(self, key: str) -> list[FlowStats] | None:
+        """Rebuilt per-flow stats for ``key``; None on miss/corruption."""
+        record = self.load(key)
+        if record is None:
+            self.misses += 1
+            return None
+        try:
+            stats = [stats_from_record(entry) for entry in record["stats"]]
+        except (KeyError, TypeError, ValueError, OverflowError):
+            self.misses += 1
+            return None  # corrupt entry: fall back to recompute
+        self.hits += 1
+        return stats
+
+    def store_stats(self, key: str, stats: Iterable[FlowStats]) -> None:
+        self.store(key, {"stats": [stats_to_record(s) for s in stats]})
+
+
+# ----------------------------------------------------------------------
+# Active-cache plumbing (consulted by repro.harness.runner.run_flows)
+# ----------------------------------------------------------------------
+_UNSET: Any = object()
+_ACTIVE: ResultCache | None = _UNSET
+_ENV_CACHE: ResultCache | None = None
+
+
+def active_cache() -> ResultCache | None:
+    """The cache ``run_flows`` should consult, or None.
+
+    Priority: an explicit :func:`enable_cache`/:func:`disable_cache`
+    call, then the ``REPRO_CACHE`` environment variable.
+    """
+    global _ENV_CACHE
+    if _ACTIVE is not _UNSET:
+        return _ACTIVE
+    if os.environ.get("REPRO_CACHE", "") in ("", "0"):
+        return None
+    if _ENV_CACHE is None:
+        _ENV_CACHE = ResultCache()
+    return _ENV_CACHE
+
+
+def enable_cache(root: str | Path | None = None) -> ResultCache:
+    """Activate result caching for this process; returns the cache."""
+    global _ACTIVE
+    _ACTIVE = ResultCache(root)
+    return _ACTIVE
+
+
+def disable_cache() -> None:
+    """Deactivate result caching (overrides ``REPRO_CACHE``)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def reset_cache_state() -> None:
+    """Back to env-driven defaults (test hook)."""
+    global _ACTIVE, _ENV_CACHE
+    _ACTIVE = _UNSET
+    _ENV_CACHE = None

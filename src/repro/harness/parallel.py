@@ -1,0 +1,125 @@
+"""Process-pool experiment execution.
+
+The paper's evaluation is a large scenario x seed matrix ("the mean of at
+least 10 trials in each scenario", 22 figures), and every seeded
+simulation is independent and deterministic.  That makes the figure suite
+embarrassingly parallel: :class:`ParallelExecutor` fans experiment calls
+across worker processes and returns results in *submission order* (ordered
+by seed, not by completion), so parallel execution is byte-identical to
+serial — the determinism digest gate in ``tests/test_determinism.py``
+asserts exactly that.
+
+Concurrency is controlled by the ``REPRO_JOBS`` environment variable
+(default ``os.cpu_count()``); ``REPRO_JOBS=1`` is an *exact* serial
+fallback — no pool, no pickling, same call stack — so CI and debugging
+behave identically to the pre-parallel harness.
+
+Experiment callables that cannot be pickled (lambdas, closures, bound
+locals — common in tests) silently fall back to the serial path rather
+than failing: parallelism is an optimisation, never a behaviour change.
+Worker processes run with ``REPRO_JOBS=1`` so nested harness calls
+(e.g. :func:`repro.harness.runner.run_pair` inside a trial) never fork a
+pool-per-worker fan-out bomb.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_FORCE_SERIAL_ENV = {"REPRO_JOBS": "1"}
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default: ``os.cpu_count()``)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if raw:
+        try:
+            jobs = int(raw)
+        except ValueError as exc:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from exc
+        if jobs < 1:
+            raise ValueError(f"REPRO_JOBS must be >= 1, got {jobs}")
+        return jobs
+    return os.cpu_count() or 1
+
+
+def _is_picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:  # pickle raises a zoo: PicklingError, TypeError, ...
+        return False
+    return True
+
+
+def _init_worker() -> None:  # pragma: no cover - runs in the child
+    """Pin workers to serial so nested harness calls never fork again."""
+    os.environ.update(_FORCE_SERIAL_ENV)
+
+
+class ParallelExecutor:
+    """Fans independent experiment calls across a process pool.
+
+    Args:
+        jobs: Worker count; ``None`` reads ``REPRO_JOBS`` /
+            ``os.cpu_count()``.  ``1`` short-circuits to exact serial
+            execution in the calling process.
+    """
+
+    def __init__(self, jobs: int | None = None):
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """``[fn(x) for x in items]`` with deterministic result order.
+
+        Results are ordered by input position regardless of which worker
+        finishes first.  Falls back to the serial comprehension when the
+        pool would not help (one job, one item) or when ``fn``/``items``
+        cannot cross a process boundary.
+        """
+        materialized = list(items)
+        if (
+            self.jobs <= 1
+            or len(materialized) <= 1
+            or not _is_picklable(fn)
+            or not _is_picklable(materialized)
+        ):
+            return [fn(item) for item in materialized]
+        workers = min(self.jobs, len(materialized))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker
+        ) as pool:
+            # Executor.map preserves submission order by construction.
+            return list(pool.map(fn, materialized))
+
+    def run_all(self, calls: Sequence[tuple[Callable[..., R], tuple]]) -> list[R]:
+        """Run ``fn(*args)`` for each ``(fn, args)`` pair, ordered as given.
+
+        The heterogeneous sibling of :meth:`map`, used to dispatch e.g. a
+        solo baseline and its paired run concurrently.
+        """
+        materialized = list(calls)
+        if (
+            self.jobs <= 1
+            or len(materialized) <= 1
+            or not _is_picklable(materialized)
+        ):
+            return [fn(*args) for fn, args in materialized]
+        workers = min(self.jobs, len(materialized))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker
+        ) as pool:
+            futures = [pool.submit(fn, *args) for fn, args in materialized]
+            return [future.result() for future in futures]
+
+
+def pmap(fn: Callable[[T], R], items: Iterable[T], jobs: int | None = None) -> list[R]:
+    """Module-level convenience for ``ParallelExecutor(jobs).map``."""
+    return ParallelExecutor(jobs).map(fn, items)

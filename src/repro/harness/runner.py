@@ -8,22 +8,37 @@ given its seed.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..protocols import make_sender
 from ..sim import Dumbbell, FlowStats, Simulator, make_rng
+from .cache import active_cache
+from .parallel import ParallelExecutor
 from .scenarios import LinkConfig
 
 DEFAULT_WARMUP_FRACTION = 0.35
+
+_SCALE: float | None = None
 
 
 def scale() -> float:
     """Global duration multiplier (env ``REPRO_SCALE``, default 1).
 
     Benchmarks use scaled-down durations; set ``REPRO_SCALE=4`` or more to
-    approach paper-scale runs.
+    approach paper-scale runs.  The environment variable is parsed once
+    per process (the harness calls this on every scenario point); tests
+    that mutate ``REPRO_SCALE`` must call :func:`reset_scale_cache`.
     """
-    return float(os.environ.get("REPRO_SCALE", "1"))
+    global _SCALE
+    if _SCALE is None:
+        _SCALE = float(os.environ.get("REPRO_SCALE", "1"))
+    return _SCALE
+
+
+def reset_scale_cache() -> None:
+    """Re-read ``REPRO_SCALE`` on the next :func:`scale` call (test hook)."""
+    global _SCALE
+    _SCALE = None
 
 
 @dataclass
@@ -38,12 +53,17 @@ class FlowSpec:
 
 @dataclass
 class RunResult:
-    """Outcome of one experiment run."""
+    """Outcome of one experiment run.
+
+    ``dumbbell`` is None when the result was rebuilt from the on-disk
+    cache (the live topology is not serialised, only the measurement
+    record — every metric below derives from ``stats`` alone).
+    """
 
     config: LinkConfig
     duration_s: float
     stats: list[FlowStats]
-    dumbbell: Dumbbell
+    dumbbell: Dumbbell | None
     specs: list[FlowSpec]
 
     def measurement_window(self) -> tuple[float, float]:
@@ -64,15 +84,62 @@ class RunResult:
         return sum(self.throughputs_mbps(window)) / self.config.bandwidth_mbps
 
 
+def _flows_payload(
+    specs: list[FlowSpec], config: LinkConfig, duration_s: float, seed: int
+) -> dict:
+    """Canonical cache payload for a ``run_flows`` call."""
+    return {
+        "kind": "run_flows",
+        "specs": [
+            {
+                "protocol": spec.protocol,
+                "start_time": float(spec.start_time).hex(),
+                "size_bytes": spec.size_bytes,
+                "kwargs": spec.kwargs,
+            }
+            for spec in specs
+        ],
+        "config": asdict(config),
+        "duration_s": float(duration_s).hex(),
+        "seed": seed,
+    }
+
+
 def run_flows(
     specs: list[FlowSpec],
     config: LinkConfig,
     duration_s: float,
     seed: int = 1,
 ) -> RunResult:
-    """Run ``specs`` over a dumbbell built from ``config``."""
+    """Run ``specs`` over a dumbbell built from ``config``.
+
+    When a result cache is active (``REPRO_CACHE=1`` or
+    :func:`repro.harness.cache.enable_cache`), a previously-computed run
+    with the same specs, config, seed and simulator source is rebuilt
+    from disk instead of re-simulated; the round-trip is byte-identical
+    (see :mod:`repro.harness.cache`).
+    """
     if not specs:
         raise ValueError("need at least one flow")
+    cache = active_cache()
+    key = None
+    if cache is not None:
+        key = cache.key_for(_flows_payload(specs, config, duration_s, seed))
+        cached_stats = cache.load_stats(key)
+        if cached_stats is not None:
+            return RunResult(config, duration_s, cached_stats, None, specs)
+    result = _run_flows_live(specs, config, duration_s, seed)
+    if cache is not None and key is not None:
+        cache.store_stats(key, result.stats)
+    return result
+
+
+def _run_flows_live(
+    specs: list[FlowSpec],
+    config: LinkConfig,
+    duration_s: float,
+    seed: int,
+) -> RunResult:
     sim = Simulator()
     rng = make_rng(seed)
     dumbbell = Dumbbell(
@@ -127,23 +194,29 @@ class PairResult:
     primary_rtt_ratio_95th: float
 
 
-def run_pair(
+def _pair_solo_metrics(
+    primary: str,
+    config: LinkConfig,
+    duration_s: float,
+    seed: int,
+    window: tuple[float, float],
+) -> tuple[float, float]:
+    """Solo-baseline metrics measured over the *paired* run's window."""
+    solo = run_single(primary, config, duration_s, seed=seed)
+    return (
+        solo.throughput_mbps(0, window),
+        solo.stats[0].rtt_percentile(95, *window),
+    )
+
+
+def _pair_joint_metrics(
     primary: str,
     scavenger: str,
     config: LinkConfig,
-    duration_s: float = 30.0,
-    scavenger_start_s: float | None = None,
-    seed: int = 1,
-) -> PairResult:
-    """Primary flow joined by a scavenger; compares against the solo run.
-
-    The paper's metrics: primary throughput ratio (paired throughput over
-    solo throughput), joint capacity utilization, and the 95th-percentile
-    RTT ratio of the primary with vs without the scavenger (Fig 7).
-    """
-    if scavenger_start_s is None:
-        scavenger_start_s = min(5.0, duration_s / 6.0)
-    solo = run_single(primary, config, duration_s, seed=seed)
+    duration_s: float,
+    scavenger_start_s: float,
+    seed: int,
+) -> tuple[float, float, float, float]:
     paired = run_flows(
         [
             FlowSpec(primary, start_time=0.0),
@@ -154,18 +227,62 @@ def run_pair(
         seed=seed,
     )
     window = paired.measurement_window()
-    solo_mbps = solo.throughput_mbps(0, window)
-    with_scavenger = paired.throughput_mbps(0, window)
-    scavenger_mbps = paired.throughput_mbps(1, window)
+    return (
+        paired.throughput_mbps(0, window),
+        paired.throughput_mbps(1, window),
+        paired.utilization(window),
+        paired.stats[0].rtt_percentile(95, *window),
+    )
+
+
+def run_pair(
+    primary: str,
+    scavenger: str,
+    config: LinkConfig,
+    duration_s: float = 30.0,
+    scavenger_start_s: float | None = None,
+    seed: int = 1,
+    jobs: int | None = None,
+) -> PairResult:
+    """Primary flow joined by a scavenger; compares against the solo run.
+
+    The paper's metrics: primary throughput ratio (paired throughput over
+    solo throughput), joint capacity utilization, and the 95th-percentile
+    RTT ratio of the primary with vs without the scavenger (Fig 7).
+
+    The solo baseline and the paired run are independent simulations, so
+    they are dispatched concurrently when ``jobs``/``REPRO_JOBS`` allows;
+    with the result cache active the solo baseline — identical across
+    every scavenger sweep point — is computed once and reused.
+    """
+    if scavenger_start_s is None:
+        scavenger_start_s = min(5.0, duration_s / 6.0)
+    # The paired run's measurement window depends only on the flow start
+    # times (see RunResult.measurement_window), so it is known up front
+    # and both runs can be dispatched together.
+    last_start = max(0.0, scavenger_start_s)
+    window = (
+        last_start + DEFAULT_WARMUP_FRACTION * (duration_s - last_start),
+        duration_s,
+    )
+    (solo_mbps, solo_rtt), (with_scavenger, scavenger_mbps, util, paired_rtt) = (
+        ParallelExecutor(jobs).run_all(
+            [
+                (_pair_solo_metrics, (primary, config, duration_s, seed, window)),
+                (
+                    _pair_joint_metrics,
+                    (primary, scavenger, config, duration_s, scavenger_start_s, seed),
+                ),
+            ]
+        )
+    )
     ratio = with_scavenger / solo_mbps if solo_mbps > 0 else 0.0
-    solo_rtt = solo.stats[0].rtt_percentile(95, *window)
-    paired_rtt = paired.stats[0].rtt_percentile(95, *window)
     return PairResult(
         primary_solo_mbps=solo_mbps,
         primary_with_scavenger_mbps=with_scavenger,
         scavenger_mbps=scavenger_mbps,
         primary_throughput_ratio=ratio,
-        utilization=paired.utilization(window),
+        utilization=util,
         primary_rtt_ratio_95th=paired_rtt / solo_rtt,
     )
 

@@ -14,6 +14,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from ..sim.rng import Rng
+from .parallel import pmap
 
 
 @dataclass(frozen=True)
@@ -48,10 +49,15 @@ def summarize(values: Sequence[float], ci_resamples: int = 2000, seed: int = 0) 
         ci_low = ci_high = mean
     else:
         rng = Rng(seed)
-        means = []
-        for _ in range(ci_resamples):
-            sample = [ordered[rng.randrange(n)] for _ in range(n)]
-            means.append(sum(sample) / n)
+        # One rng.choices() call per resample draws all n indices in a
+        # single pass (C-level loop) instead of a per-element Python
+        # randrange comprehension — ~4x faster at the default 2000
+        # resamples.  Note choices() consumes the RNG stream differently
+        # from randrange(), so the CI values for a given seed changed
+        # with this rewrite (pinned by the regression test).
+        choices = rng.choices
+        inv_n = 1.0 / n
+        means = [sum(choices(ordered, k=n)) * inv_n for _ in range(ci_resamples)]
         means.sort()
         ci_low = means[int(0.025 * ci_resamples)]
         ci_high = means[int(0.975 * ci_resamples)]
@@ -73,11 +79,19 @@ def run_trials(
     experiment: Callable[[int], float],
     n_trials: int = 10,
     base_seed: int = 1,
+    jobs: int | None = None,
 ) -> TrialSummary:
-    """Run ``experiment(seed)`` for ``n_trials`` seeds and summarise."""
+    """Run ``experiment(seed)`` for ``n_trials`` seeds and summarise.
+
+    Seeded runs are independent, so they fan out across a process pool
+    (``jobs``, default ``REPRO_JOBS``/CPU count); results are collected
+    in seed order, so the summary is identical to a serial run.
+    Unpicklable experiments (closures) transparently run serially.
+    """
     if n_trials < 1:
         raise ValueError("n_trials must be positive")
-    values = [experiment(base_seed + i) for i in range(n_trials)]
+    seeds = [base_seed + i for i in range(n_trials)]
+    values = pmap(experiment, seeds, jobs=jobs)
     return summarize(values)
 
 
@@ -85,13 +99,15 @@ def run_trials_multi(
     experiment: Callable[[int], dict[str, float]],
     n_trials: int = 10,
     base_seed: int = 1,
+    jobs: int | None = None,
 ) -> dict[str, TrialSummary]:
     """As :func:`run_trials` for experiments returning several metrics."""
     if n_trials < 1:
         raise ValueError("n_trials must be positive")
+    seeds = [base_seed + i for i in range(n_trials)]
+    outcomes = pmap(experiment, seeds, jobs=jobs)
     collected: dict[str, list[float]] = {}
-    for i in range(n_trials):
-        outcome = experiment(base_seed + i)
+    for outcome in outcomes:
         for key, value in outcome.items():
             collected.setdefault(key, []).append(value)
     return {key: summarize(values) for key, values in collected.items()}

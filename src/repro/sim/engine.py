@@ -6,14 +6,30 @@ callbacks on a shared :class:`Simulator` instance.  Simulated time is a
 float number of seconds.
 
 The engine is deliberately minimal and allocation-light: a congestion
-control experiment pushes millions of events through it, so events are
-small ``__slots__`` objects and the hot path avoids any indirection beyond
-one heap push/pop per event.
+control experiment pushes millions of events through it, so the heap holds
+plain ``(time, seq, fn, args, event)`` tuples and the hot path avoids any
+indirection beyond one heap push/pop per event.  Two scheduling paths share
+that heap:
 
-Cancellation is lazy (the event stays in the heap until popped), but the
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`Event` handle so callers can cancel pending timers (RTO timers,
+  pacing ticks);
+* :meth:`Simulator.schedule_fast` / :meth:`Simulator.schedule_fast_at`
+  skip the ``Event`` allocation entirely for fire-and-forget callbacks.
+  Per-packet deliveries dominate the heap in a congestion-control run and
+  are never cancelled, so the fast path removes one object allocation and
+  one attribute-loaded comparison per packet.
+
+``seq`` is unique per simulator, so tuple comparison never reaches the
+callback and no ``__lt__`` dispatch happens during sifting.
+
+Cancellation is lazy (the entry stays in the heap until popped), but the
 simulator compacts the heap whenever cancelled events outnumber live ones,
-so long-running workloads that arm-and-cancel timers at a high rate (RTO
-timers, pacing ticks) do not leak memory.
+so long-running workloads that arm-and-cancel timers at a high rate do not
+leak memory.  Live-event accounting is O(1): ``pending()`` is maintained
+as ``heap length - cancelled count`` on every push/pop/cancel/compact, and
+the old O(n) scan survives only as a debug assertion under invariant
+checking.
 
 Optional runtime invariant checking (``check_invariants=True``, or the
 ``REPRO_CHECK_INVARIANTS=1`` environment variable) attaches a
@@ -40,12 +56,13 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellable scheduled callback.
 
     Events are returned by :meth:`Simulator.schedule` so callers can cancel
-    pending timers.  Cancellation is lazy: the event stays in the heap but
+    pending timers.  Cancellation is lazy: the heap entry stays queued but
     is skipped when popped; the owning simulator counts cancellations and
-    compacts the heap when they dominate it.
+    compacts the heap when they dominate it.  Once the event has fired (or
+    been dropped by compaction) cancelling is a harmless no-op.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
@@ -72,16 +89,17 @@ class Event:
             if self.sim is not None:
                 self.sim._note_cancelled()
 
-    def __lt__(self, other: "Event") -> bool:
-        if self.time < other.time:
-            return True
-        if other.time < self.time:
-            return False
-        return self.seq < other.seq
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"<Event t={self.time:.6f} {self.fn.__qualname__} ({state})>"
+
+
+# Heap entry layout: (time, seq, fn, args, event-or-None).  ``event`` is
+# None for the fast path; entries never compare past ``seq``.
+_TIME = 0
+_FN = 2
+_ARGS = 3
+_EVENT = 4
 
 
 class Simulator:
@@ -104,10 +122,11 @@ class Simulator:
 
     def __init__(self, check_invariants: bool | None = None) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []
         self._seq: int = 0
         self._running = False
         self._cancelled = 0
+        self.events_fired: int = 0
         if check_invariants is None:
             check_invariants = os.environ.get("REPRO_CHECK_INVARIANTS", "") not in (
                 "",
@@ -130,7 +149,7 @@ class Simulator:
             )
         self._seq += 1
         event = Event(time_s, self._seq, fn, args, self)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time_s, self._seq, fn, args, event))
         return event
 
     def schedule(self, delay_s: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -138,6 +157,26 @@ class Simulator:
         if delay_s < 0:
             raise SimulationError(f"negative delay {delay_s}")
         return self.schedule_at(self.now + delay_s, fn, *args)
+
+    def schedule_fast_at(self, time_s: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule a fire-and-forget ``fn(*args)`` at absolute ``time_s``.
+
+        No :class:`Event` is allocated, so the callback cannot be
+        cancelled.  Use for the per-packet deliveries that dominate the
+        heap; use :meth:`schedule_at` for anything a caller may cancel.
+        """
+        if time_s < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({time_s} < now={self.now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time_s, self._seq, fn, args, None))
+
+    def schedule_fast(self, delay_s: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule a fire-and-forget ``fn(*args)`` after ``delay_s``."""
+        if delay_s < 0:
+            raise SimulationError(f"negative delay {delay_s}")
+        self.schedule_fast_at(self.now + delay_s, fn, *args)
 
     # ------------------------------------------------------------------
     # Cancellation bookkeeping
@@ -156,7 +195,11 @@ class Simulator:
         list, so rebinding ``self._heap`` here would strand them on a
         stale copy when an event handler cancels timers mid-run.
         """
-        self._heap[:] = [event for event in self._heap if not event.cancelled]
+        self._heap[:] = [
+            entry
+            for entry in self._heap
+            if entry[_EVENT] is None or not entry[_EVENT].cancelled
+        ]
         heapq.heapify(self._heap)
         self._cancelled = 0
 
@@ -168,13 +211,18 @@ class Simulator:
         heap = self._heap
         inv = self.invariants
         while heap:
-            event = heapq.heappop(heap)
-            if event.cancelled:
-                if self._cancelled > 0:
-                    self._cancelled -= 1
-                continue
-            self.now = event.time
-            event.fn(*event.args)
+            entry = heapq.heappop(heap)
+            event = entry[_EVENT]
+            if event is not None:
+                if event.cancelled:
+                    if self._cancelled > 0:
+                        self._cancelled -= 1
+                    continue
+                # Detach so a late cancel() cannot corrupt live accounting.
+                event.sim = None
+            self.now = entry[_TIME]
+            entry[_FN](*entry[_ARGS])
+            self.events_fired += 1
             if inv is not None:
                 inv.after_event(self.now)
             return True
@@ -194,17 +242,21 @@ class Simulator:
         try:
             heap = self._heap
             while heap:
-                event = heap[0]
-                if event.cancelled:
+                entry = heap[0]
+                event = entry[_EVENT]
+                if event is not None and event.cancelled:
                     heapq.heappop(heap)
                     if self._cancelled > 0:
                         self._cancelled -= 1
                     continue
-                if until is not None and event.time > until:
+                if until is not None and entry[_TIME] > until:
                     break
                 heapq.heappop(heap)
-                self.now = event.time
-                event.fn(*event.args)
+                if event is not None:
+                    event.sim = None
+                self.now = entry[_TIME]
+                entry[_FN](*entry[_ARGS])
+                self.events_fired += 1
                 if inv is not None:
                     inv.after_event(self.now)
             if until is not None and until > self.now:
@@ -215,8 +267,27 @@ class Simulator:
             self._running = False
 
     def pending(self) -> int:
-        """Number of queued live (non-cancelled) events — for tests/debugging."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of queued live (non-cancelled) events — O(1).
+
+        Maintained as ``heap length - cancelled count``; the exhaustive
+        scan this used to perform survives as a debug assertion when
+        invariant checking is attached.
+        """
+        live = len(self._heap) - self._cancelled
+        if self.invariants is not None:
+            assert live == self._pending_scan(), (
+                f"live-event counter drifted: counted {live}, "
+                f"scan found {self._pending_scan()}"
+            )
+        return live
+
+    def _pending_scan(self) -> int:
+        """O(n) reference count of live events (debug/verification only)."""
+        return sum(
+            1
+            for entry in self._heap
+            if entry[_EVENT] is None or not entry[_EVENT].cancelled
+        )
 
     def heap_size(self) -> int:
         """Raw heap length including cancelled entries — for tests/debugging."""

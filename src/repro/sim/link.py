@@ -138,5 +138,7 @@ class Link:
                 deliver_at = self._last_delivery + 1e-9
         self._last_delivery = deliver_at
         self.stats.delivered += 1
-        self.sim.schedule_at(deliver_at, dst.receive, packet)
+        # Deliveries are fire-and-forget and dominate the heap; the fast
+        # path skips the cancellable-Event allocation entirely.
+        self.sim.schedule_fast_at(deliver_at, dst.receive, packet)
         return True

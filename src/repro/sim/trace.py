@@ -10,14 +10,18 @@ transport-level metrics — throughput over a window, Jain-index inputs,
 from __future__ import annotations
 
 import bisect
+from array import array
 
 
 class FlowStats:
     """Measurement record for one flow.
 
-    RTT samples are stored as parallel time/value lists kept in arrival
+    RTT samples are stored as parallel time/value series kept in arrival
     order (simulated time is monotone), so windowed queries are two
-    bisects plus a slice.
+    bisects plus a slice.  The series are ``array('d')`` / ``array('q')``
+    rather than lists: a long run records millions of samples, and packed
+    arrays cut per-sample memory ~4x (8 bytes vs a pointer plus a boxed
+    float) while keeping append and bisect behaviour identical.
     """
 
     def __init__(self, flow_id: int = 0):
@@ -25,16 +29,16 @@ class FlowStats:
         self.start_time: float = 0.0
         self.end_time: float | None = None
         # ACK-side record (sender's view).
-        self.ack_times: list[float] = []
-        self.acked_bytes: list[int] = []
-        self.rtts: list[float] = []
+        self.ack_times: array = array("d")
+        self.acked_bytes: array = array("q")
+        self.rtts: array = array("d")
         self.total_acked_bytes: int = 0
         # Receiver-side record.
         self.delivered_bytes: int = 0
         self.first_delivery: float | None = None
         self.last_delivery: float | None = None
         # Loss record.
-        self.loss_times: list[float] = []
+        self.loss_times: array = array("d")
         self.packets_sent: int = 0
 
     # ------------------------------------------------------------------
@@ -74,7 +78,7 @@ class FlowStats:
         """RTT samples whose ACKs arrived within ``[t0, t1]``."""
         lo = bisect.bisect_left(self.ack_times, t0)
         hi = bisect.bisect_right(self.ack_times, t1)
-        return self.rtts[lo:hi]
+        return list(self.rtts[lo:hi])
 
     def rtt_percentile(
         self, percentile: float, t0: float = 0.0, t1: float = float("inf")

@@ -1,0 +1,143 @@
+"""Tests for the content-addressed result cache.
+
+The contract: a cache hit is byte-identical to recomputation (the
+determinism digest cannot tell them apart), any config/seed/source
+change is a miss, and a corrupt entry silently recomputes.
+"""
+
+import pytest
+
+from repro.devtools import stats_digest
+from repro.harness import FlowSpec, LinkConfig, run_flows
+from repro.harness import cache as cache_mod
+from repro.harness.cache import (
+    ResultCache,
+    disable_cache,
+    enable_cache,
+    reset_cache_state,
+    source_digest,
+    stats_from_record,
+    stats_to_record,
+)
+
+CONFIG = LinkConfig(bandwidth_mbps=10.0, rtt_ms=40.0, buffer_kb=75.0, loss_rate=0.01)
+SPECS = [FlowSpec("vivace")]
+DURATION_S = 4.0
+
+
+@pytest.fixture
+def cache(tmp_path):
+    cache = enable_cache(tmp_path / "cache")
+    yield cache
+    reset_cache_state()
+
+
+def test_hit_on_identical_config_and_seed(cache):
+    cold = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    assert (cache.hits, cache.misses, cache.stores) == (0, 1, 1)
+    warm = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    assert (cache.hits, cache.misses) == (1, 1)
+    # Byte-identical round-trip: the determinism digest cannot tell a
+    # cache rebuild from a live run.
+    assert stats_digest(warm.stats) == stats_digest(cold.stats)
+    # Cache rebuilds carry no live topology.
+    assert cold.dumbbell is not None
+    assert warm.dumbbell is None
+
+
+def test_miss_after_config_change(cache):
+    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    run_flows(SPECS, CONFIG.with_loss(0.02), DURATION_S, seed=7)
+    assert cache.hits == 0
+    assert cache.misses == 2
+
+
+def test_miss_after_seed_change(cache):
+    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    run_flows(SPECS, CONFIG, DURATION_S, seed=8)
+    assert cache.hits == 0
+    assert cache.misses == 2
+
+
+def test_miss_after_source_digest_change(cache, monkeypatch):
+    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    # Simulate editing the simulator source: every key must change.
+    monkeypatch.setattr(cache_mod, "_SOURCE_DIGEST", "0" * 64)
+    result = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    assert cache.hits == 0
+    assert cache.misses == 2
+    assert result.dumbbell is not None  # recomputed live
+
+
+def test_corrupt_entry_falls_back_to_recompute(cache):
+    first = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    [entry] = list(cache.root.rglob("*.json"))
+    entry.write_text("{ not json")
+    again = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    assert cache.hits == 0  # the torn entry never counted as a hit
+    assert again.dumbbell is not None
+    assert stats_digest(again.stats) == stats_digest(first.stats)
+    # The recompute healed the entry.
+    healed = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    assert cache.hits == 1
+    assert stats_digest(healed.stats) == stats_digest(first.stats)
+
+
+def test_truncated_record_falls_back_to_recompute(cache):
+    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    [entry] = list(cache.root.rglob("*.json"))
+    # Valid JSON, wrong shape: stats records missing fields.
+    entry.write_text('{"schema": 1, "stats": [{"flow_id": 1}]}')
+    again = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    assert cache.hits == 0
+    assert again.dumbbell is not None
+
+
+def test_stats_record_roundtrip_is_exact():
+    result = run_flows(SPECS, CONFIG, DURATION_S, seed=3)
+    for stats in result.stats:
+        rebuilt = stats_from_record(stats_to_record(stats))
+        assert stats_digest([rebuilt]) == stats_digest([stats])
+        assert rebuilt.start_time == stats.start_time
+        assert rebuilt.packets_sent == stats.packets_sent
+        assert rebuilt.first_delivery == stats.first_delivery
+
+
+def test_source_digest_is_stable_and_sensitive(monkeypatch):
+    first = source_digest()
+    assert len(first) == 64
+    monkeypatch.setattr(cache_mod, "_SOURCE_DIGEST", None)
+    # Recomputing from disk reproduces the same digest.
+    assert source_digest() == first
+
+
+def test_disable_cache_overrides_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+    reset_cache_state()
+    try:
+        disable_cache()
+        result = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+        assert result.dumbbell is not None
+        assert not (tmp_path / "envcache").exists()
+    finally:
+        reset_cache_state()
+
+
+def test_env_enables_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+    reset_cache_state()
+    try:
+        run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+        assert (tmp_path / "envcache").exists()
+    finally:
+        reset_cache_state()
+
+
+def test_key_for_ignores_dict_order(tmp_path):
+    cache = ResultCache(tmp_path)
+    a = cache.key_for({"x": 1, "y": 2})
+    b = cache.key_for({"y": 2, "x": 1})
+    assert a == b
+    assert a != cache.key_for({"x": 1, "y": 3})

@@ -1,0 +1,86 @@
+"""Tests for the process-pool experiment executor."""
+
+import pytest
+
+from repro.harness.parallel import ParallelExecutor, default_jobs, pmap
+
+
+def _square(x: int) -> int:  # module-level: picklable for real workers
+    return x * x
+
+
+def _affine(a: int, b: int) -> int:
+    return 10 * a + b
+
+
+def test_default_jobs_reads_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert default_jobs() == 3
+
+
+def test_default_jobs_falls_back_to_cpu_count(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() >= 1
+
+
+@pytest.mark.parametrize("raw", ["0", "-2", "four"])
+def test_default_jobs_rejects_bad_env(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_JOBS", raw)
+    with pytest.raises(ValueError):
+        default_jobs()
+
+
+def test_map_serial_matches_comprehension():
+    assert ParallelExecutor(jobs=1).map(_square, range(6)) == [
+        _square(i) for i in range(6)
+    ]
+
+
+def test_map_parallel_preserves_input_order():
+    # 4 workers on arbitrarily many cores: results must come back ordered
+    # by input position, not completion time.
+    assert ParallelExecutor(jobs=4).map(_square, range(12)) == [
+        _square(i) for i in range(12)
+    ]
+
+
+def test_map_unpicklable_fn_falls_back_to_serial():
+    calls = []
+
+    def closure(x):  # closures cannot cross a process boundary
+        calls.append(x)
+        return -x
+
+    assert ParallelExecutor(jobs=4).map(closure, [1, 2, 3]) == [-1, -2, -3]
+    # The fallback ran in-process: side effects are visible here.
+    assert calls == [1, 2, 3]
+
+
+def test_map_single_item_stays_in_process():
+    seen = []
+
+    def record(x):
+        seen.append(x)
+        return x
+
+    assert ParallelExecutor(jobs=8).map(record, [42]) == [42]
+    assert seen == [42]
+
+
+def test_run_all_dispatches_heterogeneous_calls():
+    calls = [(_affine, (1, 2)), (_affine, (3, 4)), (_square, (5,))]
+    assert ParallelExecutor(jobs=1).run_all(calls) == [12, 34, 25]
+    assert ParallelExecutor(jobs=3).run_all(calls) == [12, 34, 25]
+
+
+def test_pmap_convenience():
+    assert pmap(_square, [2, 3], jobs=1) == [4, 9]
+
+
+def test_worker_exception_propagates():
+    with pytest.raises(ZeroDivisionError):
+        ParallelExecutor(jobs=2).map(_reciprocal, [1, 0])
+
+
+def _reciprocal(x: int) -> float:
+    return 1.0 / x

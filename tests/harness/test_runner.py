@@ -8,10 +8,12 @@ from repro.harness import (
     LinkConfig,
     format_cdf,
     format_table,
+    reset_scale_cache,
     run_flows,
     run_homogeneous,
     run_pair,
     run_single,
+    scale,
 )
 
 
@@ -47,6 +49,30 @@ def test_run_pair_metrics_are_consistent():
     assert pair.scavenger_mbps >= 0.0
     assert pair.utilization <= 1.05
     assert pair.primary_rtt_ratio_95th > 0.5
+
+
+def test_run_pair_parallel_matches_serial():
+    # Solo baseline and paired run dispatched concurrently must yield the
+    # exact same PairResult as the serial path.
+    serial = run_pair("cubic", "proteus-s", EMULAB_DEFAULT, duration_s=8.0, jobs=1)
+    parallel = run_pair("cubic", "proteus-s", EMULAB_DEFAULT, duration_s=8.0, jobs=2)
+    assert serial == parallel  # PairResult is a dataclass: field-wise ==
+
+
+def test_scale_env_is_cached_until_reset(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "2.5")
+    reset_scale_cache()
+    try:
+        assert scale() == 2.5
+        # The env var is read once: later mutations are invisible...
+        monkeypatch.setenv("REPRO_SCALE", "7")
+        assert scale() == 2.5
+        # ...until the cache is reset explicitly.
+        reset_scale_cache()
+        assert scale() == 7.0
+    finally:
+        monkeypatch.delenv("REPRO_SCALE")
+        reset_scale_cache()
 
 
 def test_run_homogeneous_staggers_starts():

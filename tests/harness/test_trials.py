@@ -31,6 +31,37 @@ def test_summarize_empty_raises():
         summarize([])
 
 
+def test_bootstrap_ci_pinned_for_fixed_seed():
+    """Regression pin for the vectorized bootstrap resampler.
+
+    ``summarize`` now draws each resample with one ``rng.choices`` pass
+    instead of a per-element ``randrange`` loop; these exact CI values
+    (seed 0, 2000 resamples) must never drift silently — a change here
+    means the resampling algorithm or its RNG stream changed.
+    """
+    s = summarize([3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3, 5.8, 9.7, 9.3], seed=0)
+    assert s.mean == pytest.approx(5.12)
+    assert s.ci_low == pytest.approx(3.29, abs=1e-12)
+    assert s.ci_high == pytest.approx(7.21, abs=1e-12)
+
+
+def test_bootstrap_ci_seed_sensitivity():
+    values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3, 5.8, 9.7, 9.3]
+    a = summarize(values, seed=0)
+    b = summarize(values, seed=1)
+    assert (a.ci_low, a.ci_high) != (b.ci_low, b.ci_high)
+
+
+def test_run_trials_parallel_matches_serial():
+    serial = run_trials(_seed_echo, n_trials=6, base_seed=3, jobs=1)
+    parallel = run_trials(_seed_echo, n_trials=6, base_seed=3, jobs=4)
+    assert serial == parallel  # TrialSummary is a frozen dataclass
+
+
+def _seed_echo(seed: int) -> float:  # module-level: picklable for workers
+    return float(seed)
+
+
 def test_bootstrap_ci_narrows_with_consistency():
     tight = summarize([10.0, 10.1, 9.9, 10.0, 10.05] * 4)
     wide = summarize([5.0, 15.0, 2.0, 18.0, 10.0] * 4)

@@ -118,6 +118,90 @@ def test_run_is_not_reentrant():
     assert len(errors) == 1
 
 
+def test_schedule_fast_interleaves_with_events():
+    # Fast-path and Event-path callbacks share one queue and one total
+    # order (time, then scheduling sequence).
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "event@2")
+    sim.schedule_fast(1.0, fired.append, "fast@1")
+    sim.schedule_fast(2.0, fired.append, "fast@2")
+    sim.schedule_fast_at(3.0, fired.append, "fast@3")
+    sim.run()
+    assert fired == ["fast@1", "event@2", "fast@2", "fast@3"]
+    assert sim.now == 3.0
+
+
+def test_schedule_fast_returns_no_handle():
+    sim = Simulator()
+    assert sim.schedule_fast(1.0, lambda: None) is None
+    assert sim.schedule_fast_at(2.0, lambda: None) is None
+
+
+def test_schedule_fast_validates_like_schedule():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_fast(-1.0, lambda: None)
+    sim.schedule_fast(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_fast_at(0.5, lambda: None)
+
+
+def test_pending_is_constant_time_and_counts_fast_events():
+    sim = Simulator(check_invariants=False)
+    for i in range(10):
+        sim.schedule_fast(1.0 + i, lambda: None)
+    events = [sim.schedule(20.0 + i, lambda: None) for i in range(5)]
+    assert sim.pending() == 15
+    events[0].cancel()
+    events[1].cancel()
+    assert sim.pending() == 13
+    assert sim.heap_size() == 15  # lazy cancellation: entries still queued
+
+
+def test_pending_counter_matches_scan_under_churn():
+    sim = Simulator(check_invariants=False)
+    events = []
+
+    def churn():
+        for event in events[::3]:
+            event.cancel()
+
+    events.extend(sim.schedule(5.0 + i, lambda: None) for i in range(90))
+    sim.schedule_fast(1.0, churn)
+    sim.run(until=2.0)
+    assert sim.pending() == sim._pending_scan()
+
+
+def test_cancel_after_fire_keeps_accounting_exact():
+    sim = Simulator(check_invariants=False)
+    event = sim.schedule(1.0, lambda: None)
+    survivor = sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)  # `event` has fired
+    event.cancel()  # late cancel: harmless no-op
+    assert sim.pending() == 1
+    assert survivor.cancelled is False
+
+
+def test_step_runs_fast_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule_fast(1.0, fired.append, "x")
+    assert sim.step()
+    assert fired == ["x"]
+    assert not sim.step()
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule_fast(1.0 + i, lambda: None)
+    sim.schedule(9.0, lambda: None)
+    sim.run()
+    assert sim.events_fired == 5
+
+
 @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
 def test_property_events_always_fire_in_nondecreasing_time(delays):
     sim = Simulator()

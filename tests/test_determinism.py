@@ -11,7 +11,7 @@ one ULP of drift fails the gate.
 import pytest
 
 from repro.devtools import stats_digest, trace_digest
-from repro.harness import FlowSpec, LinkConfig, run_flows
+from repro.harness import FlowSpec, LinkConfig, pmap, run_flows
 
 SCENARIOS = {
     "cubic-vs-proteus-s-noisy": dict(
@@ -57,6 +57,25 @@ def test_same_seed_same_trace(name, determinism_repeats):
 def test_different_seeds_differ():
     # Digest sanity: the gate can actually tell traces apart.
     assert _digest("vivace-lossy", seed=7) != _digest("vivace-lossy", seed=8)
+
+
+def _digest_for_seed(seed: int) -> str:
+    """Module-level (hence picklable) experiment for the parallel gate."""
+    return _digest("vivace-lossy", seed=seed)
+
+
+def test_parallel_execution_matches_serial_digests():
+    """``pmap`` with 4 workers == 1 worker, byte-for-byte.
+
+    The executor promise: fanning seeded runs across processes changes
+    wall-clock only — results come back ordered by seed with traces
+    bit-identical to a serial run.
+    """
+    seeds = [7, 8, 9, 10]
+    serial = pmap(_digest_for_seed, seeds, jobs=1)
+    parallel = pmap(_digest_for_seed, seeds, jobs=4)
+    assert parallel == serial
+    assert len(set(serial)) == len(seeds)  # distinct seeds, distinct traces
 
 
 def test_trace_digest_sensitivity():
