@@ -18,7 +18,10 @@ import sys
 
 from .analysis import jains_index
 from .harness import (
+    TIMELINES,
     LinkConfig,
+    Timeline,
+    load_timeline,
     print_table,
     run_homogeneous,
     run_pair,
@@ -39,6 +42,15 @@ def _link_from_args(args: argparse.Namespace) -> LinkConfig:
     )
 
 
+def _timeline_from_args(args: argparse.Namespace) -> Timeline | None:
+    if not args.timeline:
+        return None
+    try:
+        return load_timeline(args.timeline)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}") from exc
+
+
 def _add_link_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--bandwidth", type=float, default=50.0, help="Mbps")
     parser.add_argument("--rtt", type=float, default=30.0, help="base RTT, ms")
@@ -46,6 +58,14 @@ def _add_link_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--loss", type=float, default=0.0, help="random loss rate")
     parser.add_argument(
         "--noise", type=float, default=0.0, help="WiFi-like noise severity"
+    )
+    parser.add_argument(
+        "--timeline",
+        type=str,
+        default=None,
+        metavar="NAME_OR_JSON",
+        help="link-dynamics timeline: a preset name "
+        f"({', '.join(sorted(TIMELINES))}) or a JSON spec file",
     )
     parser.add_argument("--duration", type=float, default=30.0, help="seconds")
     parser.add_argument("--seed", type=int, default=1)
@@ -64,10 +84,29 @@ def _export(args: argparse.Namespace, result) -> None:
         print(f"wrote {args.csv}")
 
 
+def _print_link_events(result) -> None:
+    if not result.link_events:
+        return
+    print_table(
+        ["t (s)", "link", "event"],
+        [
+            (f"{event.time_s:g}", event.link, event.describe())
+            for event in result.link_events
+        ],
+        title=f"timeline '{result.timeline.label}'"
+        if result.timeline and result.timeline.label
+        else "timeline events",
+    )
+
+
 def cmd_single(args: argparse.Namespace) -> int:
     config = _link_from_args(args)
     result = run_single(
-        args.protocol, config, duration_s=args.duration, seed=args.seed
+        args.protocol,
+        config,
+        duration_s=args.duration,
+        seed=args.seed,
+        timeline=_timeline_from_args(args),
     )
     window = result.measurement_window()
     stats = result.stats[0]
@@ -83,6 +122,7 @@ def cmd_single(args: argparse.Namespace) -> int:
         title=f"{args.protocol} alone on {config.bandwidth_mbps:g} Mbps / "
         f"{config.rtt_ms:g} ms / {config.buffer_kb:g} KB",
     )
+    _print_link_events(result)
     _export(args, result)
     return 0
 
@@ -95,6 +135,7 @@ def cmd_pair(args: argparse.Namespace) -> int:
         config,
         duration_s=args.duration,
         seed=args.seed,
+        timeline=_timeline_from_args(args),
     )
     print_table(
         ["metric", "value"],
@@ -120,6 +161,7 @@ def cmd_fairness(args: argparse.Namespace) -> int:
         stagger_s=args.stagger,
         measure_s=args.duration,
         seed=args.seed,
+        timeline=_timeline_from_args(args),
     )
     shares = result.throughputs_mbps()
     rows = [(f"flow {i + 1}", f"{thr:.2f}") for i, thr in enumerate(shares)]
@@ -130,6 +172,7 @@ def cmd_fairness(args: argparse.Namespace) -> int:
         rows,
         title=f"{args.flows} x {args.protocol} on {config.bandwidth_mbps:g} Mbps",
     )
+    _print_link_events(result)
     _export(args, result)
     return 0
 

@@ -79,6 +79,7 @@ class AckIntervalFilter:
         self._last_ack_time = now
 
         gap_floor = self.min_gap_rtt_fraction * srtt if srtt is not None else 0.0
+        was_suppressing = self._suppressing
         if (
             not self._suppressing
             and interval is not None
@@ -89,7 +90,12 @@ class AckIntervalFilter:
         ):
             self._suppressing = True
             self._suppressing_since = now
-        if interval is not None:
+        # Freeze the interval baseline through a burst: the compressed
+        # intra-burst gaps (and the stall gap that tripped the filter) are
+        # artifacts, and folding them in would let the first *legitimate*
+        # post-recovery gap re-trip the filter against a microscopic
+        # baseline, locking it into a suppression loop.
+        if interval is not None and not was_suppressing and not self._suppressing:
             self._last_interval = interval
 
         if self._suppressing:

@@ -48,6 +48,25 @@ _TIME_RATE_STEM_RE = re.compile(
     r"latency|jitter)(_|$)"
 )
 
+# Dataclass config fields get a stricter stem set: timeline specs are
+# full of event *times* (at/start/end), and an unsuffixed one is exactly
+# the seconds-vs-milliseconds bug the rule exists to catch.  The extra
+# stems stay off the function-arg check because established engine APIs
+# (Simulator.run(until=...), Flow(start_time=...)) predate the rule.
+_CONFIG_FIELD_STEM_RE = re.compile(
+    r"(^|_)(rate|delay|duration|interval|bandwidth|rtt|timeout|period|bitrate|"
+    r"latency|jitter|time|at|start|end|until)(_|$)"
+)
+
+
+def is_dataclass_def(node: ast.ClassDef) -> bool:
+    """Does the class carry a ``@dataclass`` / ``@dataclass(...)`` decorator?"""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if terminal_identifier(target) == "dataclass":
+            return True
+    return False
+
 _FLOATY_NAME_RE = re.compile(
     r"(^|_)(now|time|rtt|srtt|rate|delay|deadline|interval|duration|bandwidth)(_|$)"
     r"|_(s|ms|us|bps|kbps|mbps|gbps|hz)$"
@@ -245,17 +264,23 @@ class UnitSuffix(Rule):
     id = "unit-suffix"
     name = "unit suffix"
     description = (
-        "public rate/time parameters in core/ and sim/ must carry a unit "
-        "suffix such as _s, _ms, _bps or _mbps"
+        "public rate/time parameters and dataclass config fields in "
+        "core/, sim/ and harness/scenarios.py must carry a unit suffix "
+        "such as _s, _ms, _bps or _mbps"
     )
-    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
 
-    ALLOWED_NAMES = frozenset({"loss_rate", "rate_fn", "drop_rate"})
+    # loss_rate/drop_rate are per-packet probabilities, rate_fn is a
+    # function, rtt_gradient is the paper's dimensionless d(RTT)/dt slope.
+    ALLOWED_NAMES = frozenset({"loss_rate", "rate_fn", "drop_rate", "rtt_gradient"})
 
     def applies_to(self, ctx: LintContext) -> bool:
-        return ctx.in_package("sim", "core")
+        return ctx.in_package("sim", "core") or ctx.is_file("harness", "scenarios.py")
 
     def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[tuple[ast.AST, str]]:
+        if isinstance(node, ast.ClassDef):
+            yield from self._visit_dataclass(node)
+            return
         assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
         # __init__ signatures are the class's public constructor API.
         if node.name.startswith("_") and node.name != "__init__":
@@ -271,6 +296,34 @@ class UnitSuffix(Rule):
                 continue
             yield arg, (
                 f"parameter '{name}' of public '{node.name}()' names a "
+                "rate/time quantity without a unit suffix (_s, _ms, _bps, "
+                "_mbps, ...)"
+            )
+
+    def _visit_dataclass(self, node: ast.ClassDef) -> Iterator[tuple[ast.AST, str]]:
+        """Check annotated fields of ``@dataclass`` config classes.
+
+        Dataclass fields *are* the public constructor API, but they never
+        pass through the FunctionDef check (there is no explicit
+        ``__init__``), so timeline/scenario specs would otherwise escape
+        the rule entirely.
+        """
+        if not is_dataclass_def(node):
+            return
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                stmt.target, ast.Name
+            ):
+                continue
+            name = stmt.target.id
+            if name.startswith("_") or name in self.ALLOWED_NAMES:
+                continue
+            if not _CONFIG_FIELD_STEM_RE.search(name):
+                continue
+            if _UNIT_SUFFIX_RE.search(name):
+                continue
+            yield stmt.target, (
+                f"field '{name}' of dataclass '{node.name}' names a "
                 "rate/time quantity without a unit suffix (_s, _ms, _bps, "
                 "_mbps, ...)"
             )

@@ -33,7 +33,14 @@ from . import cache as cache_mod
 from .cache import disable_cache, enable_cache, reset_cache_state
 from .parallel import default_jobs
 from .runner import FlowSpec, run_flows, run_homogeneous, run_pair
-from .scenarios import EMULAB_DEFAULT, EMULAB_SHALLOW, LinkConfig
+from .scenarios import (
+    EMULAB_DEFAULT,
+    EMULAB_SHALLOW,
+    BandwidthStep,
+    GilbertLoss,
+    LinkConfig,
+    Timeline,
+)
 from .trials import run_trials
 
 SCHEMA_VERSION = 1
@@ -144,11 +151,37 @@ def _trials_sweep(scale_f: float) -> object:
     return run_trials(_trial_experiment, n_trials=max(2, int(4 * scale_f)), base_seed=1)
 
 
+def _dynamics_step(scale_f: float) -> object:
+    """Timeline scenario: bandwidth step-down plus burst loss mid-run.
+
+    Exercises the dynamics subsystem (backlog remap, Gilbert-Elliott
+    chain, timeline-aware cache keys) in the CI bench smoke job.
+    """
+    duration_s = 10.0 * scale_f
+    timeline = Timeline(
+        (
+            BandwidthStep(at_s=0.4 * duration_s, bandwidth_mbps=10.0),
+            GilbertLoss(
+                at_s=0.6 * duration_s, p_enter_bad=0.01, p_exit_bad=0.3, loss_bad=0.5
+            ),
+        ),
+        label="bench-dynamics",
+    )
+    return run_flows(
+        [FlowSpec("cubic"), FlowSpec("proteus-s", start_time=1.0)],
+        EMULAB_DEFAULT,
+        duration_s,
+        seed=4,
+        timeline=timeline,
+    )
+
+
 FIGURE_BENCHES: tuple[FigureBench, ...] = (
     FigureBench("fig03_buffer_point", _fig03_buffer_point),
     FigureBench("fig05_fairness", _fig05_fairness),
     FigureBench("fig07_pair", _fig07_pair),
     FigureBench("trials_pair_sweep", _trials_sweep),
+    FigureBench("dynamics_step_timeline", _dynamics_step),
 )
 
 

@@ -75,6 +75,27 @@ def _hex_list(values: Iterable[float]) -> list[str]:
     return [float(v).hex() for v in values]
 
 
+def hex_floats(value: Any) -> Any:
+    """Recursively replace floats with exact ``float.hex()`` strings.
+
+    Cache payloads must address *exact* float values: two timelines that
+    differ by one ULP are different experiments.  ``json.dumps`` would
+    round-trip doubles faithfully, but routing every payload float
+    through the same hex encoding as the stored records keeps the key
+    derivation independent of JSON float formatting.  Bools and ints
+    pass through untouched.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, dict):
+        return {key: hex_floats(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [hex_floats(item) for item in value]
+    return value
+
+
 def _opt_hex(value: float | None) -> str | None:
     return None if value is None else float(value).hex()
 

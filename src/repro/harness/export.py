@@ -50,7 +50,7 @@ def run_result_summary(result: RunResult) -> dict:
             entry["min_rtt_ms"] = min(rtts) * 1e3
             entry["p95_rtt_ms"] = stats.rtt_percentile(95, *window) * 1e3
         flows.append(entry)
-    return {
+    summary = {
         "config": {
             "bandwidth_mbps": result.config.bandwidth_mbps,
             "rtt_ms": result.config.rtt_ms,
@@ -63,6 +63,19 @@ def run_result_summary(result: RunResult) -> dict:
         "utilization": result.utilization(window),
         "flows": flows,
     }
+    if result.timeline is not None:
+        summary["timeline"] = result.timeline.to_dict()
+        summary["link_events"] = [
+            {
+                "time_s": event.time_s,
+                "link": event.link,
+                "kind": event.kind,
+                "value": list(event.value),
+                "description": event.describe(),
+            }
+            for event in result.link_events
+        ]
+    return summary
 
 
 def write_run_json(path: str | Path, result: RunResult) -> None:

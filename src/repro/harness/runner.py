@@ -11,10 +11,10 @@ import os
 from dataclasses import asdict, dataclass, field
 
 from ..protocols import make_sender
-from ..sim import Dumbbell, FlowStats, Simulator, make_rng
-from .cache import active_cache
+from ..sim import Dumbbell, FlowStats, LinkEvent, Simulator, TimelineDriver, make_rng
+from .cache import active_cache, hex_floats
 from .parallel import ParallelExecutor
-from .scenarios import LinkConfig
+from .scenarios import LinkConfig, Timeline
 
 DEFAULT_WARMUP_FRACTION = 0.35
 
@@ -65,6 +65,11 @@ class RunResult:
     stats: list[FlowStats]
     dumbbell: Dumbbell | None
     specs: list[FlowSpec]
+    timeline: Timeline | None = None
+    # Link events actually applied during the run, in firing order — the
+    # per-link dynamics telemetry.  Cache rebuilds recompute it from the
+    # timeline (event times are pure data, so the rebuild is exact).
+    link_events: list[LinkEvent] = field(default_factory=list)
 
     def measurement_window(self) -> tuple[float, float]:
         """Post-warmup window: after the last flow started plus ramp-up."""
@@ -85,7 +90,11 @@ class RunResult:
 
 
 def _flows_payload(
-    specs: list[FlowSpec], config: LinkConfig, duration_s: float, seed: int
+    specs: list[FlowSpec],
+    config: LinkConfig,
+    duration_s: float,
+    seed: int,
+    timeline: Timeline | None = None,
 ) -> dict:
     """Canonical cache payload for a ``run_flows`` call."""
     return {
@@ -102,7 +111,19 @@ def _flows_payload(
         "config": asdict(config),
         "duration_s": float(duration_s).hex(),
         "seed": seed,
+        # hex_floats: timelines differing by one ULP are different keys.
+        "timeline": None if timeline is None else hex_floats(timeline.to_dict()),
     }
+
+
+def _applied_events(timeline: Timeline, duration_s: float) -> list[LinkEvent]:
+    """The events a live run would have applied by ``duration_s``.
+
+    :class:`TimelineDriver` fires events in (time, schedule order), which
+    is exactly the sorted order :meth:`Timeline.resolve` returns, so a
+    cache rebuild reproduces the live ``applied`` log without simulating.
+    """
+    return [e for e in timeline.resolve() if e.time_s <= duration_s]
 
 
 def run_flows(
@@ -110,25 +131,35 @@ def run_flows(
     config: LinkConfig,
     duration_s: float,
     seed: int = 1,
+    timeline: Timeline | None = None,
 ) -> RunResult:
     """Run ``specs`` over a dumbbell built from ``config``.
 
+    ``timeline`` scripts mid-run link dynamics (bandwidth steps/flaps,
+    delay shifts, outages, burst loss — see
+    :mod:`repro.harness.scenarios`); its events are applied to the live
+    dumbbell links while the simulation runs.
+
     When a result cache is active (``REPRO_CACHE=1`` or
     :func:`repro.harness.cache.enable_cache`), a previously-computed run
-    with the same specs, config, seed and simulator source is rebuilt
-    from disk instead of re-simulated; the round-trip is byte-identical
-    (see :mod:`repro.harness.cache`).
+    with the same specs, config, seed, timeline and simulator source is
+    rebuilt from disk instead of re-simulated; the round-trip is
+    byte-identical (see :mod:`repro.harness.cache`).
     """
     if not specs:
         raise ValueError("need at least one flow")
     cache = active_cache()
     key = None
     if cache is not None:
-        key = cache.key_for(_flows_payload(specs, config, duration_s, seed))
+        key = cache.key_for(_flows_payload(specs, config, duration_s, seed, timeline))
         cached_stats = cache.load_stats(key)
         if cached_stats is not None:
-            return RunResult(config, duration_s, cached_stats, None, specs)
-    result = _run_flows_live(specs, config, duration_s, seed)
+            events = [] if timeline is None else _applied_events(timeline, duration_s)
+            return RunResult(
+                config, duration_s, cached_stats, None, specs,
+                timeline=timeline, link_events=events,
+            )
+    result = _run_flows_live(specs, config, duration_s, seed, timeline)
     if cache is not None and key is not None:
         cache.store_stats(key, result.stats)
     return result
@@ -139,6 +170,7 @@ def _run_flows_live(
     config: LinkConfig,
     duration_s: float,
     seed: int,
+    timeline: Timeline | None = None,
 ) -> RunResult:
     sim = Simulator()
     rng = make_rng(seed)
@@ -152,6 +184,13 @@ def _run_flows_live(
         reverse_noise=config.make_reverse_noise(),
         rng=rng,
     )
+    driver = None
+    if timeline is not None:
+        driver = TimelineDriver(
+            sim,
+            {"bottleneck": dumbbell.bottleneck, "reverse": dumbbell.reverse},
+            timeline.resolve(),
+        )
     stats: list[FlowStats] = []
     for i, spec in enumerate(specs):
         sender = make_sender(spec.protocol, seed=seed * 1000 + i, **spec.kwargs)
@@ -163,7 +202,11 @@ def _run_flows_live(
         )
         stats.append(flow.stats)
     sim.run(until=duration_s)
-    return RunResult(config, duration_s, stats, dumbbell, specs)
+    link_events = list(driver.applied) if driver is not None else []
+    return RunResult(
+        config, duration_s, stats, dumbbell, specs,
+        timeline=timeline, link_events=link_events,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -174,11 +217,16 @@ def run_single(
     config: LinkConfig,
     duration_s: float = 30.0,
     seed: int = 1,
+    timeline: Timeline | None = None,
     **kwargs,
 ) -> RunResult:
     """One flow alone on the bottleneck (Figs 3, 4, 9)."""
     return run_flows(
-        [FlowSpec(protocol, kwargs=kwargs)], config, duration_s, seed=seed
+        [FlowSpec(protocol, kwargs=kwargs)],
+        config,
+        duration_s,
+        seed=seed,
+        timeline=timeline,
     )
 
 
@@ -200,9 +248,10 @@ def _pair_solo_metrics(
     duration_s: float,
     seed: int,
     window: tuple[float, float],
+    timeline: Timeline | None = None,
 ) -> tuple[float, float]:
     """Solo-baseline metrics measured over the *paired* run's window."""
-    solo = run_single(primary, config, duration_s, seed=seed)
+    solo = run_single(primary, config, duration_s, seed=seed, timeline=timeline)
     return (
         solo.throughput_mbps(0, window),
         solo.stats[0].rtt_percentile(95, *window),
@@ -216,6 +265,7 @@ def _pair_joint_metrics(
     duration_s: float,
     scavenger_start_s: float,
     seed: int,
+    timeline: Timeline | None = None,
 ) -> tuple[float, float, float, float]:
     paired = run_flows(
         [
@@ -225,6 +275,7 @@ def _pair_joint_metrics(
         config,
         duration_s,
         seed=seed,
+        timeline=timeline,
     )
     window = paired.measurement_window()
     return (
@@ -243,6 +294,7 @@ def run_pair(
     scavenger_start_s: float | None = None,
     seed: int = 1,
     jobs: int | None = None,
+    timeline: Timeline | None = None,
 ) -> PairResult:
     """Primary flow joined by a scavenger; compares against the solo run.
 
@@ -268,10 +320,21 @@ def run_pair(
     (solo_mbps, solo_rtt), (with_scavenger, scavenger_mbps, util, paired_rtt) = (
         ParallelExecutor(jobs).run_all(
             [
-                (_pair_solo_metrics, (primary, config, duration_s, seed, window)),
+                (
+                    _pair_solo_metrics,
+                    (primary, config, duration_s, seed, window, timeline),
+                ),
                 (
                     _pair_joint_metrics,
-                    (primary, scavenger, config, duration_s, scavenger_start_s, seed),
+                    (
+                        primary,
+                        scavenger,
+                        config,
+                        duration_s,
+                        scavenger_start_s,
+                        seed,
+                        timeline,
+                    ),
                 ),
             ]
         )
@@ -364,6 +427,7 @@ def run_homogeneous(
     stagger_s: float = 5.0,
     measure_s: float = 30.0,
     seed: int = 1,
+    timeline: Timeline | None = None,
 ) -> RunResult:
     """``n`` same-protocol flows with staggered starts (Figs 5, 17, 18)."""
     if n_flows < 1:
@@ -372,4 +436,4 @@ def run_homogeneous(
         FlowSpec(protocol, start_time=i * stagger_s) for i in range(n_flows)
     ]
     duration = (n_flows - 1) * stagger_s + measure_s
-    return run_flows(specs, config, duration, seed=seed)
+    return run_flows(specs, config, duration, seed=seed, timeline=timeline)

@@ -12,12 +12,24 @@ constants are the setups the paper names explicitly:
   Fig 8;
 * :func:`wifi_sites` — the noise-model stand-ins for the paper's four
   WiFi sites x 16 AWS paths.
+
+The second half of the module is the declarative **timeline spec**: a
+:class:`Timeline` is a tuple of serialisable step dataclasses (bandwidth
+steps and flaps, delay shifts, outage windows, trace playback,
+Gilbert-Elliott burst loss) that resolves to primitive
+:class:`~repro.sim.dynamics.LinkEvent` objects applied by the runner
+mid-run.  Because the spec round-trips through :meth:`Timeline.to_dict`,
+it participates in the result-cache key: editing only the timeline
+invalidates cached runs (see :mod:`repro.harness.cache`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
 
+from ..sim.dynamics import LinkEvent
 from ..sim.noise import NoiseModel, wifi_noise
 
 
@@ -138,3 +150,359 @@ def wifi_sites(n_sites: int = 4, n_paths: int = 4) -> list[LinkConfig]:
             )
             configs.append(config)
     return configs
+
+
+# ----------------------------------------------------------------------
+# Declarative link-dynamics timelines
+# ----------------------------------------------------------------------
+BOTTLENECK = "bottleneck"
+"""Default target link of timeline steps (the dumbbell's forward link)."""
+
+
+@dataclass(frozen=True)
+class BandwidthStep:
+    """Set the link rate to ``bandwidth_mbps`` at ``at_s``."""
+
+    at_s: float
+    bandwidth_mbps: float
+    link: str = BOTTLENECK
+
+    kind = "bandwidth-step"
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0 or self.bandwidth_mbps <= 0:
+            raise ValueError("at_s must be >= 0 and bandwidth_mbps positive")
+
+    def events(self) -> list[LinkEvent]:
+        return [
+            LinkEvent(self.at_s, self.link, "bandwidth", (self.bandwidth_mbps * 1e6,))
+        ]
+
+
+@dataclass(frozen=True)
+class DelayStep:
+    """Set the one-way propagation delay to ``delay_ms`` at ``at_s``."""
+
+    at_s: float
+    delay_ms: float
+    link: str = BOTTLENECK
+
+    kind = "delay-step"
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0 or self.delay_ms < 0:
+            raise ValueError("at_s and delay_ms must be non-negative")
+
+    def events(self) -> list[LinkEvent]:
+        return [LinkEvent(self.at_s, self.link, "delay", (self.delay_ms / 1e3,))]
+
+
+@dataclass(frozen=True)
+class Outage:
+    """Drop every packet offered during ``[start_s, end_s)``."""
+
+    start_s: float
+    end_s: float
+    link: str = BOTTLENECK
+
+    kind = "outage"
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.end_s <= self.start_s:
+            raise ValueError("need 0 <= start_s < end_s")
+
+    def events(self) -> list[LinkEvent]:
+        return [
+            LinkEvent(self.start_s, self.link, "down"),
+            LinkEvent(self.end_s, self.link, "up"),
+        ]
+
+
+@dataclass(frozen=True)
+class LossStep:
+    """Set i.i.d. random loss to ``loss_rate`` at ``at_s``.
+
+    Clears any stateful (Gilbert-Elliott) loss model on the link, so the
+    two loss mechanisms never run at once.
+    """
+
+    at_s: float
+    loss_rate: float
+    link: str = BOTTLENECK
+
+    kind = "loss-step"
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0 or not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("at_s must be >= 0 and loss_rate in [0, 1)")
+
+    def events(self) -> list[LinkEvent]:
+        return [LinkEvent(self.at_s, self.link, "loss", (self.loss_rate,))]
+
+
+@dataclass(frozen=True)
+class GilbertLoss:
+    """Install a Gilbert-Elliott burst-loss channel at ``at_s``.
+
+    See :class:`repro.sim.dynamics.GilbertElliott` for the chain's
+    semantics; the stationary loss rate is
+    ``p_enter_bad * loss_bad / (p_enter_bad + p_exit_bad)`` for
+    ``loss_good = 0``.
+    """
+
+    at_s: float
+    p_enter_bad: float
+    p_exit_bad: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+    link: str = BOTTLENECK
+
+    kind = "gilbert-loss"
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("at_s must be non-negative")
+        for p in (self.p_enter_bad, self.p_exit_bad, self.loss_good, self.loss_bad):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("Gilbert-Elliott parameters are probabilities")
+        if self.p_exit_bad <= 0.0:
+            raise ValueError("p_exit_bad must be positive")
+
+    def events(self) -> list[LinkEvent]:
+        return [
+            LinkEvent(
+                self.at_s,
+                self.link,
+                "gilbert",
+                (self.p_enter_bad, self.p_exit_bad, self.loss_good, self.loss_bad),
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class BandwidthFlap:
+    """Alternate the link rate between ``low_mbps`` and ``high_mbps``.
+
+    Starting at ``start_s`` the rate drops to ``low_mbps``, recovers to
+    ``high_mbps`` half a period later, and so on; at ``end_s`` the rate
+    is restored to ``high_mbps`` regardless of phase.  Models a flapping
+    WiFi link whose effective capacity collapses during interference
+    bursts.
+    """
+
+    start_s: float
+    end_s: float
+    period_s: float
+    low_mbps: float
+    high_mbps: float
+    link: str = BOTTLENECK
+
+    kind = "bandwidth-flap"
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.end_s <= self.start_s:
+            raise ValueError("need 0 <= start_s < end_s")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.low_mbps <= 0 or self.high_mbps <= 0:
+            raise ValueError("rates must be positive")
+
+    def events(self) -> list[LinkEvent]:
+        events: list[LinkEvent] = []
+        half_s = self.period_s / 2.0
+        k = 0
+        while True:
+            # Index-based times: no accumulated float drift across flaps.
+            at_s = self.start_s + k * half_s
+            if at_s >= self.end_s:
+                break
+            rate_mbps = self.low_mbps if k % 2 == 0 else self.high_mbps
+            events.append(LinkEvent(at_s, self.link, "bandwidth", (rate_mbps * 1e6,)))
+            k += 1
+        events.append(LinkEvent(self.end_s, self.link, "bandwidth", (self.high_mbps * 1e6,)))
+        return events
+
+
+@dataclass(frozen=True)
+class BandwidthTrace:
+    """Play back a recorded bandwidth trace, one sample per interval.
+
+    Sample ``k`` of ``bandwidths_mbps`` takes effect at
+    ``start_s + k * interval_s`` — the mobility-style playback used for
+    cellular/walking traces.
+    """
+
+    start_s: float
+    interval_s: float
+    bandwidths_mbps: tuple[float, ...]
+    link: str = BOTTLENECK
+
+    kind = "bandwidth-trace"
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.interval_s <= 0:
+            raise ValueError("need start_s >= 0 and interval_s > 0")
+        if not self.bandwidths_mbps:
+            raise ValueError("bandwidths_mbps must be non-empty")
+        if any(bw <= 0 for bw in self.bandwidths_mbps):
+            raise ValueError("trace rates must be positive")
+        # JSON round-trips lists; the spec itself stays hashable.
+        object.__setattr__(self, "bandwidths_mbps", tuple(self.bandwidths_mbps))
+
+    def events(self) -> list[LinkEvent]:
+        return [
+            LinkEvent(
+                self.start_s + k * self.interval_s,
+                self.link,
+                "bandwidth",
+                (bw * 1e6,),
+            )
+            for k, bw in enumerate(self.bandwidths_mbps)
+        ]
+
+
+STEP_KINDS = {
+    step.kind: step
+    for step in (
+        BandwidthStep,
+        DelayStep,
+        Outage,
+        LossStep,
+        GilbertLoss,
+        BandwidthFlap,
+        BandwidthTrace,
+    )
+}
+
+TimelineStep = (
+    BandwidthStep
+    | DelayStep
+    | Outage
+    | LossStep
+    | GilbertLoss
+    | BandwidthFlap
+    | BandwidthTrace
+)
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """An ordered collection of link-dynamics steps.
+
+    The spec is pure data: :meth:`resolve` expands it to primitive link
+    events for :class:`~repro.sim.dynamics.TimelineDriver`, and
+    :meth:`to_dict` serialises it for JSON files and the result-cache
+    key.  ``label`` names the timeline in reports.
+    """
+
+    steps: tuple[TimelineStep, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+    def resolve(self) -> list[LinkEvent]:
+        """Primitive events, sorted by time (ties keep step order)."""
+        events = [event for step in self.steps for event in step.events()]
+        events.sort(key=lambda event: event.time_s)
+        return events
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; exact inverse of :func:`timeline_from_dict`."""
+        steps = []
+        for step in self.steps:
+            record = asdict(step)
+            record["kind"] = step.kind
+            steps.append(record)
+        return {"label": self.label, "steps": steps}
+
+
+def timeline_from_dict(data: dict) -> Timeline:
+    """Rebuild a :class:`Timeline` from :meth:`Timeline.to_dict` output."""
+    if not isinstance(data, dict) or not isinstance(data.get("steps"), list):
+        raise ValueError("timeline document must be a dict with a 'steps' list")
+    steps = []
+    for record in data["steps"]:
+        record = dict(record)
+        kind = record.pop("kind", None)
+        cls = STEP_KINDS.get(kind)
+        if cls is None:
+            raise ValueError(
+                f"unknown timeline step kind {kind!r}; "
+                f"known kinds: {sorted(STEP_KINDS)}"
+            )
+        steps.append(cls(**record))
+    return Timeline(tuple(steps), label=str(data.get("label", "")))
+
+
+def _step_down() -> Timeline:
+    """Primary-arrival emulation: capacity collapses 40 -> 10 Mbps at t=30 s."""
+    return Timeline(
+        (BandwidthStep(at_s=30.0, bandwidth_mbps=10.0),), label="step-down"
+    )
+
+
+def _flaky_wifi() -> Timeline:
+    """Interference bursts: 5x capacity collapses plus a delay shift."""
+    return Timeline(
+        (
+            BandwidthFlap(
+                start_s=8.0, end_s=28.0, period_s=4.0, low_mbps=6.0, high_mbps=30.0
+            ),
+            DelayStep(at_s=8.0, delay_ms=25.0),
+        ),
+        label="flaky-wifi",
+    )
+
+
+def _mobility_trace() -> Timeline:
+    """Walking-pace cellular trace: capacity wanders, briefly blacks out."""
+    return Timeline(
+        (
+            BandwidthTrace(
+                start_s=5.0,
+                interval_s=3.0,
+                bandwidths_mbps=(24.0, 16.0, 9.0, 4.0, 7.0, 14.0, 22.0, 30.0),
+            ),
+            Outage(start_s=17.5, end_s=18.5),
+        ),
+        label="mobility-trace",
+    )
+
+
+def _bursty_loss() -> Timeline:
+    """Correlated loss runs: a Gilbert-Elliott channel switches on at t=10 s."""
+    return Timeline(
+        (
+            GilbertLoss(at_s=10.0, p_enter_bad=0.01, p_exit_bad=0.25, loss_bad=0.5),
+            LossStep(at_s=40.0, loss_rate=0.0),
+        ),
+        label="bursty-loss",
+    )
+
+
+TIMELINES = {
+    "step-down": _step_down,
+    "flaky-wifi": _flaky_wifi,
+    "mobility-trace": _mobility_trace,
+    "bursty-loss": _bursty_loss,
+}
+"""Named preset timelines (the paper-motivated dynamic scenarios)."""
+
+
+def load_timeline(name_or_path: str) -> Timeline:
+    """A preset timeline by name, or one loaded from a JSON file.
+
+    Presets (:data:`TIMELINES`) win; anything else is treated as a path
+    to a JSON document in the :meth:`Timeline.to_dict` format.
+    """
+    factory = TIMELINES.get(name_or_path)
+    if factory is not None:
+        return factory()
+    path = Path(name_or_path)
+    if not path.exists():
+        raise ValueError(
+            f"unknown timeline {name_or_path!r}: not a preset "
+            f"({sorted(TIMELINES)}) and no such file"
+        )
+    return timeline_from_dict(json.loads(path.read_text()))

@@ -14,6 +14,13 @@ from .aqm import (
     cellular_rate,
     step_rate,
 )
+from .dynamics import (
+    DynamicsError,
+    DynamicsLog,
+    GilbertElliott,
+    LinkEvent,
+    TimelineDriver,
+)
 from .engine import Event, SimulationError, Simulator
 from .flow import Flow, FlowReceiver, Path
 from .invariants import InvariantChecker, InvariantError
@@ -40,11 +47,16 @@ __all__ = [
     "TailDropDiscipline",
     "cellular_rate",
     "step_rate",
+    "DynamicsError",
+    "DynamicsLog",
     "Event",
     "Flow",
     "FlowReceiver",
     "FlowStats",
     "GaussianJitter",
+    "GilbertElliott",
+    "LinkEvent",
+    "TimelineDriver",
     "InvariantChecker",
     "InvariantError",
     "Link",

@@ -40,6 +40,17 @@ class Path:
         """Sum of propagation delays (no queueing/serialization)."""
         return sum(link.delay_s for link in self.links)
 
+    def min_base_delay(self) -> float:
+        """Sum of the smallest propagation delay each link ever had.
+
+        Equal to :meth:`base_delay` on static links; diverges only when a
+        timeline raises a link's delay mid-run (``min_delay_s`` tracks the
+        floor on links that support dynamics).
+        """
+        return sum(
+            getattr(link, "min_delay_s", link.delay_s) for link in self.links
+        )
+
     def send(self, packet: Packet, dst: "ReceiverLike") -> bool:
         """Send ``packet`` toward ``dst``. Returns False on first-hop drop."""
         links = self.links
@@ -236,3 +247,10 @@ class Flow:
     def base_rtt(self) -> float:
         """Propagation-only round-trip time of the flow's paths."""
         return self.forward_path.base_delay() + self.reverse_path.base_delay()
+
+    def min_base_rtt(self) -> float:
+        """Smallest propagation-only RTT over the run (see invariants)."""
+        return (
+            self.forward_path.min_base_delay()
+            + self.reverse_path.min_base_delay()
+        )

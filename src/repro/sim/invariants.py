@@ -110,13 +110,23 @@ class InvariantChecker:
     def _check_link(self, link) -> None:
         stats = link.stats
         queued = link.queued_packets()
-        accounted = stats.delivered + stats.tail_drops + stats.random_losses + queued
+        # DynamicLink predates outage support; plain Links count packets
+        # offered during a down window separately from tail drops.
+        outage_drops = getattr(stats, "outage_drops", 0)
+        accounted = (
+            stats.delivered
+            + stats.tail_drops
+            + stats.random_losses
+            + outage_drops
+            + queued
+        )
         if stats.offered != accounted:
             raise InvariantError(
                 f"packet conservation violated on {link.name!r}: "
                 f"offered={stats.offered} but delivered={stats.delivered} "
                 f"+ tail_drops={stats.tail_drops} "
-                f"+ random_losses={stats.random_losses} + queued={queued} "
+                f"+ random_losses={stats.random_losses} "
+                f"+ outage_drops={outage_drops} + queued={queued} "
                 f"= {accounted}"
             )
         backlog = link.backlog_bytes()
@@ -130,7 +140,12 @@ class InvariantChecker:
         start = self._rtt_checked[id(flow)]
         if start >= len(rtts):
             return
-        floor_s = flow.base_rtt() - _RTT_EPSILON_S
+        # Against the *minimum* propagation delay the path ever had: after
+        # a mid-run delay increase, samples taken earlier legitimately sit
+        # below the current base RTT.  (Stub flows in tests may only
+        # implement base_rtt.)
+        min_base_rtt = getattr(flow, "min_base_rtt", flow.base_rtt)
+        floor_s = min_base_rtt() - _RTT_EPSILON_S
         ceiling_s = self.sim.now - flow.start_time + _RTT_EPSILON_S
         for i in range(start, len(rtts)):
             rtt = rtts[i]

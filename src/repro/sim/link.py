@@ -11,6 +11,13 @@ Random (non-congestion) loss and latency noise are applied after the
 queue, matching loss on the wire/wireless channel.  FIFO delivery order is
 enforced even under noise, so a delay spike compresses the packets behind
 it into a burst (the ACK-compression effect discussed in §5 of the paper).
+
+Links support **mid-run dynamics** (see :mod:`repro.sim.dynamics`): the
+bandwidth, propagation delay, loss model, and up/down state can all change
+while a simulation runs.  A bandwidth change remaps the analytic backlog —
+the residual bits keep their byte count and drain at the new rate — and a
+delay change only affects packets enqueued afterwards.  The FIFO guard
+covers both cases, so deliveries already in flight are never reordered.
 """
 
 from __future__ import annotations
@@ -29,6 +36,12 @@ class Receiver(Protocol):
     def receive(self, packet: Packet) -> None: ...
 
 
+class LossModel(Protocol):
+    """Stateful per-packet wire-loss decision (see ``GilbertElliott``)."""
+
+    def is_lost(self, rng: Rng) -> bool: ...
+
+
 class LinkStats:
     """Counters exposed by every link for assertions and reports."""
 
@@ -37,6 +50,8 @@ class LinkStats:
         "delivered",
         "tail_drops",
         "random_losses",
+        "outage_drops",
+        "rate_changes",
         "max_backlog_bytes",
     )
 
@@ -45,6 +60,8 @@ class LinkStats:
         self.delivered = 0
         self.tail_drops = 0
         self.random_losses = 0
+        self.outage_drops = 0
+        self.rate_changes = 0
         self.max_backlog_bytes = 0.0
 
 
@@ -59,6 +76,9 @@ class Link:
             gives an unbounded queue.
         loss_rate: Probability of random (non-congestion) loss per packet.
         noise: Optional latency-noise model (see :mod:`repro.sim.noise`).
+        loss_model: Optional stateful loss model (e.g. Gilbert-Elliott
+            burst loss, see :mod:`repro.sim.dynamics`); when set it
+            replaces the Bernoulli ``loss_rate`` draw.
         rng: RNG used for loss and noise draws.
     """
 
@@ -70,6 +90,7 @@ class Link:
         buffer_bytes: float = float("inf"),
         loss_rate: float = 0.0,
         noise: NoiseModel | None = None,
+        loss_model: LossModel | None = None,
         rng: Rng | None = None,
         name: str = "link",
     ):
@@ -82,14 +103,20 @@ class Link:
         self.sim = sim
         self.bandwidth_bps = bandwidth_bps
         self.delay_s = delay_s
+        # Smallest propagation delay this link ever had: the RTT-floor
+        # invariant must use it, because samples taken before a mid-run
+        # delay increase legitimately sit below the *current* delay.
+        self.min_delay_s = delay_s
         self.buffer_bytes = buffer_bytes
         self.loss_rate = loss_rate
         self.noise = noise
+        self.loss_model = loss_model
         self.rng = rng if rng is not None else Rng(0)
         self.name = name
         self.stats = LinkStats()
         self._busy_until = 0.0
         self._last_delivery = 0.0
+        self._down = False
         if sim.invariants is not None:
             sim.invariants.register_link(self)
 
@@ -106,36 +133,90 @@ class Link:
         """Packets held in an explicit queue (none: the queue is analytic)."""
         return 0
 
+    def is_down(self) -> bool:
+        """True while an outage window is active (all sends are dropped)."""
+        return self._down
+
+    # ------------------------------------------------------------------
+    # Mid-run dynamics (driven by repro.sim.dynamics.TimelineDriver)
+    # ------------------------------------------------------------------
+    def set_bandwidth_bps(self, bandwidth_bps: float) -> None:
+        """Change the serialization rate mid-run.
+
+        The analytic queue assumes a constant rate, so the residual
+        backlog must be remapped: the bits not yet serialized keep their
+        count and drain at the new rate, i.e. ``busy_until`` becomes
+        ``now + residual_bits / new_rate``.  Byte occupancy is invariant
+        under the remap, so the buffer bound still holds.  Deliveries
+        already scheduled keep their times; the FIFO guard in
+        :meth:`send` prevents later packets from overtaking them when
+        the rate increases.
+        """
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        now = self.sim.now
+        residual_bits = max(0.0, self._busy_until - now) * self.bandwidth_bps
+        self.bandwidth_bps = bandwidth_bps
+        self._busy_until = now + residual_bits / bandwidth_bps
+        self.stats.rate_changes += 1
+
+    def set_delay_s(self, delay_s: float) -> None:
+        """Change the propagation delay for packets enqueued from now on."""
+        if delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        self.delay_s = delay_s
+        if delay_s < self.min_delay_s:
+            self.min_delay_s = delay_s
+
+    def set_down(self, down: bool) -> None:
+        """Begin (True) or end (False) an outage window.
+
+        While down, every offered packet is dropped (``outage_drops``).
+        Packets accepted before the outage are already past the
+        serializer in the analytic model and still arrive.
+        """
+        self._down = bool(down)
+
+    # ------------------------------------------------------------------
     def send(self, packet: Packet, dst: Receiver) -> bool:
         """Enqueue ``packet`` for delivery to ``dst``.
 
         Returns True if the packet was accepted (it may still be randomly
-        lost on the wire) and False on a tail drop.
+        lost on the wire) and False on a tail drop or outage drop.
         """
         now = self.sim.now
         self.stats.offered += 1
+        if self._down:
+            self.stats.outage_drops += 1
+            return False
         backlog = max(0.0, self._busy_until - now) * self.bandwidth_bps / 8.0
         # Epsilon absorbs float error in the analytic backlog computation.
         if backlog + packet.size_bytes > self.buffer_bytes + 1e-6:
             self.stats.tail_drops += 1
             return False
-        if backlog > self.stats.max_backlog_bytes:
-            self.stats.max_backlog_bytes = backlog
+        # Peak occupancy includes the packet just accepted.
+        if backlog + packet.size_bytes > self.stats.max_backlog_bytes:
+            self.stats.max_backlog_bytes = backlog + packet.size_bytes
 
         start = self._busy_until if self._busy_until > now else now
         self._busy_until = start + packet.size_bytes * 8.0 / self.bandwidth_bps
 
-        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+        if self.loss_model is not None:
             # The packet still consumed transmitter time, but never arrives.
+            if self.loss_model.is_lost(self.rng):
+                self.stats.random_losses += 1
+                return True
+        elif self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self.stats.random_losses += 1
             return True
 
         deliver_at = self._busy_until + self.delay_s
         if self.noise is not None:
             deliver_at += self.noise.sample(now, self.rng)
-            # FIFO even under noise: never deliver before an earlier packet.
-            if deliver_at <= self._last_delivery:
-                deliver_at = self._last_delivery + 1e-9
+        # FIFO even under noise and mid-run rate/delay changes: never
+        # deliver before an earlier packet.
+        if deliver_at <= self._last_delivery:
+            deliver_at = self._last_delivery + 1e-9
         self._last_delivery = deliver_at
         self.stats.delivered += 1
         # Deliveries are fire-and-forget and dominate the heap; the fast

@@ -73,17 +73,21 @@ class SpikeNoise:
         self.magnitude_s = magnitude_s
         self.duration_s = duration_s
         self._next_spike: float | None = None
+        self._spike_scale = 1.0
 
     def sample(self, now: float, rng: Rng) -> float:
         if self.rate_hz <= 0:
             return 0.0
         if self._next_spike is None:
             self._next_spike = now + rng.expovariate(self.rate_hz)
-        # Advance past expired spike windows (exponential inter-spike gaps).
+            self._spike_scale = rng.uniform(0.5, 1.0)
+        # Advance past expired spike windows (exponential inter-spike gaps);
+        # each window draws its magnitude once, shared by every packet in it.
         while now >= self._next_spike + self.duration_s:
             self._next_spike += self.duration_s + rng.expovariate(self.rate_hz)
+            self._spike_scale = rng.uniform(0.5, 1.0)
         if now >= self._next_spike:
-            return rng.uniform(0.5, 1.0) * self.magnitude_s
+            return self._spike_scale * self.magnitude_s
         return 0.0
 
 

@@ -83,14 +83,18 @@ class FlowStats:
     def rtt_percentile(
         self, percentile: float, t0: float = 0.0, t1: float = float("inf")
     ) -> float:
-        """Percentile of RTT samples in a window (linear selection)."""
+        """Percentile of RTT samples in a window (linear interpolation)."""
         samples = sorted(self.rtt_samples(t0, t1))
         if not samples:
             raise ValueError("no RTT samples in window")
         if not 0 <= percentile <= 100:
             raise ValueError("percentile must be in [0, 100]")
-        index = min(len(samples) - 1, int(round(percentile / 100.0 * (len(samples) - 1))))
-        return samples[index]
+        rank = percentile / 100.0 * (len(samples) - 1)
+        lo = min(len(samples) - 1, int(rank))
+        frac = rank - lo
+        if frac <= 0.0 or lo + 1 >= len(samples):
+            return samples[lo]
+        return samples[lo] + frac * (samples[lo + 1] - samples[lo])
 
     def min_rtt(self) -> float:
         if not self.rtts:

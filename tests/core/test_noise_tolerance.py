@@ -49,6 +49,39 @@ def test_ack_filter_suppresses_after_burst_gap():
     assert f.accept(t + 0.0002, 0.029)
 
 
+def test_ack_filter_baseline_frozen_through_burst():
+    """Regression: two stall/burst episodes separated by normal traffic.
+
+    The interval baseline must freeze during suppression — if the
+    compressed intra-burst gap (10 us) became the baseline, the first
+    legitimate 1 ms gap after recovery would show a 100x ratio and
+    re-trip the filter, locking it into a suppression loop.
+    """
+    f = AckIntervalFilter(ratio_threshold=50.0)
+    t = 0.0
+    for _ in range(20):
+        assert f.accept(t, 0.030)
+        t += 0.001
+    # First MAC stall, then a compressed burst of high-RTT samples.
+    t += 0.100
+    assert not f.accept(t, 0.130)
+    t += 0.00001
+    assert not f.accept(t, 0.128)
+    assert f.suppressed_count == 2
+    # Recovery: an RTT below the EWMA re-enables sampling.
+    t += 0.00001
+    assert f.accept(t, 0.029)
+    # The next legitimate 1 ms gap must be accepted: against the frozen
+    # 1 ms baseline the ratio is ~1, not ~100.
+    t += 0.001
+    assert f.accept(t, 0.030)
+    assert f.suppressed_count == 2
+    # A second genuine stall still trips the filter.
+    t += 0.100
+    assert not f.accept(t, 0.130)
+    assert f.suppressed_count == 3
+
+
 def test_ack_filter_ratio_threshold_validation():
     with pytest.raises(ValueError):
         AckIntervalFilter(ratio_threshold=1.0)

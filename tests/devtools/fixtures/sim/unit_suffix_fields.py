@@ -1,0 +1,18 @@
+"""Fixture: dataclass config fields must carry unit suffixes."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    at: float  # violation: event time without a unit
+    start_s: float  # ok: suffixed
+    bandwidth: float  # violation: rate without a unit
+    loss_rate: float = 0.0  # ok: per-packet probability is unit-free
+    _raw_interval: float = 0.0  # ok: private field
+
+    kind = "step"  # ok: un-annotated class attribute
+
+
+class PlainState:
+    # Not a dataclass: these are internal state, not constructor API.
+    end: float = 0.0

@@ -87,6 +87,25 @@ def test_unit_suffix():
     assert flagged == {"rate", "timeout"}
 
 
+def test_unit_suffix_dataclass_fields():
+    violations = lint_fixture("sim/unit_suffix_fields.py")
+    assert all(v.rule_id == "unit-suffix" for v in violations)
+    flagged = {v.message.split("'")[1] for v in violations}
+    assert flagged == {"at", "bandwidth"}
+    # Suffixed, allowed, private and un-annotated names survive; the
+    # non-dataclass body is exempt entirely.
+    assert all("StepSpec" in v.message for v in violations)
+
+
+def test_unit_suffix_fields_scoped_to_scenarios_file():
+    engine = LintEngine()
+    src = "from dataclasses import dataclass\n\n@dataclass\nclass S:\n    at: float\n"
+    in_scope = engine.lint_source(src, "harness/scenarios.py")
+    assert [v.rule_id for v in in_scope] == ["unit-suffix"]
+    # Other harness modules keep the old scope (sim/ and core/ only).
+    assert engine.lint_source(src, "harness/runner.py") == []
+
+
 def test_mutable_default_arg():
     violations = lint_fixture("mutable_default.py")
     assert positions(violations, "mutable-default-arg") == [

@@ -113,6 +113,103 @@ def test_noise_never_reorders_deliveries():
     assert times == sorted(times)
 
 
+def test_max_backlog_counts_accepted_packet():
+    # Regression: peak occupancy includes the packet that just arrived,
+    # so a single send into an empty link already records its size.
+    sim = Simulator()
+    link = make_link(sim, bw=8e6, delay=0.0)
+    sink = TimedSink(sim)
+    link.send(Packet(1, 0, size_bytes=1000), sink)
+    assert link.stats.max_backlog_bytes == pytest.approx(1000)
+
+
+def test_bandwidth_change_preserves_byte_backlog():
+    sim = Simulator()
+    link = make_link(sim, bw=8e6, delay=0.0, buffer_bytes=4000)
+    sink = TimedSink(sim)
+    for seq in range(4):
+        link.send(Packet(1, seq, size_bytes=1000), sink)
+    assert link.backlog_bytes() == pytest.approx(4000)
+    assert link.queueing_delay() == pytest.approx(0.004)
+    link.set_bandwidth_bps(4e6)  # halve the rate mid-backlog
+    # Bytes are invariant under the remap; the drain time doubles.
+    assert link.backlog_bytes() == pytest.approx(4000)
+    assert link.queueing_delay() == pytest.approx(0.008)
+    assert link.stats.rate_changes == 1
+    # The buffer bound still holds against the remapped backlog.
+    assert not link.send(Packet(1, 99, size_bytes=1000), sink)
+    assert link.stats.tail_drops == 1
+
+
+def test_fifo_preserved_across_rate_increase():
+    sim = Simulator()
+    link = make_link(sim, bw=1e6, delay=0.0)
+    sink = TimedSink(sim)
+
+    def burst(first_seq):
+        for seq in range(first_seq, first_seq + 5):
+            link.send(Packet(1, seq, size_bytes=1000), sink)
+
+    burst(0)  # queued at the slow rate
+    sim.schedule(0.001, link.set_bandwidth_bps, 100e6)
+    sim.schedule(0.0011, burst, 5)  # fast packets behind slow deliveries
+    sim.run()
+    assert len(sink.arrivals) == 10
+    seqs = [p.seq for _, p in sink.arrivals]
+    assert seqs == sorted(seqs)
+    times = [t for t, _ in sink.arrivals]
+    assert times == sorted(times)
+
+
+def test_outage_window_drops_offered_packets():
+    sim = Simulator()
+    link = make_link(sim, bw=8e6, delay=0.0)
+    sink = TimedSink(sim)
+    assert link.send(Packet(1, 0, size_bytes=1000), sink)
+    link.set_down(True)
+    assert link.is_down()
+    assert not link.send(Packet(1, 1, size_bytes=1000), sink)
+    assert link.stats.outage_drops == 1
+    link.set_down(False)
+    assert link.send(Packet(1, 2, size_bytes=1000), sink)
+    sim.run()
+    # The pre-outage packet was already past the serializer and arrives.
+    assert [p.seq for _, p in sink.arrivals] == [0, 2]
+
+
+def test_delay_change_applies_to_new_packets_and_tracks_min():
+    sim = Simulator()
+    link = make_link(sim, bw=8e6, delay=0.010)
+    sink = TimedSink(sim)
+    link.send(Packet(1, 0, size_bytes=1000), sink)
+    link.set_delay_s(0.050)
+    link.send(Packet(1, 1, size_bytes=1000), sink)
+    sim.run()
+    assert sink.arrivals[0][0] == pytest.approx(0.011)
+    assert sink.arrivals[1][0] == pytest.approx(0.052)
+    # min_delay_s keeps the floor for the RTT invariant.
+    assert link.min_delay_s == pytest.approx(0.010)
+    link.set_delay_s(0.002)
+    assert link.min_delay_s == pytest.approx(0.002)
+
+
+def test_stateful_loss_model_replaces_bernoulli_draw():
+    class AlwaysLose:
+        def is_lost(self, rng):
+            return True
+
+    sim = Simulator()
+    link = make_link(sim, bw=8e6, delay=0.0, loss_model=AlwaysLose())
+    sink = TimedSink(sim)
+    assert link.send(Packet(1, 0, size_bytes=1000), sink)
+    # The lost packet still consumed transmitter time...
+    assert link.queueing_delay() == pytest.approx(0.001)
+    sim.run()
+    # ...but never arrives.
+    assert sink.arrivals == []
+    assert link.stats.random_losses == 1
+
+
 def test_invalid_link_parameters_rejected():
     sim = Simulator()
     with pytest.raises(ValueError):

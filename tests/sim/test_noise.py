@@ -53,6 +53,34 @@ def test_spike_noise_produces_occasional_spikes():
     assert quiet > spiked  # spikes are the exception, not the rule
 
 
+def _find_spike_window(model, rng, t, step=0.001, limit=200.0):
+    """Advance time until a sample lands inside a spike window."""
+    while t < limit:
+        s = model.sample(t, rng)
+        if s > 0.0:
+            return t, s
+        t += step
+    raise AssertionError("no spike window found")
+
+
+def test_spike_noise_magnitude_shared_within_window():
+    # Regression: the spike magnitude is drawn once per window, so every
+    # packet held by the same spike sees the same extra delay (the whole
+    # burst shifts together, as a MAC stall does).
+    rng = random.Random(6)
+    model = SpikeNoise(rate_hz=2.0, magnitude_s=0.030, duration_s=0.020)
+    t, first = _find_spike_window(model, rng, 0.0)
+    # Probes strictly inside the same window return the same magnitude.
+    assert all(
+        model.sample(t + dt, rng) == first for dt in (0.002, 0.005, 0.009)
+    )
+    # The scale is drawn from [0.5, 1.0] x magnitude.
+    assert 0.015 <= first <= 0.030
+    # A later window draws a fresh magnitude.
+    _, second = _find_spike_window(model, rng, t + model.duration_s + 0.001)
+    assert second != first
+
+
 def test_spike_noise_zero_rate_never_spikes():
     rng = random.Random(3)
     model = SpikeNoise(rate_hz=0.0)

@@ -42,6 +42,15 @@ def test_rtt_percentiles_and_min():
     assert 0.033 <= median <= 0.036
 
 
+def test_rtt_percentile_interpolates_between_samples():
+    # Ten samples 0.030..0.039: interior percentiles interpolate linearly
+    # instead of snapping to the nearest sample.
+    stats = filled_stats()
+    assert stats.rtt_percentile(25) == pytest.approx(0.03225)
+    assert stats.rtt_percentile(50) == pytest.approx(0.0345)
+    assert stats.rtt_percentile(95) == pytest.approx(0.03855)
+
+
 def test_rtt_percentile_respects_window():
     stats = filled_stats()
     assert stats.rtt_percentile(100, t0=0.0, t1=4.0) == pytest.approx(0.034)
