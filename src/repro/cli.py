@@ -209,6 +209,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "cache hits/misses",
                 f"{cache['hits']}/{cache['misses']}" if cache["enabled"] else "off",
             ),
+            (
+                "cache quarantined",
+                str(cache.get("quarantined", 0)) if cache["enabled"] else "off",
+            ),
         ]
         + [
             (f"{name} wall (s)", f"{fig['wall_s']:.2f}")
@@ -231,6 +235,98 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"no regression vs {args.check_against}")
     return 0
+
+
+def _csv_floats(raw: str | None, default: tuple[float, ...]) -> tuple[float, ...]:
+    if raw is None:
+        return default
+    try:
+        values = tuple(float(part) for part in raw.split(",") if part.strip())
+    except ValueError as exc:
+        raise SystemExit(f"repro sweep: bad float list {raw!r}: {exc}") from exc
+    if not values:
+        raise SystemExit(f"repro sweep: empty float list {raw!r}")
+    return values
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Supervised, resumable Fig-8 matrix sweep (see docs/ROBUSTNESS.md)."""
+    import os
+
+    from .harness.scenarios import (
+        MATRIX_BANDWIDTHS_MBPS,
+        MATRIX_BUFFER_BDP,
+        MATRIX_RTTS_MS,
+        config_matrix,
+    )
+    from .harness.supervise import (
+        STATUS_OK,
+        RetryPolicy,
+        run_matrix,
+        summarize_outcomes,
+    )
+
+    if args.max_events is not None:
+        # Watchdog budget for every simulation in this sweep (workers
+        # inherit the environment).
+        os.environ["REPRO_MAX_EVENTS"] = str(args.max_events)
+    manifest = args.resume or args.manifest
+    configs = config_matrix(
+        _csv_floats(args.bandwidths, MATRIX_BANDWIDTHS_MBPS),
+        _csv_floats(args.rtts, MATRIX_RTTS_MS),
+        _csv_floats(args.buffers, MATRIX_BUFFER_BDP),
+    )
+    if args.limit is not None:
+        configs = configs[: args.limit]
+    policy = RetryPolicy() if args.retries is None else RetryPolicy(retries=args.retries)
+    outcomes = run_matrix(
+        primary=args.primary,
+        scavenger=args.scavenger,
+        configs=configs,
+        n_trials=args.trials,
+        base_seed=args.seed,
+        duration_s=args.duration,
+        jobs=args.jobs,
+        policy=policy,
+        manifest=manifest,
+    )
+    counts = summarize_outcomes(outcomes)
+    ratios = [
+        outcome.value["primary_throughput_ratio"]
+        for outcome in outcomes
+        if outcome.ok and isinstance(outcome.value, dict)
+    ]
+    rows = [
+        ("cells", str(counts["total"])),
+        ("ok", str(counts[STATUS_OK])),
+        ("failed", str(counts["failed"])),
+        ("timed-out", str(counts["timed-out"])),
+        ("crashed-worker", str(counts["crashed-worker"])),
+        ("resumed from manifest", str(counts["resumed"])),
+    ]
+    if ratios:
+        rows.append(
+            ("mean primary tput ratio", f"{sum(ratios) / len(ratios):.3f}")
+        )
+    print_table(
+        ["metric", "value"],
+        rows,
+        title=f"sweep {args.primary} vs {args.scavenger} "
+        f"({len(configs)} configs x {args.trials} trials)",
+    )
+    if manifest:
+        print(f"manifest: {manifest}")
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    for outcome in failures[:5]:
+        label = (outcome.payload or {}).get("config", {}).get("label", outcome.key[:12])
+        print(
+            f"  {outcome.status}: {label} seed={outcome.seed} "
+            f"attempts={outcome.attempts} error={outcome.error}",
+            file=sys.stderr,
+        )
+    if len(failures) > 5:
+        print(f"  ... and {len(failures) - 5} more failures", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -307,6 +403,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, help="cache root (default .repro-cache)"
     )
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="supervised, resumable Fig-8 matrix sweep (see docs/ROBUSTNESS.md)",
+    )
+    p_sweep.add_argument("--primary", default="cubic", choices=PROTOCOL_NAMES)
+    p_sweep.add_argument("--scavenger", default="proteus-s", choices=PROTOCOL_NAMES)
+    p_sweep.add_argument("--trials", type=int, default=1, help="seeds per config")
+    p_sweep.add_argument("--seed", type=int, default=1, help="base seed")
+    p_sweep.add_argument("--duration", type=float, default=10.0, help="seconds per cell")
+    p_sweep.add_argument(
+        "--bandwidths", default=None, metavar="CSV", help="Mbps list, e.g. 20,50,100"
+    )
+    p_sweep.add_argument(
+        "--rtts", default=None, metavar="CSV", help="RTT ms list, e.g. 10,30,100"
+    )
+    p_sweep.add_argument(
+        "--buffers", default=None, metavar="CSV", help="buffer sizes in BDP multiples"
+    )
+    p_sweep.add_argument(
+        "--limit", type=int, default=None, help="run only the first N configs"
+    )
+    p_sweep.add_argument(
+        "--manifest",
+        default=None,
+        metavar="JSONL",
+        help="checkpoint each completed cell to this append-only manifest",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="JSONL",
+        help="resume from (and keep checkpointing to) this manifest",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=None,
+        help="retries per failing cell (default REPRO_TRIAL_RETRIES / 2)",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default REPRO_JOBS)"
+    )
+    p_sweep.add_argument(
+        "--max-events", type=int, default=None,
+        help="engine watchdog: max events per simulation (sets REPRO_MAX_EVENTS)",
+    )
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     p_lint = sub.add_parser(
         "lint",

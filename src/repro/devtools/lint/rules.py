@@ -330,6 +330,42 @@ class UnitSuffix(Rule):
 
 
 # ----------------------------------------------------------------------
+# RPR006 no-bare-subprocess-result
+# ----------------------------------------------------------------------
+@register
+class NoBareSubprocessResult(Rule):
+    """Ban bare ``future.result()`` outside ``harness/supervise.py``.
+
+    A bare ``.result()`` on a pool future re-raises worker exceptions
+    with a traceback that dead-ends in pool plumbing, turns one dead
+    worker into an aborted sweep, and silently loses which submission
+    failed.  All pool results must flow through the supervised accessors
+    in :mod:`repro.harness.supervise` (``pool_map_result``,
+    ``pool_call_result``, ...), which attribute, classify, and recover.
+    """
+
+    id = "no-bare-subprocess-result"
+    name = "no bare subprocess result"
+    description = (
+        "future.result() outside harness/supervise.py; route pool "
+        "results through the supervised accessors"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return not ctx.is_file("harness", "supervise.py")
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[tuple[ast.AST, str]]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "result":
+            yield node, (
+                "bare '.result()' on a future loses failure attribution "
+                "and crash recovery; use repro.harness.supervise"
+            )
+
+
+# ----------------------------------------------------------------------
 # RPR005 mutable-default-arg
 # ----------------------------------------------------------------------
 @register

@@ -235,9 +235,11 @@ def run_bench(
             "figures": figures,
             "cache": {
                 "enabled": cache is not None,
-                "hits": cache.hits if cache else 0,
-                "misses": cache.misses if cache else 0,
-                "stores": cache.stores if cache else 0,
+                **(
+                    cache.stats()
+                    if cache
+                    else {"hits": 0, "misses": 0, "stores": 0, "quarantined": 0}
+                ),
             },
             "suite_wall_s": time.perf_counter() - suite_start,
         }

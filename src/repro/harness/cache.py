@@ -16,7 +16,11 @@ Floats are serialised via ``float.hex()`` — exact representation, no
 rounding — so a cache round-trip is byte-identical to recomputation and
 the determinism digest gate (``repro.devtools.trace_digest``) cannot
 tell them apart.  A corrupt or truncated cache entry is treated as a
-miss and recomputed, never an error.
+miss and recomputed, never an error; on first detection the torn file is
+**quarantined** (moved aside to ``<key>.corrupt``) so every later run
+under the same key is a clean miss instead of a re-read/re-parse/re-fail
+cycle.  Quarantines are counted in :meth:`ResultCache.stats` and
+surfaced by ``repro bench``.
 
 The cache is opt-in: set ``REPRO_CACHE=1`` (and optionally
 ``REPRO_CACHE_DIR``), or call :func:`enable_cache` programmatically.
@@ -96,6 +100,24 @@ def hex_floats(value: Any) -> Any:
     return value
 
 
+def payload_key(payload: dict) -> str:
+    """Content address of a canonicalised payload (incl. source digest).
+
+    The single key derivation shared by the result cache and the sweep
+    manifests of :mod:`repro.harness.supervise`: ``sha256`` over the
+    canonical JSON of ``{schema, source-tree digest, **payload}``.
+    Callers hex-encode floats first (:func:`hex_floats`) so keys address
+    *exact* values.
+    """
+    canonical = json.dumps(
+        {"schema": SCHEMA_VERSION, "source": source_digest(), **payload},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 def _opt_hex(value: float | None) -> str | None:
     return None if value is None else float(value).hex()
 
@@ -148,7 +170,10 @@ class ResultCache:
     Entries are one JSON file per key at ``root/<k[:2]>/<k>.json`` (the
     two-char fan-out keeps directories small on big sweeps).  Writes are
     atomic (tempfile + rename) so a crashed run never leaves a torn entry
-    that a later run would trust.
+    that a later run would trust.  An entry that turns out corrupt anyway
+    (truncated by a full disk, hand-edited, ...) is quarantined to
+    ``<key>.corrupt`` on first read so it is detected once, not on every
+    subsequent run.
     """
 
     def __init__(self, root: str | Path | None = None):
@@ -158,20 +183,38 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
+
+    def stats(self) -> dict:
+        """Counter snapshot: hits, misses, stores, quarantined."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+        }
 
     # -- keys ----------------------------------------------------------
     def key_for(self, payload: dict) -> str:
         """Content address of a canonicalised scenario payload."""
-        canonical = json.dumps(
-            {"schema": SCHEMA_VERSION, "source": source_digest(), **payload},
-            sort_keys=True,
-            separators=(",", ":"),
-            default=repr,
-        )
-        return hashlib.sha256(canonical.encode()).hexdigest()
+        return payload_key(payload)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry aside to ``<key>.corrupt``.
+
+        The original path then reads as a clean miss (and a recompute
+        heals it with a fresh store); the quarantined file is kept for
+        post-mortems rather than deleted.
+        """
+        path = self._path(key)
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            return  # already gone (e.g. a racing run quarantined it)
+        self.quarantined += 1
 
     # -- raw records ---------------------------------------------------
     def load(self, key: str) -> dict | None:
@@ -180,9 +223,13 @@ class ResultCache:
         try:
             with path.open("r") as handle:
                 record = json.load(handle)
-        except (OSError, ValueError):
-            return None  # missing, unreadable, or torn JSON: recompute
+        except OSError:
+            return None  # missing or unreadable: a plain miss
+        except ValueError:
+            self._quarantine(key)  # torn JSON: move aside, then miss
+            return None
         if not isinstance(record, dict) or record.get("schema") != SCHEMA_VERSION:
+            self._quarantine(key)  # wrong shape under the right key
             return None
         return record
 
@@ -204,8 +251,9 @@ class ResultCache:
         try:
             stats = [stats_from_record(entry) for entry in record["stats"]]
         except (KeyError, TypeError, ValueError, OverflowError):
+            self._quarantine(key)
             self.misses += 1
-            return None  # corrupt entry: fall back to recompute
+            return None  # corrupt entry: quarantined, fall back to recompute
         self.hits += 1
         return stats
 

@@ -17,9 +17,23 @@ behave identically to the pre-parallel harness.
 Experiment callables that cannot be pickled (lambdas, closures, bound
 locals — common in tests) silently fall back to the serial path rather
 than failing: parallelism is an optimisation, never a behaviour change.
+The picklability probe is cheap — only ``fn`` and the *first* item are
+test-pickled up front; an item deeper in the stream that turns out
+unpicklable is computed in-process on its own (a per-item fallback)
+instead of silently serialising the whole sweep or aborting it.
 Worker processes run with ``REPRO_JOBS=1`` so nested harness calls
 (e.g. :func:`repro.harness.runner.run_pair` inside a trial) never fork a
 pool-per-worker fan-out bomb.
+
+Failure semantics differ by method: :meth:`ParallelExecutor.map`
+re-raises a worker exception unchanged (byte-compatible with the serial
+comprehension), while :meth:`ParallelExecutor.run_all` — whose calls are
+heterogeneous — wraps it in :class:`ParallelCallError` carrying the call
+index and repr so the failing ``(fn, args)`` is attributable.  Both
+route ``future.result()`` through :mod:`repro.harness.supervise` (the
+``no-bare-subprocess-result`` lint rule enforces that repo-wide);
+fault-*tolerant* execution with retries, crash recovery and manifest
+journaling lives there too.
 """
 
 from __future__ import annotations
@@ -34,6 +48,28 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 _FORCE_SERIAL_ENV = {"REPRO_JOBS": "1"}
+
+
+class ParallelCallError(RuntimeError):
+    """A pool-dispatched call failed; names *which* call.
+
+    ``future.result()`` re-raises a worker exception with a traceback
+    that ends inside the pool plumbing — useless for telling apart the
+    forty identical-looking calls of a sweep.  This wrapper carries the
+    submission index and the call's repr; the original exception is
+    chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, index: int | None = None):
+        super().__init__(message)
+        self.index = index
+
+
+def call_repr(fn: Callable[..., Any], args: tuple) -> str:
+    """``module.qualname(arg, ...)`` for failure attribution."""
+    name = getattr(fn, "__qualname__", None) or repr(fn)
+    inner = ", ".join(repr(a) for a in args)
+    return f"{name}({inner})"
 
 
 def default_jobs() -> int:
@@ -89,35 +125,57 @@ class ParallelExecutor:
             self.jobs <= 1
             or len(materialized) <= 1
             or not _is_picklable(fn)
-            or not _is_picklable(materialized)
+            # Probe only the first item: pickling the whole materialized
+            # list up front doubled the serialisation cost of every
+            # sweep.  A later item that cannot cross the process
+            # boundary is handled per-item below.
+            or not _is_picklable(materialized[0])
         ):
             return [fn(item) for item in materialized]
+        # Lazy import: supervise builds on this module.
+        from .supervise import pool_map_result
+
         workers = min(self.jobs, len(materialized))
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_init_worker
         ) as pool:
-            # Executor.map preserves submission order by construction.
-            return list(pool.map(fn, materialized))
+            futures = [pool.submit(fn, item) for item in materialized]
+            # Collected in submission order, so results stay ordered by
+            # input position regardless of completion order.
+            return [
+                pool_map_result(future, fn, item)
+                for future, item in zip(futures, materialized)
+            ]
 
     def run_all(self, calls: Sequence[tuple[Callable[..., R], tuple]]) -> list[R]:
         """Run ``fn(*args)`` for each ``(fn, args)`` pair, ordered as given.
 
         The heterogeneous sibling of :meth:`map`, used to dispatch e.g. a
-        solo baseline and its paired run concurrently.
+        solo baseline and its paired run concurrently.  A worker failure
+        is re-raised as :class:`ParallelCallError` naming the call index
+        and repr (original exception chained); the serial path re-raises
+        unchanged because its traceback already reaches the call site.
         """
         materialized = list(calls)
         if (
             self.jobs <= 1
             or len(materialized) <= 1
-            or not _is_picklable(materialized)
+            or not _is_picklable(materialized[0])
         ):
             return [fn(*args) for fn, args in materialized]
+        from .supervise import pool_call_result
+
         workers = min(self.jobs, len(materialized))
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_init_worker
         ) as pool:
             futures = [pool.submit(fn, *args) for fn, args in materialized]
-            return [future.result() for future in futures]
+            return [
+                pool_call_result(future, index, fn, args)
+                for index, (future, (fn, args)) in enumerate(
+                    zip(futures, materialized)
+                )
+            ]
 
 
 def pmap(fn: Callable[[T], R], items: Iterable[T], jobs: int | None = None) -> list[R]:

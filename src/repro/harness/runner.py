@@ -132,6 +132,9 @@ def run_flows(
     duration_s: float,
     seed: int = 1,
     timeline: Timeline | None = None,
+    *,
+    max_events: int | None = None,
+    max_wall_s: float | None = None,
 ) -> RunResult:
     """Run ``specs`` over a dumbbell built from ``config``.
 
@@ -139,6 +142,14 @@ def run_flows(
     delay shifts, outages, burst loss — see
     :mod:`repro.harness.scenarios`); its events are applied to the live
     dumbbell links while the simulation runs.
+
+    ``max_events`` / ``max_wall_s`` are watchdog budgets handed straight
+    to :meth:`Simulator.run` (``max_events`` also honours
+    ``REPRO_MAX_EVENTS``): a livelocked or runaway run raises
+    :class:`~repro.sim.engine.SimBudgetExceeded` instead of hanging —
+    the supervised harness (:mod:`repro.harness.supervise`) records it
+    as a ``timed-out`` trial.  Budgets never enter the cache key: they
+    bound *how long* a run may take, not what it computes.
 
     When a result cache is active (``REPRO_CACHE=1`` or
     :func:`repro.harness.cache.enable_cache`), a previously-computed run
@@ -159,7 +170,10 @@ def run_flows(
                 config, duration_s, cached_stats, None, specs,
                 timeline=timeline, link_events=events,
             )
-    result = _run_flows_live(specs, config, duration_s, seed, timeline)
+    result = _run_flows_live(
+        specs, config, duration_s, seed, timeline,
+        max_events=max_events, max_wall_s=max_wall_s,
+    )
     if cache is not None and key is not None:
         cache.store_stats(key, result.stats)
     return result
@@ -171,6 +185,9 @@ def _run_flows_live(
     duration_s: float,
     seed: int,
     timeline: Timeline | None = None,
+    *,
+    max_events: int | None = None,
+    max_wall_s: float | None = None,
 ) -> RunResult:
     sim = Simulator()
     rng = make_rng(seed)
@@ -201,7 +218,7 @@ def _run_flows_live(
             start_time=spec.start_time,
         )
         stats.append(flow.stats)
-    sim.run(until=duration_s)
+    sim.run(until=duration_s, max_events=max_events, max_wall_s=max_wall_s)
     link_events = list(driver.applied) if driver is not None else []
     return RunResult(
         config, duration_s, stats, dumbbell, specs,

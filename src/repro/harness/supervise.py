@@ -1,0 +1,752 @@
+"""Fault-tolerant, resumable trial execution.
+
+The paper's evaluation is a large scenario x seed matrix ("the mean of
+at least 10 trials in each scenario", 22 figures), and PR 3 made
+pathological simulations — outages, Gilbert-Elliott burst loss — a
+first-class workload.  Running thousands of such trials unattended
+means individual trials *will* misbehave: a protocol bug livelocks the
+engine, a worker process dies, a poisoned input raises.  Before this
+module, any one of those aborted the whole sweep and threw away every
+completed trial.
+
+Three layers fix that:
+
+* **Supervision** — every trial ends in a :class:`TrialOutcome`
+  (``ok`` / ``failed`` / ``timed-out`` / ``crashed-worker``) carrying the
+  seed, the canonical config payload, the error repr and traceback, and
+  the attempt count.  A failure is a *record*, not an abort.
+* **Retry with crash recovery** — :func:`supervised_map` fans trials
+  over a process pool like :class:`~repro.harness.parallel.ParallelExecutor`,
+  but a ``BrokenProcessPool`` or worker exception only fails the
+  affected items: they are retried on a fresh pool with capped
+  exponential backoff (seeded jitter via :class:`repro.sim.rng.Rng` —
+  no wall-clock reads in the decision path) and, if still failing,
+  re-run once serially in-process so the real traceback is captured.
+  Items whose workers *crashed* (SIGKILL, ``os._exit``) are never
+  re-run in-process — a crashing input must not take the driver down —
+  and surface as ``crashed-worker`` outcomes instead.
+* **Checkpoint/resume** — outcomes are journaled to a
+  :class:`SweepManifest`: an append-only JSONL file keyed by the result
+  cache's content address (:func:`repro.harness.cache.payload_key`,
+  float-hex exact).  Re-running a sweep against an existing manifest
+  skips every ``ok`` entry and re-attempts only failures, so a killed
+  two-hour figure run resumes as a two-minute top-up.  Torn trailing
+  lines (the driver was killed mid-append) are skipped on load; each
+  append is a single flushed+fsynced write so at most the final line
+  can be torn.
+
+Retry depth defaults to the ``REPRO_TRIAL_RETRIES`` environment
+variable (see :class:`RetryPolicy`); engine watchdog budgets
+(``REPRO_MAX_EVENTS``, :class:`repro.sim.engine.SimBudgetExceeded`)
+turn livelocks into ``timed-out`` outcomes.  See ``docs/ROBUSTNESS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback as traceback_mod
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+from ..sim.engine import SimBudgetExceeded
+from ..sim.rng import Rng
+from .cache import hex_floats, payload_key
+from .parallel import (
+    ParallelCallError,
+    _init_worker,
+    _is_picklable,
+    call_repr,
+    default_jobs,
+)
+
+MANIFEST_SCHEMA = 1
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMED_OUT = "timed-out"
+STATUS_CRASHED = "crashed-worker"
+
+
+# ----------------------------------------------------------------------
+# Wrapped future.result() — the only module allowed to call it bare
+# (enforced by the ``no-bare-subprocess-result`` lint rule).
+# ----------------------------------------------------------------------
+def pool_map_result(future, fn: Callable, item: Any) -> Any:
+    """Result of a :meth:`ParallelExecutor.map` future.
+
+    Mid-stream pickling failures — an item deeper in the stream that
+    cannot cross the process boundary — degrade to an in-process call
+    for that item alone.  Genuine worker exceptions re-raise unchanged,
+    keeping the pool path byte-compatible with the serial comprehension.
+    """
+    try:
+        return future.result()
+    except Exception:
+        if _is_picklable(item):
+            raise
+        return fn(item)
+
+
+def pool_call_result(future, index: int, fn: Callable, args: tuple) -> Any:
+    """Result of a :meth:`ParallelExecutor.run_all` future.
+
+    Worker exceptions are wrapped in
+    :class:`~repro.harness.parallel.ParallelCallError` carrying the call
+    index and repr (original chained as ``__cause__``); an unpicklable
+    call runs in-process instead.
+    """
+    try:
+        return future.result()
+    except Exception as exc:
+        if not _is_picklable((fn, args)):
+            return fn(*args)
+        raise ParallelCallError(
+            f"run_all call #{index} ({call_repr(fn, args)}) raised {exc!r}",
+            index=index,
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+def default_retries() -> int:
+    """Retry count from ``REPRO_TRIAL_RETRIES`` (default 2)."""
+    raw = os.environ.get("REPRO_TRIAL_RETRIES", "").strip()
+    if not raw:
+        return 2
+    try:
+        retries = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_TRIAL_RETRIES must be an integer, got {raw!r}"
+        ) from exc
+    if retries < 0:
+        raise ValueError(f"REPRO_TRIAL_RETRIES must be >= 0, got {retries}")
+    return retries
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed trials are retried.
+
+    ``retries`` is the number of *re*-attempts after the first try
+    (``None`` reads ``REPRO_TRIAL_RETRIES``, default 2).  Backoff before
+    re-attempt ``k`` is ``min(cap, base * factor**(k-1))`` scaled by a
+    seeded jitter draw in ``[1-jitter, 1+jitter]`` — fully deterministic
+    given (seed, item index, attempt), with no wall-clock read anywhere
+    in the decision path (the host clock is only *slept on*, never
+    branched on).
+
+    ``final_serial`` controls the last-resort in-process re-run of items
+    that still fail after pool retries: it yields a real traceback for
+    the failure record.  It never applies to ``crashed-worker`` items —
+    re-running an input that SIGKILLs its process would kill the driver.
+    """
+
+    retries: int | None = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 2.0
+    jitter_fraction: float = 0.25
+    seed: int = 0
+    final_serial: bool = True
+
+    def max_attempts(self) -> int:
+        return 1 + (default_retries() if self.retries is None else self.retries)
+
+    def backoff_s(self, attempt: int, index: int) -> float:
+        """Deterministic pause before re-attempting after ``attempt`` failures."""
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        base = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+        )
+        if self.jitter_fraction <= 0:
+            return base
+        rng = Rng(f"supervise-backoff:{self.seed}:{index}:{attempt}")
+        return base * rng.uniform(1.0 - self.jitter_fraction, 1.0 + self.jitter_fraction)
+
+
+# ----------------------------------------------------------------------
+# Trial outcomes and their exact-value journal encoding
+# ----------------------------------------------------------------------
+def encode_value(value: Any) -> Any:
+    """Tagged JSON encoding of a trial value; floats via ``float.hex()``.
+
+    The tag removes ambiguity between a string that *looks* like a hex
+    float and an actual float, so a manifest round-trip is exact —
+    resumed trials are byte-identical to recomputed ones.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return ["v", value]
+    if isinstance(value, float):
+        return ["f", value.hex()]
+    if isinstance(value, dict):
+        return ["d", {key: encode_value(item) for key, item in value.items()}]
+    if isinstance(value, (list, tuple)):
+        return ["l", [encode_value(item) for item in value]]
+    raise TypeError(
+        f"cannot journal a trial value of type {type(value).__name__}; "
+        "supervised experiments must return JSON-able scalars/dicts/lists"
+    )
+
+
+def decode_value(encoded: Any) -> Any:
+    """Inverse of :func:`encode_value` (floats bit-exact)."""
+    tag, data = encoded
+    if tag == "v":
+        return data
+    if tag == "f":
+        return float.fromhex(data)
+    if tag == "d":
+        return {key: decode_value(item) for key, item in data.items()}
+    if tag == "l":
+        return [decode_value(item) for item in data]
+    raise ValueError(f"unknown value tag {tag!r}")
+
+
+@dataclass
+class TrialOutcome:
+    """The supervised result of one trial — success or structured failure.
+
+    ``status`` is one of ``ok``, ``failed`` (the experiment raised),
+    ``timed-out`` (the engine watchdog tripped —
+    :class:`~repro.sim.engine.SimBudgetExceeded`), or ``crashed-worker``
+    (the worker process died).  ``payload`` is the canonical config
+    payload the manifest key was derived from; ``resumed`` marks an
+    outcome rebuilt from a manifest rather than recomputed.
+    """
+
+    status: str
+    key: str
+    value: Any = None
+    seed: int | None = None
+    payload: dict | None = None
+    error: str | None = None
+    traceback: str | None = None
+    attempts: int = 0
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_record(self) -> dict:
+        """JSON-safe manifest line (exact float round-trip)."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "key": self.key,
+            "status": self.status,
+            "seed": self.seed,
+            "payload": hex_floats(self.payload),
+            "value": None if self.value is None else encode_value(self.value),
+            "error": self.error,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "TrialOutcome":
+        value = record.get("value")
+        return cls(
+            status=record["status"],
+            key=record["key"],
+            value=None if value is None else decode_value(value),
+            seed=record.get("seed"),
+            payload=record.get("payload"),
+            error=record.get("error"),
+            traceback=record.get("traceback"),
+            attempts=record.get("attempts", 0),
+            resumed=True,
+        )
+
+
+def summarize_outcomes(outcomes: Iterable[TrialOutcome]) -> dict:
+    """Counts by status plus how many were resumed from a manifest."""
+    counts = {
+        STATUS_OK: 0,
+        STATUS_FAILED: 0,
+        STATUS_TIMED_OUT: 0,
+        STATUS_CRASHED: 0,
+        "resumed": 0,
+        "total": 0,
+    }
+    for outcome in outcomes:
+        counts["total"] += 1
+        counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        if outcome.resumed:
+            counts["resumed"] += 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# The sweep manifest: append-only JSONL checkpoint
+# ----------------------------------------------------------------------
+class SweepManifest:
+    """Append-only JSONL journal of :class:`TrialOutcome` records.
+
+    One JSON object per line, keyed by the content-addressed trial key.
+    Appends are a single flushed + fsynced write, so a killed driver can
+    tear at most the final line; :meth:`load` skips unparseable lines
+    (counted in ``torn_lines``) and lets later records win over earlier
+    ones under the same key, so re-attempted failures supersede their
+    old entries without rewriting the file.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.torn_lines = 0
+
+    def load(self) -> dict[str, dict]:
+        """Key -> latest record.  Missing file = empty manifest."""
+        records: dict[str, dict] = {}
+        self.torn_lines = 0
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return records
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.torn_lines += 1  # killed mid-append: skip the torn line
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("schema") != MANIFEST_SCHEMA
+                or not isinstance(record.get("key"), str)
+            ):
+                self.torn_lines += 1
+                continue
+            records[record["key"]] = record
+        return records
+
+    def completed_keys(self) -> set[str]:
+        """Keys whose latest record is ``ok`` (skipped on resume)."""
+        return {
+            key
+            for key, record in self.load().items()
+            if record.get("status") == STATUS_OK
+        }
+
+    def append(self, outcome: TrialOutcome) -> None:
+        line = json.dumps(outcome.to_record(), sort_keys=True, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a+b") as handle:
+            # A run killed mid-append can leave a torn line with no
+            # newline; terminate it so this record is not swallowed
+            # into it (the torn fragment then parses as its own bad
+            # line and is skipped by load()).
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write((line + "\n").encode())
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+# ----------------------------------------------------------------------
+# Supervised execution
+# ----------------------------------------------------------------------
+def _qualname(fn: Callable) -> str:
+    module = getattr(fn, "__module__", "?")
+    name = getattr(fn, "__qualname__", None) or repr(fn)
+    return f"{module}.{name}"
+
+
+def trial_payload(experiment: Callable, seed: int, extra: dict | None = None) -> dict:
+    """Canonical manifest payload for one ``experiment(seed)`` trial.
+
+    The manifest key is :func:`payload_key` over this payload — the same
+    derivation as the result cache, so it embeds the source-tree digest:
+    editing the simulator invalidates old manifests wholesale (a resume
+    after a source change correctly re-runs everything).
+    """
+    payload = {
+        "kind": "supervised_trial",
+        "experiment": _qualname(experiment),
+        "seed": seed,
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def _remote_traceback(exc: BaseException) -> str | None:
+    """The worker-side traceback text concurrent.futures smuggles over."""
+    cause = exc.__cause__
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        return str(cause)
+    return None
+
+
+def _classify(exc: BaseException) -> str:
+    if isinstance(exc, SimBudgetExceeded):
+        return STATUS_TIMED_OUT
+    if isinstance(exc, BrokenProcessPool):
+        return STATUS_CRASHED
+    return STATUS_FAILED
+
+
+def _serial_attempts(
+    fn: Callable[[Any], Any],
+    item: Any,
+    index: int,
+    key: str,
+    seed: int | None,
+    payload: dict | None,
+    policy: RetryPolicy,
+    prior_attempts: int,
+    attempts_budget: int,
+) -> TrialOutcome:
+    """Run ``fn(item)`` in-process up to ``attempts_budget`` more times."""
+    attempts = prior_attempts
+    status, error, tb = STATUS_FAILED, None, None
+    for _ in range(max(1, attempts_budget)):
+        if attempts > prior_attempts:
+            time.sleep(policy.backoff_s(attempts, index))
+        attempts += 1
+        try:
+            value = fn(item)
+        except Exception as exc:
+            status = _classify(exc)
+            error = repr(exc)
+            tb = traceback_mod.format_exc()
+        else:
+            return TrialOutcome(
+                status=STATUS_OK,
+                key=key,
+                value=value,
+                seed=seed,
+                payload=payload,
+                attempts=attempts,
+            )
+    return TrialOutcome(
+        status=status,
+        key=key,
+        seed=seed,
+        payload=payload,
+        error=error,
+        traceback=tb,
+        attempts=attempts,
+    )
+
+
+def supervised_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    payloads: Sequence[dict] | None = None,
+    seeds: Sequence[int] | None = None,
+    jobs: int | None = None,
+    policy: RetryPolicy | None = None,
+    manifest: str | Path | SweepManifest | None = None,
+) -> list[TrialOutcome]:
+    """``fn`` over ``items`` with supervision, retries, and checkpointing.
+
+    Returns one :class:`TrialOutcome` per item, in input order — never
+    raises for a failing item.  ``payloads`` (one canonical dict per
+    item) derive the content-addressed keys; when omitted, a generic
+    payload from the function qualname and item index is used (resume
+    still works, but renaming ``fn`` orphans old manifest entries).
+
+    With ``manifest`` set, every fresh outcome is journaled and items
+    whose key is already ``ok`` in the manifest are *not* re-run: their
+    outcomes are rebuilt from the journal (``resumed=True``,
+    bit-identical values).  Failed entries are re-attempted.
+
+    Execution: picklable workloads fan out over a process pool
+    (``jobs``/``REPRO_JOBS``); worker exceptions, watchdog trips and
+    dead workers mark only the affected items, which are retried on a
+    fresh pool per :class:`RetryPolicy` and finally (except after
+    crashes) re-run serially in-process.  ``jobs=1`` or unpicklable
+    workloads run the same supervision loop serially.
+    """
+    materialized = list(items)
+    n = len(materialized)
+    if seeds is not None:
+        seeds = list(seeds)
+        if len(seeds) != n:
+            raise ValueError(f"{len(seeds)} seeds for {n} items")
+    if payloads is None:
+        payloads = [
+            {
+                "kind": "supervised_map",
+                "fn": _qualname(fn),
+                "index": i,
+                "seed": None if seeds is None else seeds[i],
+            }
+            for i in range(n)
+        ]
+    else:
+        payloads = list(payloads)
+        if len(payloads) != n:
+            raise ValueError(f"{len(payloads)} payloads for {n} items")
+    seed_list: list[int | None] = (
+        list(seeds) if seeds is not None else [p.get("seed") for p in payloads]
+    )
+    keys = [payload_key(hex_floats(payload)) for payload in payloads]
+    policy = policy or RetryPolicy()
+    max_attempts = policy.max_attempts()
+    journal = (
+        manifest
+        if isinstance(manifest, SweepManifest) or manifest is None
+        else SweepManifest(manifest)
+    )
+
+    outcomes: list[TrialOutcome | None] = [None] * n
+    pending: list[int] = []
+    if journal is not None:
+        existing = journal.load()
+    else:
+        existing = {}
+    for i, key in enumerate(keys):
+        record = existing.get(key)
+        if record is not None and record.get("status") == STATUS_OK:
+            try:
+                outcomes[i] = TrialOutcome.from_record(record)
+                continue
+            except (KeyError, ValueError, TypeError):
+                pass  # corrupt record: treat as not completed
+        pending.append(i)
+
+    def finish(i: int, outcome: TrialOutcome) -> None:
+        outcomes[i] = outcome
+        if journal is not None:
+            journal.append(outcome)
+
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    pool_ok = (
+        jobs > 1
+        and len(pending) > 1
+        and _is_picklable(fn)
+        and _is_picklable(materialized[pending[0]])
+    )
+
+    if not pool_ok:
+        for i in pending:
+            finish(
+                i,
+                _serial_attempts(
+                    fn,
+                    materialized[i],
+                    i,
+                    keys[i],
+                    seed_list[i],
+                    payloads[i],
+                    policy,
+                    prior_attempts=0,
+                    attempts_budget=max_attempts,
+                ),
+            )
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    attempts = [0] * n
+    last_failure: dict[int, tuple[str, str | None, str | None]] = {}
+    round_index = 0
+    while True:
+        retryable = [
+            i for i in pending if outcomes[i] is None and attempts[i] < max_attempts
+        ]
+        if not retryable:
+            break
+        if round_index > 0:
+            # One deterministic, jittered pause per retry round; per-item
+            # backoff applies on the serial paths.
+            time.sleep(policy.backoff_s(round_index, retryable[0]))
+        round_index += 1
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(retryable)), initializer=_init_worker
+        ) as pool:
+            futures = {}
+            try:
+                for i in retryable:
+                    futures[i] = pool.submit(fn, materialized[i])
+            except BrokenProcessPool as exc:
+                # The pool died during submission; charge a crash attempt
+                # to every item that never got a future.
+                for i in retryable:
+                    if i not in futures:
+                        attempts[i] += 1
+                        last_failure[i] = (STATUS_CRASHED, repr(exc), None)
+            for i in list(futures):
+                try:
+                    value = pool_trial_result(futures[i])
+                except BrokenProcessPool as exc:
+                    # The pool is dead: this and every still-unfinished
+                    # future fails the same way.  Blame is ambiguous, so
+                    # each affected item gets a crash attempt recorded
+                    # and the loop restarts on a fresh pool.
+                    attempts[i] += 1
+                    last_failure[i] = (STATUS_CRASHED, repr(exc), None)
+                except Exception as exc:
+                    if not _is_picklable(materialized[i]):
+                        # Mid-stream pickling failure: the item never
+                        # reached a worker.  Degrade to the serial
+                        # supervision loop for this item alone.
+                        finish(
+                            i,
+                            _serial_attempts(
+                                fn,
+                                materialized[i],
+                                i,
+                                keys[i],
+                                seed_list[i],
+                                payloads[i],
+                                policy,
+                                prior_attempts=attempts[i],
+                                attempts_budget=max_attempts - attempts[i],
+                            ),
+                        )
+                        continue
+                    attempts[i] += 1
+                    last_failure[i] = (
+                        _classify(exc),
+                        repr(exc),
+                        _remote_traceback(exc),
+                    )
+                else:
+                    attempts[i] += 1
+                    finish(
+                        i,
+                        TrialOutcome(
+                            status=STATUS_OK,
+                            key=keys[i],
+                            value=value,
+                            seed=seed_list[i],
+                            payload=payloads[i],
+                            attempts=attempts[i],
+                        ),
+                    )
+
+    # Pool retries exhausted: one last in-process attempt for items that
+    # failed with an exception (real traceback, attributable record);
+    # crashed items are recorded as-is — re-running a worker-killer
+    # in-process would take the driver down with it.
+    for i in pending:
+        if outcomes[i] is not None:
+            continue
+        status, error, tb = last_failure.get(i, (STATUS_FAILED, None, None))
+        if policy.final_serial and status != STATUS_CRASHED:
+            finish(
+                i,
+                _serial_attempts(
+                    fn,
+                    materialized[i],
+                    i,
+                    keys[i],
+                    seed_list[i],
+                    payloads[i],
+                    policy,
+                    prior_attempts=attempts[i],
+                    attempts_budget=1,
+                ),
+            )
+        else:
+            finish(
+                i,
+                TrialOutcome(
+                    status=status,
+                    key=keys[i],
+                    seed=seed_list[i],
+                    payload=payloads[i],
+                    error=error,
+                    traceback=tb,
+                    attempts=attempts[i],
+                ),
+            )
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def pool_trial_result(future) -> Any:
+    """Bare future result for the supervised loop (exceptions classified
+    by the caller).  Lives here so the ``no-bare-subprocess-result``
+    lint rule can scope bare ``.result()`` calls to this module."""
+    return future.result()
+
+
+# ----------------------------------------------------------------------
+# The Fig-8 robustness matrix as a supervised, resumable sweep
+# ----------------------------------------------------------------------
+def _pair_cell(item: dict) -> dict[str, float]:
+    """One (config, seed) cell of the Fig-8 matrix — module-level so it
+    pickles into pool workers.  ``jobs=1`` keeps the nested ``run_pair``
+    dispatch serial inside a worker."""
+    from .runner import run_pair
+    from .scenarios import LinkConfig
+
+    config = LinkConfig(**item["config"])
+    pair = run_pair(
+        item["primary"],
+        item["scavenger"],
+        config,
+        duration_s=item["duration_s"],
+        seed=item["seed"],
+        jobs=1,
+    )
+    return asdict(pair)
+
+
+def run_matrix(
+    primary: str = "cubic",
+    scavenger: str = "proteus-s",
+    configs: Sequence[Any] | None = None,
+    n_trials: int = 1,
+    base_seed: int = 1,
+    duration_s: float = 10.0,
+    jobs: int | None = None,
+    policy: RetryPolicy | None = None,
+    manifest: str | Path | SweepManifest | None = None,
+) -> list[TrialOutcome]:
+    """The Fig-8 scenario x seed matrix as a supervised, resumable sweep.
+
+    Each cell is one :func:`~repro.harness.runner.run_pair` call for one
+    ``(LinkConfig, seed)``; the outcome value is the ``PairResult`` as a
+    dict of floats.  With ``manifest`` set the sweep checkpoints every
+    cell and ``repro sweep --resume <manifest>`` tops up an interrupted
+    run.  ``configs`` defaults to the full 180-configuration
+    :func:`~repro.harness.scenarios.config_matrix`.
+    """
+    from .scenarios import config_matrix
+
+    if n_trials < 1:
+        raise ValueError("n_trials must be positive")
+    if configs is None:
+        configs = config_matrix()
+    items: list[dict] = []
+    payloads: list[dict] = []
+    seeds: list[int] = []
+    for config in configs:
+        for trial in range(n_trials):
+            seed = base_seed + trial
+            item = {
+                "primary": primary,
+                "scavenger": scavenger,
+                "config": asdict(config),
+                "duration_s": duration_s,
+                "seed": seed,
+            }
+            items.append(item)
+            payloads.append({"kind": "fig8_pair_cell", **item})
+            seeds.append(seed)
+    return supervised_map(
+        _pair_cell,
+        items,
+        payloads=payloads,
+        seeds=seeds,
+        jobs=jobs,
+        policy=policy,
+        manifest=manifest,
+    )

@@ -5,6 +5,13 @@ medians of 4 trials for the Internet tests.  This module runs any
 experiment function across seeds and summarises the distribution,
 including a bootstrap confidence interval so benchmark shape claims can
 be checked against sampling noise rather than a single draw.
+
+Long sweeps can run *supervised*: pass ``manifest=`` (and optionally a
+:class:`~repro.harness.supervise.RetryPolicy`) to journal every
+completed trial to an append-only checkpoint and resume after an
+interruption, or call :func:`run_trials_supervised` for the raw
+per-trial :class:`~repro.harness.supervise.TrialOutcome` records.  See
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -12,9 +19,14 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 from ..sim.rng import Rng
 from .parallel import pmap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .supervise import RetryPolicy, SweepManifest, TrialOutcome
 
 
 @dataclass(frozen=True)
@@ -75,11 +87,45 @@ def summarize(values: Sequence[float], ci_resamples: int = 2000, seed: int = 0) 
     )
 
 
+def run_trials_supervised(
+    experiment: Callable[[int], Any],
+    n_trials: int = 10,
+    base_seed: int = 1,
+    jobs: int | None = None,
+    policy: "RetryPolicy | None" = None,
+    manifest: "str | Path | SweepManifest | None" = None,
+) -> "list[TrialOutcome]":
+    """Run ``experiment(seed)`` under supervision; one outcome per seed.
+
+    A raising, livelocked, or worker-killing trial becomes a structured
+    failure record instead of aborting its siblings; with ``manifest``
+    set, completed trials are journaled and skipped on re-run (resume).
+    See :mod:`repro.harness.supervise`.
+    """
+    from .supervise import supervised_map, trial_payload
+
+    if n_trials < 1:
+        raise ValueError("n_trials must be positive")
+    seeds = [base_seed + i for i in range(n_trials)]
+    payloads = [trial_payload(experiment, seed) for seed in seeds]
+    return supervised_map(
+        experiment,
+        seeds,
+        payloads=payloads,
+        seeds=seeds,
+        jobs=jobs,
+        policy=policy,
+        manifest=manifest,
+    )
+
+
 def run_trials(
     experiment: Callable[[int], float],
     n_trials: int = 10,
     base_seed: int = 1,
     jobs: int | None = None,
+    policy: "RetryPolicy | None" = None,
+    manifest: "str | Path | SweepManifest | None" = None,
 ) -> TrialSummary:
     """Run ``experiment(seed)`` for ``n_trials`` seeds and summarise.
 
@@ -87,9 +133,21 @@ def run_trials(
     (``jobs``, default ``REPRO_JOBS``/CPU count); results are collected
     in seed order, so the summary is identical to a serial run.
     Unpicklable experiments (closures) transparently run serially.
+
+    Passing ``manifest`` and/or ``policy`` routes through the supervised
+    executor: completed trials are checkpointed (and skipped on resume)
+    and failing trials are retried, then *excluded* from the summary —
+    ``summarize`` raises ``ValueError("no trial values")`` only if every
+    trial failed.  Use :func:`run_trials_supervised` to inspect the
+    failures themselves.
     """
     if n_trials < 1:
         raise ValueError("n_trials must be positive")
+    if policy is not None or manifest is not None:
+        outcomes = run_trials_supervised(
+            experiment, n_trials, base_seed, jobs=jobs, policy=policy, manifest=manifest
+        )
+        return summarize([o.value for o in outcomes if o.ok])
     seeds = [base_seed + i for i in range(n_trials)]
     values = pmap(experiment, seeds, jobs=jobs)
     return summarize(values)
@@ -100,12 +158,20 @@ def run_trials_multi(
     n_trials: int = 10,
     base_seed: int = 1,
     jobs: int | None = None,
+    policy: "RetryPolicy | None" = None,
+    manifest: "str | Path | SweepManifest | None" = None,
 ) -> dict[str, TrialSummary]:
     """As :func:`run_trials` for experiments returning several metrics."""
     if n_trials < 1:
         raise ValueError("n_trials must be positive")
-    seeds = [base_seed + i for i in range(n_trials)]
-    outcomes = pmap(experiment, seeds, jobs=jobs)
+    if policy is not None or manifest is not None:
+        supervised = run_trials_supervised(
+            experiment, n_trials, base_seed, jobs=jobs, policy=policy, manifest=manifest
+        )
+        outcomes = [o.value for o in supervised if o.ok]
+    else:
+        seeds = [base_seed + i for i in range(n_trials)]
+        outcomes = pmap(experiment, seeds, jobs=jobs)
     collected: dict[str, list[float]] = {}
     for outcome in outcomes:
         for key, value in outcome.items():

@@ -21,7 +21,7 @@ from .dynamics import (
     LinkEvent,
     TimelineDriver,
 )
-from .engine import Event, SimulationError, Simulator
+from .engine import Event, SimBudgetExceeded, SimulationError, Simulator
 from .flow import Flow, FlowReceiver, Path
 from .invariants import InvariantChecker, InvariantError
 from .link import Link, LinkStats
@@ -66,6 +66,7 @@ __all__ = [
     "Packet",
     "Path",
     "Rng",
+    "SimBudgetExceeded",
     "SimulationError",
     "Simulator",
     "SpikeNoise",

@@ -36,12 +36,22 @@ Optional runtime invariant checking (``check_invariants=True``, or the
 :class:`repro.sim.invariants.InvariantChecker` that audits clock
 monotonicity, per-link packet conservation, queue non-negativity, and RTT
 sample bounds as the simulation runs.
+
+:meth:`Simulator.run` also accepts **watchdog budgets**: ``max_events``
+caps how many events a single ``run()`` call may fire (default from the
+``REPRO_MAX_EVENTS`` environment variable) and ``max_wall_s`` caps its
+host wall-clock time.  Exceeding either raises a catchable
+:class:`SimBudgetExceeded` instead of spinning forever on e.g. a
+zero-dt self-rescheduling bug — the supervision layer
+(:mod:`repro.harness.supervise`) maps that exception to a structured
+``timed-out`` trial outcome.
 """
 
 from __future__ import annotations
 
 import heapq
 import os
+import time
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -53,6 +63,61 @@ _COMPACT_MIN_HEAP = 64
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation engine."""
+
+
+class SimBudgetExceeded(SimulationError):
+    """A :meth:`Simulator.run` call exceeded its event or wall-clock budget.
+
+    Carries enough context for a supervisor to build an attributable
+    trial record.  The exception crosses process boundaries intact
+    (custom ``__reduce__``), so a pool worker that trips its watchdog
+    surfaces as a structured ``timed-out`` outcome in the parent.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        events_fired: int = 0,
+        max_events: "int | None" = None,
+        wall_s: "float | None" = None,
+        max_wall_s: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.events_fired = events_fired
+        self.max_events = max_events
+        self.wall_s = wall_s
+        self.max_wall_s = max_wall_s
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.args[0],
+                self.events_fired,
+                self.max_events,
+                self.wall_s,
+                self.max_wall_s,
+            ),
+        )
+
+
+def env_max_events() -> "int | None":
+    """Event budget from ``REPRO_MAX_EVENTS`` (empty/``0`` = unlimited).
+
+    Parsed on every :meth:`Simulator.run` call — one environment read per
+    run is noise next to the run itself, and it keeps tests free of
+    cache-reset hooks.
+    """
+    raw = os.environ.get("REPRO_MAX_EVENTS", "").strip()
+    if not raw or raw == "0":
+        return None
+    try:
+        budget = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_MAX_EVENTS must be an integer, got {raw!r}") from exc
+    if budget < 1:
+        raise ValueError(f"REPRO_MAX_EVENTS must be >= 1 or 0 (unlimited), got {budget}")
+    return budget
 
 
 class Event:
@@ -228,43 +293,129 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: float | None = None) -> None:
+    def run(
+        self,
+        until: float | None = None,
+        *,
+        max_events: int | None = None,
+        max_wall_s: float | None = None,
+    ) -> None:
         """Run events until the queue drains or ``until`` is reached.
 
         When ``until`` is given, the clock is advanced to exactly ``until``
         even if the last event fires earlier, so post-run measurements see a
         consistent end time.
+
+        ``max_events`` (default: the ``REPRO_MAX_EVENTS`` environment
+        variable; ``None``/``0`` = unlimited) caps how many events this
+        single ``run()`` call may fire, and ``max_wall_s`` caps its host
+        wall-clock time (checked every 1024 events).  Exceeding either
+        budget raises :class:`SimBudgetExceeded`; the simulation state
+        stays consistent, but with ``until`` the clock is *not*
+        fast-forwarded and no final invariant sweep runs.  The budgets
+        are watchdogs against livelock (e.g. a protocol bug that
+        reschedules itself at zero dt forever), not part of any
+        scenario's semantics, so they never enter cache keys.
         """
+        if max_events is None:
+            max_events = env_max_events()
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         inv = self.invariants
         try:
-            heap = self._heap
-            while heap:
-                entry = heap[0]
-                event = entry[_EVENT]
-                if event is not None and event.cancelled:
-                    heapq.heappop(heap)
-                    if self._cancelled > 0:
-                        self._cancelled -= 1
-                    continue
-                if until is not None and entry[_TIME] > until:
-                    break
-                heapq.heappop(heap)
-                if event is not None:
-                    event.sim = None
-                self.now = entry[_TIME]
-                entry[_FN](*entry[_ARGS])
-                self.events_fired += 1
-                if inv is not None:
-                    inv.after_event(self.now)
+            if max_events is None and max_wall_s is None:
+                self._run_unbudgeted(until, inv)
+            else:
+                self._run_budgeted(until, inv, max_events, max_wall_s)
             if until is not None and until > self.now:
                 self.now = until
             if inv is not None:
                 inv.final_check()
         finally:
             self._running = False
+
+    def _run_unbudgeted(self, until: float | None, inv: "InvariantChecker | None") -> None:
+        """The hot loop: no watchdog compares when no budget is armed."""
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[_EVENT]
+            if event is not None and event.cancelled:
+                heapq.heappop(heap)
+                if self._cancelled > 0:
+                    self._cancelled -= 1
+                continue
+            if until is not None and entry[_TIME] > until:
+                break
+            heapq.heappop(heap)
+            if event is not None:
+                event.sim = None
+            self.now = entry[_TIME]
+            entry[_FN](*entry[_ARGS])
+            self.events_fired += 1
+            if inv is not None:
+                inv.after_event(self.now)
+
+    def _run_budgeted(
+        self,
+        until: float | None,
+        inv: "InvariantChecker | None",
+        max_events: int | None,
+        max_wall_s: float | None,
+    ) -> None:
+        """As :meth:`_run_unbudgeted` plus event/wall budget checks.
+
+        A separate loop so the unbudgeted path pays zero extra compares
+        per event (the engine microbenchmark gates that).
+        """
+        heap = self._heap
+        fired = 0
+        deadline = None
+        if max_wall_s is not None:
+            # Watchdog only: the simulated world never sees this value.
+            deadline = time.perf_counter() + max_wall_s  # repro: noqa[no-wallclock]
+        while heap:
+            entry = heap[0]
+            event = entry[_EVENT]
+            if event is not None and event.cancelled:
+                heapq.heappop(heap)
+                if self._cancelled > 0:
+                    self._cancelled -= 1
+                continue
+            if until is not None and entry[_TIME] > until:
+                break
+            if max_events is not None and fired >= max_events:
+                raise SimBudgetExceeded(
+                    f"event budget exhausted: {fired} events fired in one "
+                    f"run() call with max_events={max_events} "
+                    f"(sim time {self.now:.6f}s, {len(heap)} entries queued)",
+                    events_fired=fired,
+                    max_events=max_events,
+                    max_wall_s=max_wall_s,
+                )
+            heapq.heappop(heap)
+            if event is not None:
+                event.sim = None
+            self.now = entry[_TIME]
+            entry[_FN](*entry[_ARGS])
+            self.events_fired += 1
+            fired += 1
+            if inv is not None:
+                inv.after_event(self.now)
+            if deadline is not None and fired & 1023 == 0:
+                wall_now = time.perf_counter()  # repro: noqa[no-wallclock]
+                if wall_now > deadline:
+                    assert max_wall_s is not None
+                    raise SimBudgetExceeded(
+                        f"wall-clock budget exhausted: {max_wall_s:g}s of host "
+                        f"time in one run() call after {fired} events "
+                        f"(sim time {self.now:.6f}s)",
+                        events_fired=fired,
+                        max_events=max_events,
+                        wall_s=wall_now - (deadline - max_wall_s),
+                        max_wall_s=max_wall_s,
+                    )
 
     def pending(self) -> int:
         """Number of queued live (non-cancelled) events — O(1).

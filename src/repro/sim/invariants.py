@@ -50,13 +50,31 @@ class InvariantChecker:
         sim: The simulator being audited.
         sweep_every_events: Events between full link/flow sweeps.  The
             monotonic-clock check runs on every event regardless.
+        max_stall_events: Optional livelock tripwire — raise when this
+            many *consecutive* events fire without the simulated clock
+            advancing (the signature of a zero-dt self-rescheduling
+            bug).  ``None`` (default) disables the check; legitimate
+            bursts of same-timestamp events (simultaneous arrivals) stay
+            well under any sensible threshold.  This complements the
+            engine-level ``max_events`` watchdog: the invariant names
+            the *cause* (a stalled clock) where the budget only bounds
+            the damage.
     """
 
-    def __init__(self, sim: "Simulator", sweep_every_events: int = 256):
+    def __init__(
+        self,
+        sim: "Simulator",
+        sweep_every_events: int = 256,
+        max_stall_events: int | None = None,
+    ):
         if sweep_every_events < 1:
             raise ValueError("sweep_every_events must be positive")
+        if max_stall_events is not None and max_stall_events < 1:
+            raise ValueError("max_stall_events must be positive")
         self.sim = sim
         self.sweep_every_events = sweep_every_events
+        self.max_stall_events = max_stall_events
+        self._stall_events = 0
         self._links: list = []
         self._flows: list["Flow"] = []
         self._rtt_checked: dict[int, int] = {}  # id(flow) -> samples audited
@@ -86,6 +104,17 @@ class InvariantChecker:
             raise InvariantError(
                 f"simulated clock moved backwards: {self._last_now} -> {now}"
             )
+        if self.max_stall_events is not None:
+            if now > self._last_now:
+                self._stall_events = 0
+            else:
+                self._stall_events += 1
+                if self._stall_events >= self.max_stall_events:
+                    raise InvariantError(
+                        f"simulated clock stalled: {self._stall_events} "
+                        f"consecutive events at t={now} (zero-dt "
+                        "self-rescheduling livelock?)"
+                    )
         self._last_now = now
         self._events_since_sweep += 1
         if self._events_since_sweep >= self.sweep_every_events:

@@ -1,0 +1,10 @@
+"""Planted bare future.result() calls (no-bare-subprocess-result)."""
+
+
+def collect(futures):
+    return [future.result() for future in futures]
+
+
+def first(future):
+    value = future.result()  # repro: noqa[no-bare-subprocess-result]
+    return future.result() or value

@@ -21,7 +21,7 @@ def positions(violations, rule_id):
     return [(v.line, v.col) for v in violations if v.rule_id == rule_id]
 
 
-def test_registry_has_all_five_rules():
+def test_registry_has_all_rules():
     ids = set(REGISTRY.rules)
     assert ids >= {
         "no-bare-random",
@@ -29,6 +29,7 @@ def test_registry_has_all_five_rules():
         "no-float-eq",
         "unit-suffix",
         "mutable-default-arg",
+        "no-bare-subprocess-result",
     }
 
 
@@ -113,6 +114,23 @@ def test_mutable_default_arg():
         (8, 17),  # table={}
         (8, 26),  # tags=set()
     ]
+
+
+def test_no_bare_subprocess_result():
+    violations = lint_fixture("bare_result.py")
+    # Line 9 is suppressed with a rule-precise noqa.
+    assert positions(violations, "no-bare-subprocess-result") == [
+        (5, 13),  # future.result() in the comprehension
+        (10, 12),  # future.result() after the suppressed line
+    ]
+
+
+def test_no_bare_subprocess_result_exempts_supervise():
+    engine = LintEngine()
+    src = "def take(future):\n    return future.result()\n"
+    assert engine.lint_source(src, "harness/supervise.py") == []
+    flagged = engine.lint_source(src, "harness/parallel.py")
+    assert [v.rule_id for v in flagged] == ["no-bare-subprocess-result"]
 
 
 def test_noqa_suppression_is_rule_precise():

@@ -93,6 +93,32 @@ def test_truncated_record_falls_back_to_recompute(cache):
     assert again.dumbbell is not None
 
 
+def test_corrupt_entry_is_quarantined(cache):
+    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    [entry] = list(cache.root.rglob("*.json"))
+    entry.write_text("{ not json")
+    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    assert cache.quarantined == 1
+    # The torn file was moved aside for post-mortems, not deleted...
+    [corpse] = list(cache.root.rglob("*.corrupt"))
+    assert corpse.read_text() == "{ not json"
+    # ...and the recompute healed the original path.
+    assert entry.exists()
+    assert cache.stats() == {
+        "hits": 0, "misses": 2, "stores": 2, "quarantined": 1,
+    }
+
+
+def test_quarantine_counted_once_per_entry(cache):
+    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    [entry] = list(cache.root.rglob("*.json"))
+    entry.write_text('{"schema": 1, "stats": [{"flow_id": 1}]}')
+    run_flows(SPECS, CONFIG, DURATION_S, seed=7)  # quarantines + heals
+    run_flows(SPECS, CONFIG, DURATION_S, seed=7)  # clean hit
+    assert cache.quarantined == 1
+    assert cache.hits == 1
+
+
 def test_stats_record_roundtrip_is_exact():
     result = run_flows(SPECS, CONFIG, DURATION_S, seed=3)
     for stats in result.stats:

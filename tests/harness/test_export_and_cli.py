@@ -109,6 +109,29 @@ def test_cli_fairness(capsys):
     assert "Jain's index" in capsys.readouterr().out
 
 
+def test_cli_sweep_runs_and_resumes(tmp_path, capsys):
+    manifest = tmp_path / "sweep.jsonl"
+    argv = [
+        "sweep", "--bandwidths", "10", "--rtts", "20", "--buffers", "1",
+        "--trials", "1", "--duration", "2", "--jobs", "1",
+        "--manifest", str(manifest),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "resumed from manifest    0" in out
+    assert manifest.exists()
+    # Resume: every cell comes back from the journal.
+    argv_resume = argv[:-2] + ["--resume", str(manifest)]
+    assert main(argv_resume) == 0
+    out = capsys.readouterr().out
+    assert "resumed from manifest    1" in out
+
+
+def test_cli_sweep_rejects_bad_float_list():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--bandwidths", "ten"])
+
+
 def test_cli_rejects_unknown_protocol():
     with pytest.raises(SystemExit):
         main(["single", "--protocol", "nope"])

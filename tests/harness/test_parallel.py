@@ -1,8 +1,16 @@
 """Tests for the process-pool experiment executor."""
 
+import threading
+
 import pytest
 
-from repro.harness.parallel import ParallelExecutor, default_jobs, pmap
+from repro.harness.parallel import (
+    ParallelCallError,
+    ParallelExecutor,
+    call_repr,
+    default_jobs,
+    pmap,
+)
 
 
 def _square(x: int) -> int:  # module-level: picklable for real workers
@@ -84,3 +92,46 @@ def test_worker_exception_propagates():
 
 def _reciprocal(x: int) -> float:
     return 1.0 / x
+
+
+def _take_lock_free(item) -> int:
+    # Works whether the item is an int or an (unpicklable) Lock.
+    return 1 if isinstance(item, int) else 2
+
+
+def test_map_midstream_unpicklable_item_computed_in_process():
+    # First item picklable -> pool path engages; the Lock deeper in the
+    # stream cannot cross the boundary and is computed in-process.
+    items = [1, threading.Lock(), 3]
+    assert ParallelExecutor(jobs=2).map(_take_lock_free, items) == [1, 2, 1]
+
+
+def test_map_unpicklable_first_item_falls_back_to_serial():
+    items = [threading.Lock(), 1]
+    assert ParallelExecutor(jobs=2).map(_take_lock_free, items) == [2, 1]
+
+
+def test_run_all_wraps_worker_exception_with_attribution():
+    calls = [(_affine, (1, 2)), (_reciprocal, (0,)), (_square, (5,))]
+    with pytest.raises(ParallelCallError) as info:
+        ParallelExecutor(jobs=3).run_all(calls)
+    assert info.value.index == 1
+    assert "_reciprocal(0)" in str(info.value)
+    assert isinstance(info.value.__cause__, ZeroDivisionError)
+
+
+def test_run_all_serial_path_raises_unwrapped():
+    # jobs=1 keeps the original traceback, which already reaches the
+    # call site — no wrapper needed there.
+    with pytest.raises(ZeroDivisionError):
+        ParallelExecutor(jobs=1).run_all([(_reciprocal, (0,)), (_square, (2,))])
+
+
+def test_run_all_unpicklable_call_runs_in_process():
+    lock = threading.Lock()
+    calls = [(_affine, (1, 2)), (_take_lock_free, (lock,))]
+    assert ParallelExecutor(jobs=2).run_all(calls) == [12, 2]
+
+
+def test_call_repr_names_function_and_args():
+    assert call_repr(_affine, (1, "x")) == "_affine(1, 'x')"
