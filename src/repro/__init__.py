@@ -1,6 +1,6 @@
 """Reproduction of "PCC Proteus: Scavenger Transport And Beyond" (SIGCOMM 2020).
 
-Public API layout:
+Public API layout (stability policy in ``docs/API.md``):
 
 * :mod:`repro.core` — PCC Proteus itself: utility framework
   (Proteus-P/S/H), noise tolerance, gradient rate control.
@@ -11,34 +11,77 @@ Public API layout:
 * :mod:`repro.apps` — DASH/BOLA video streaming and web-page workloads.
 * :mod:`repro.analysis` — fairness, paper statistics, equilibrium theory.
 * :mod:`repro.harness` — scenario definitions and experiment runners.
+* :mod:`repro.obs` — observability: tracepoints, sinks, metrics.
+* :mod:`repro.devtools` — determinism linter and invariant checks.
+
+Everything in ``__all__`` is the *stable public surface*: importable
+directly from ``repro`` and covered by the one-release deprecation
+policy.  Names resolve lazily (PEP 562), so ``import repro`` stays
+cheap — no experiment, plotting, or analysis module loads until first
+use (guarded by the import-surface test).
 """
 
-# Import order matters: ``protocols`` must initialize before ``core`` (the
-# Proteus sender builds on the protocol sender bases, while the protocol
-# package's Vivace baseline subclasses the Proteus sender).
-from . import sim  # noqa: I001  (dependency order, not alphabetical)
-from . import protocols
-from . import analysis, apps, core, harness
-from .core import ProteusSender, make_utility
-from .harness import EMULAB_DEFAULT, LinkConfig, run_flows, run_pair, run_single
-from .protocols import make_sender
+from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = [
-    "EMULAB_DEFAULT",
-    "LinkConfig",
-    "ProteusSender",
-    "analysis",
-    "apps",
-    "core",
-    "harness",
-    "make_sender",
-    "make_utility",
-    "protocols",
-    "run_flows",
-    "run_pair",
-    "run_single",
-    "sim",
-    "__version__",
-]
+# Lazy surface: public name -> (module, attribute).  A None attribute
+# re-exports the submodule itself.
+_LAZY: dict[str, tuple[str, str | None]] = {
+    # Submodules.
+    "analysis": ("repro.analysis", None),
+    "apps": ("repro.apps", None),
+    "core": ("repro.core", None),
+    "devtools": ("repro.devtools", None),
+    "harness": ("repro.harness", None),
+    "obs": ("repro.obs", None),
+    "protocols": ("repro.protocols", None),
+    "sim": ("repro.sim", None),
+    # Experiment entry points (keyword-only after the scenario args).
+    "run_flows": ("repro.harness.runner", "run_flows"),
+    "run_homogeneous": ("repro.harness.runner", "run_homogeneous"),
+    "run_pair": ("repro.harness.runner", "run_pair"),
+    "run_single": ("repro.harness.runner", "run_single"),
+    "run_streaming": ("repro.harness.runner", "run_streaming"),
+    # Scenario vocabulary.
+    "EMULAB_DEFAULT": ("repro.harness.scenarios", "EMULAB_DEFAULT"),
+    "FlowSpec": ("repro.harness.runner", "FlowSpec"),
+    "LinkConfig": ("repro.harness.scenarios", "LinkConfig"),
+    "TIMELINES": ("repro.harness.scenarios", "TIMELINES"),
+    "Timeline": ("repro.harness.scenarios", "Timeline"),
+    # Results.
+    "PairResult": ("repro.harness.runner", "PairResult"),
+    "Result": ("repro.harness.results", "Result"),
+    "RunResult": ("repro.harness.runner", "RunResult"),
+    "StreamingResult": ("repro.harness.runner", "StreamingResult"),
+    # Protocols / core.
+    "ProteusSender": ("repro.core", "ProteusSender"),
+    "make_sender": ("repro.protocols", "make_sender"),
+    "make_utility": ("repro.core", "make_utility"),
+    # Observability.
+    "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "install_tracer": ("repro.obs", "install_tracer"),
+    "tracing": ("repro.obs", "tracing"),
+}
+
+__all__ = sorted([*_LAZY, "__version__"])
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = module if attr is None else getattr(module, attr)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -5,10 +5,13 @@ Usage (also available as ``python -m repro``):
     python -m repro single --protocol proteus-p --bandwidth 50 --rtt 30
     python -m repro pair --primary cubic --scavenger proteus-s
     python -m repro fairness --protocol proteus-s --flows 4
+    python -m repro trace --protocols cubic,proteus-s --kind mi --out t.jsonl
+    python -m repro metrics --protocols cubic --sample 0.5
     python -m repro protocols
 
 Every command prints a small table; ``--json`` / ``--csv`` write the
-underlying data for plotting.
+underlying data for plotting.  ``trace`` and ``metrics`` are the
+observability entry points (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -51,7 +54,9 @@ def _timeline_from_args(args: argparse.Namespace) -> Timeline | None:
         raise SystemExit(f"repro: {exc}") from exc
 
 
-def _add_link_args(parser: argparse.ArgumentParser) -> None:
+def _add_core_link_args(
+    parser: argparse.ArgumentParser, default_duration: float = 30.0
+) -> None:
     parser.add_argument("--bandwidth", type=float, default=50.0, help="Mbps")
     parser.add_argument("--rtt", type=float, default=30.0, help="base RTT, ms")
     parser.add_argument("--buffer", type=float, default=375.0, help="buffer, KB")
@@ -67,8 +72,14 @@ def _add_link_args(parser: argparse.ArgumentParser) -> None:
         help="link-dynamics timeline: a preset name "
         f"({', '.join(sorted(TIMELINES))}) or a JSON spec file",
     )
-    parser.add_argument("--duration", type=float, default=30.0, help="seconds")
+    parser.add_argument(
+        "--duration", type=float, default=default_duration, help="seconds"
+    )
     parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_link_args(parser: argparse.ArgumentParser) -> None:
+    _add_core_link_args(parser)
     parser.add_argument("--json", type=str, default=None, help="write summary JSON")
     parser.add_argument(
         "--csv", type=str, default=None, help="write throughput series CSV"
@@ -228,12 +239,130 @@ def cmd_bench(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"repro bench: cannot read baseline: {exc}", file=sys.stderr)
             return 2
-        failures = check_regression(record, baseline)
+        failures = check_regression(record, baseline, tolerance=args.tolerance)
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         if failures:
             return 1
         print(f"no regression vs {args.check_against}")
+    return 0
+
+
+def _specs_from_args(args: argparse.Namespace) -> list:
+    """FlowSpecs from a ``--protocols`` comma list with staggered starts."""
+    from .harness import FlowSpec
+
+    names = [name.strip() for name in args.protocols.split(",") if name.strip()]
+    if not names:
+        raise SystemExit(f"repro {args.command}: no protocols in {args.protocols!r}")
+    for name in names:
+        if name.lower() not in PROTOCOL_NAMES and name.lower() != "fixed":
+            raise SystemExit(
+                f"repro {args.command}: unknown protocol {name!r}; "
+                f"known: {', '.join(PROTOCOL_NAMES)}"
+            )
+    return [
+        FlowSpec(name, start_time=i * args.stagger) for i, name in enumerate(names)
+    ]
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record (or replay) a trace and filter/summarise/export it."""
+    from .harness import run_flows
+    from .obs import (
+        CollectingTracer,
+        event_to_json,
+        events_to_jsonl,
+        filter_events,
+        read_jsonl,
+        trace_digest,
+    )
+
+    flows = args.flow or None
+    links = args.link or None
+    kinds = args.kind or None
+    if args.replay:
+        try:
+            records = read_jsonl(args.replay)
+        except (OSError, ValueError) as exc:
+            print(f"repro trace: cannot read {args.replay}: {exc}", file=sys.stderr)
+            return 2
+        source = args.replay
+    else:
+        tracer = CollectingTracer()
+        run_flows(
+            _specs_from_args(args),
+            _link_from_args(args),
+            duration_s=args.duration,
+            seed=args.seed,
+            timeline=_timeline_from_args(args),
+            tracer=tracer,
+        )
+        records = tracer.to_dicts()
+        source = f"live run ({args.protocols})"
+    total = len(records)
+    records = filter_events(records, flows=flows, links=links, kinds=kinds)
+    by_kind: dict[str, int] = {}
+    for record in records:
+        by_kind[record["kind"]] = by_kind.get(record["kind"], 0) + 1
+    print_table(
+        ["kind", "events"],
+        [(kind, str(count)) for kind, count in sorted(by_kind.items())]
+        + [("total (matched/all)", f"{len(records)}/{total}")],
+        title=f"trace of {source}",
+    )
+    print(f"digest: {trace_digest(records)}")
+    if args.limit:
+        for record in records[: args.limit]:
+            print(event_to_json(record))
+    if args.out:
+        from pathlib import Path
+
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(events_to_jsonl(records))
+        print(f"wrote {args.out} ({len(records)} events)")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a scenario with a metrics registry attached and print it."""
+    import json as json_mod
+
+    from .harness import run_flows
+    from .obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    run_flows(
+        _specs_from_args(args),
+        _link_from_args(args),
+        duration_s=args.duration,
+        seed=args.seed,
+        timeline=_timeline_from_args(args),
+        metrics=registry,
+        sample_period_s=args.sample,
+    )
+    snapshot = registry.snapshot()
+    rows: list[tuple[str, str]] = []
+    for key, value in snapshot["counters"].items():
+        rows.append((key, str(value)))
+    for key, value in snapshot["gauges"].items():
+        rows.append((key, "-" if value is None else f"{value:.6g}"))
+    for key, hist in snapshot["histograms"].items():
+        mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+        rows.append(
+            (key, f"n={hist['count']} mean={mean:.6g} max={hist.get('max', 0):.6g}")
+        )
+    print_table(
+        ["series", "value"], rows, title=f"metrics for {args.protocols}"
+    )
+    if args.json:
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json_mod.dumps(snapshot, indent=2, sort_keys=True))
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -394,6 +523,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) if events/sec regresses >30%% vs this JSON",
     )
     p_bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="override the regression tolerance (default 0.30); CI uses "
+        "0.05 for the tracing-disabled overhead gate",
+    )
+    p_bench.add_argument(
         "--jobs", type=int, default=None, help="worker processes (default REPRO_JOBS)"
     )
     p_bench.add_argument(
@@ -449,6 +586,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine watchdog: max events per simulation (sets REPRO_MAX_EVENTS)",
     )
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="record or replay a trace with filters (see docs/OBSERVABILITY.md)",
+    )
+    p_trace.add_argument(
+        "--protocols",
+        default="cubic,proteus-s",
+        metavar="CSV",
+        help="comma-separated protocols, one flow each (staggered starts)",
+    )
+    p_trace.add_argument(
+        "--stagger", type=float, default=1.0, help="seconds between flow starts"
+    )
+    _add_core_link_args(p_trace, default_duration=5.0)
+    p_trace.add_argument(
+        "--flow", type=int, action="append", metavar="ID",
+        help="keep only this flow id (repeatable)",
+    )
+    p_trace.add_argument(
+        "--link", action="append", metavar="NAME",
+        help="keep only this link (repeatable, e.g. bottleneck)",
+    )
+    p_trace.add_argument(
+        "--kind", action="append", metavar="PATTERN",
+        help="keep only this event kind or namespace (repeatable, e.g. "
+        "mi, link.drop, rate)",
+    )
+    p_trace.add_argument(
+        "--limit", type=int, default=0, metavar="N",
+        help="print the first N matching events as JSONL",
+    )
+    p_trace.add_argument(
+        "--out", default=None, metavar="JSONL",
+        help="write matching events as canonical JSONL",
+    )
+    p_trace.add_argument(
+        "--replay", default=None, metavar="JSONL",
+        help="filter a previously recorded trace file instead of running",
+    )
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a scenario with a metrics registry attached",
+    )
+    p_metrics.add_argument(
+        "--protocols",
+        default="cubic,proteus-s",
+        metavar="CSV",
+        help="comma-separated protocols, one flow each (staggered starts)",
+    )
+    p_metrics.add_argument(
+        "--stagger", type=float, default=1.0, help="seconds between flow starts"
+    )
+    _add_core_link_args(p_metrics, default_duration=10.0)
+    p_metrics.add_argument(
+        "--sample", type=float, default=None, metavar="SECONDS",
+        help="also sample bottleneck backlog every SECONDS of sim time",
+    )
+    p_metrics.add_argument(
+        "--json", default=None, metavar="PATH", help="write the snapshot JSON"
+    )
+    p_metrics.set_defaults(fn=cmd_metrics)
 
     p_lint = sub.add_parser(
         "lint",

@@ -84,6 +84,12 @@ class ProteusSender(RateSender):
         self._overload_streak = 0
         self.mi_log: list[MonitorInterval] = []
         self.keep_mi_log = False  # opt-in; MIs are many in long runs
+        self.controller.trace_hook = self._trace_decision
+
+    def _trace_decision(self, reason: str, rate_bps: float, **fields) -> None:
+        """Controller decision → ``rate.decision`` tracepoint."""
+        if self.tracer is not None:
+            self.trace("rate.decision", reason=reason, rate_bps=rate_bps, **fields)
 
     # ------------------------------------------------------------------
     # Application-facing API (the paper's "simple API call")
@@ -149,7 +155,7 @@ class ProteusSender(RateSender):
         if self.stopped or self.paused:
             return
         rate, tag = self.controller.next_rate()
-        self.set_rate(rate)
+        self.set_rate(rate, reason=tag)
         self._mi_counter += 1
         mi = MonitorInterval(
             self._mi_counter, rate, self.sim.now, self._mi_duration(rate)
@@ -159,6 +165,14 @@ class ProteusSender(RateSender):
         self._pending.append(mi)
         self._cancel_mi_close()
         self._mi_close_event = self.sim.schedule(mi.duration_s, self._close_mi)
+        if self.tracer is not None:
+            self.trace(
+                "mi.start",
+                mi_id=mi.mi_id,
+                tag=tag,
+                rate_bps=rate,
+                duration_s=mi.duration_s,
+            )
 
     def _close_mi(self) -> None:
         self._mi_close_event = None
@@ -177,6 +191,8 @@ class ProteusSender(RateSender):
             mi.closed = True
             mi.tag = "discarded:" + (mi.tag or "")
             self._current_mi = None
+            if self.tracer is not None:
+                self.trace("mi.discard", reason="aborted", **mi.trace_fields())
             self.controller.on_result(mi, None)
             self._drain_completed()
 
@@ -192,12 +208,16 @@ class ProteusSender(RateSender):
         if mi.n_sent == 0 or mi.n_acked == 0 or mi.app_limited():
             # Application-limited intervals carry no information about the
             # network's response to the planned rate.
+            if self.tracer is not None:
+                self.trace("mi.discard", reason="app-limited", **mi.trace_fields())
             self.controller.on_result(mi, None)
             return
         metrics = mi.compute_metrics()
         filtered = self.pipeline.filter_metrics(metrics)
         mi.metrics = filtered
         mi.utility = self.utility(filtered)
+        if self.tracer is not None:
+            self.trace("mi.end", **mi.trace_fields())
         if self.keep_mi_log:
             self.mi_log.append(mi)
         # Persistence filter: a single high-loss MI can be sampling noise;
@@ -244,6 +264,12 @@ class ProteusSender(RateSender):
                 use_sample = self.ack_filter.accept(
                     info.ack_time, info.rtt, srtt=self.srtt
                 )
+                if self.tracer is not None:
+                    self.trace(
+                        "rtt_filter.accept" if use_sample else "rtt_filter.reject",
+                        seq=info.seq,
+                        rtt_s=info.rtt,
+                    )
             if use_sample:
                 mi.record_ack(info.sent_time, info.rtt, info.nbytes)
             else:

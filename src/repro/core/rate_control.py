@@ -82,6 +82,14 @@ class RateController:
         self._step_k = 0
         self._prev_decision: tuple[float, float] | None = None  # (rate, utility)
         self.decisions = 0  # total state-machine decisions (for tests)
+        # Observability hook: called as ``hook(reason, rate_bps, **fields)``
+        # at every state-machine decision.  The owning sender wires it to a
+        # ``rate.decision`` tracepoint; None (the default) costs one branch.
+        self.trace_hook = None
+
+    def _decided(self, reason: str, **fields) -> None:
+        if self.trace_hook is not None:
+            self.trace_hook(reason, self.rate_bps, **fields)
 
     # ------------------------------------------------------------------
     # Sender-facing API
@@ -148,6 +156,7 @@ class RateController:
         self.rate_bps = max(self.config.min_rate_bps, self.rate_bps / 2.0)
         self._enter_probing()
         self.decisions += 1
+        self._decided("timeout:halve")
 
     def _brake(self, mi_rate_bps: float) -> None:
         """Emergency multiplicative decrease on a loss-overloaded interval.
@@ -164,6 +173,7 @@ class RateController:
             )
             self.decisions += 1
             self._enter_probing()
+            self._decided("brake:startup")
             return
         if mi_rate_bps < 0.95 * self.rate_bps:
             # Stale interval from an already-reverted episode: restart the
@@ -177,6 +187,7 @@ class RateController:
         )
         self.decisions += 1
         self._enter_probing()
+        self._decided("brake")
 
     def restart(self, rate_bps: float | None = None) -> None:
         """Re-enter STARTING, e.g. after an application-idle period.
@@ -193,6 +204,7 @@ class RateController:
         self._plan = []
         self._pending_probe_tags = set()
         self._probe_results = {}
+        self._decided("restart")
 
     # ------------------------------------------------------------------
     # STARTING
@@ -205,6 +217,7 @@ class RateController:
                 self.rate_bps = max(self.config.min_rate_bps, prev_rate)
                 self.decisions += 1
                 self._enter_probing()
+                self._decided("start:revert")
                 return
         self._last_start_mi = (rate_bps, utility)
 
@@ -272,6 +285,7 @@ class RateController:
         threshold = self.config.probe_pairs if unanimous_needed else 1
         if abs(votes) < threshold or not gradients:
             self._enter_probing()  # inconsistent: probe again at same base
+            self._decided("probe:again", votes=votes)
             return
         direction = 1 if votes > 0 else -1
         avg_gradient = sum(gradients) / len(gradients)
@@ -286,6 +300,11 @@ class RateController:
         ref_rate = (hi_rate if direction > 0 else lo_rate) * 1e6
         ref_utility = sum(side_utils) / len(side_utils)
         self._enter_moving(direction, avg_gradient, (ref_rate, ref_utility))
+        self._decided(
+            "probe:up" if direction > 0 else "probe:down",
+            votes=votes,
+            gradient=avg_gradient,
+        )
 
     # ------------------------------------------------------------------
     # MOVING
@@ -328,6 +347,7 @@ class RateController:
                 # Utility fell: revert the step and go back to probing.
                 self.rate_bps = max(self.config.min_rate_bps, prev_rate)
                 self._enter_probing()
+                self._decided("move:revert")
                 return
             if abs(rate_bps - prev_rate) > 1e-9:
                 self._gradient = (utility - prev_utility) / (
@@ -339,3 +359,4 @@ class RateController:
         self._prev_decision = (rate_bps, utility)
         self._step_k += 1
         self._apply_move_step()
+        self._decided("move:step", step_k=self._step_k)

@@ -366,6 +366,53 @@ class NoBareSubprocessResult(Rule):
 
 
 # ----------------------------------------------------------------------
+# RPR007 no-deep-harness-import
+# ----------------------------------------------------------------------
+@register
+class NoDeepHarnessImport(Rule):
+    """Ban deep ``repro.harness.<module>`` imports in examples and docs.
+
+    Example code is the template users copy, and it must only lean on
+    the stable public surface — ``repro`` itself (lazy re-exports) or
+    ``repro.harness`` — never on private module layout like
+    ``repro.harness.runner``, which the one-release deprecation policy
+    does not cover and refactors are free to move.
+    """
+
+    id = "no-deep-harness-import"
+    name = "no deep harness import"
+    description = (
+        "examples/ and docs/ must import from 'repro' or 'repro.harness', "
+        "not submodules like 'repro.harness.runner'"
+    )
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_package("examples", "docs")
+
+    @staticmethod
+    def _is_deep(module: str) -> bool:
+        return module.startswith("repro.harness.")
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[tuple[ast.AST, str]]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if self._is_deep(alias.name):
+                    yield node, (
+                        f"deep import 'import {alias.name}' bypasses the "
+                        "public API; import from 'repro' or 'repro.harness'"
+                    )
+        else:
+            assert isinstance(node, ast.ImportFrom)
+            module = node.module or ""
+            if node.level == 0 and self._is_deep(module):
+                yield node, (
+                    f"deep import 'from {module} import ...' bypasses the "
+                    "public API; import from 'repro' or 'repro.harness'"
+                )
+
+
+# ----------------------------------------------------------------------
 # RPR005 mutable-default-arg
 # ----------------------------------------------------------------------
 @register

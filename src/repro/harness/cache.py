@@ -260,6 +260,42 @@ class ResultCache:
     def store_stats(self, key: str, stats: Iterable[FlowStats]) -> None:
         self.store(key, {"stats": [stats_to_record(s) for s in stats]})
 
+    def load_run(self, key: str) -> tuple[list[FlowStats], dict | None] | None:
+        """Rebuilt stats plus the stored metrics snapshot for ``key``.
+
+        Returns ``(stats, snapshot)`` on a hit (``snapshot`` is None for
+        records written by :meth:`store_stats`, which carry no metrics),
+        or None on miss/corruption — same hit/miss/quarantine accounting
+        as :meth:`load_stats`.
+        """
+        record = self.load(key)
+        if record is None:
+            self.misses += 1
+            return None
+        try:
+            stats = [stats_from_record(entry) for entry in record["stats"]]
+            snapshot = record.get("metrics")
+            if snapshot is not None and not isinstance(snapshot, dict):
+                raise TypeError("metrics snapshot must be a dict")
+        except (KeyError, TypeError, ValueError, OverflowError):
+            self._quarantine(key)
+            self.misses += 1
+            return None  # corrupt entry: quarantined, fall back to recompute
+        self.hits += 1
+        return stats, snapshot
+
+    def store_run(
+        self,
+        key: str,
+        stats: Iterable[FlowStats],
+        metrics: dict | None = None,
+    ) -> None:
+        """Store a run's stats and (optionally) its metrics snapshot."""
+        record: dict = {"stats": [stats_to_record(s) for s in stats]}
+        if metrics is not None:
+            record["metrics"] = metrics
+        self.store(key, record)
+
 
 # ----------------------------------------------------------------------
 # Active-cache plumbing (consulted by repro.harness.runner.run_flows)

@@ -85,6 +85,25 @@ def write_run_json(path: str | Path, result: RunResult) -> None:
     path.write_text(json.dumps(run_result_summary(result), indent=2))
 
 
+def write_result_json(path: str | Path, result) -> None:
+    """Serialise *any* :class:`~repro.harness.results.Result` to JSON.
+
+    Works uniformly for run, pair, and streaming outcomes via the
+    ``Result`` protocol's ``to_dict()`` (the ``"kind"`` discriminator
+    tells readers which shape they are holding); this is the generic
+    exporter the unified results API replaces per-type writers with.
+    """
+    from .results import Result
+
+    if not isinstance(result, Result):
+        raise TypeError(
+            f"{type(result).__name__} does not satisfy the Result protocol"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+
+
 def write_throughput_series_csv(
     path: str | Path, result: RunResult, bin_s: float = 1.0
 ) -> None:

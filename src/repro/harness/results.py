@@ -1,0 +1,54 @@
+"""The unified ``Result`` protocol all experiment outcomes satisfy.
+
+The ``run_*`` entry points historically returned three unrelated shapes
+(:class:`~repro.harness.runner.RunResult`,
+:class:`~repro.harness.runner.PairResult`,
+:class:`~repro.harness.runner.StreamingResult`), and every exporter,
+cache adapter, and report grew three special cases.  This module defines
+the one contract they all share:
+
+* ``summary()`` — a flat JSON-safe dict of the headline numbers;
+* ``to_dict()`` — the full serialisable record, always carrying a
+  ``"kind"`` discriminator (``"run"`` / ``"pair"`` / ``"streaming"``);
+* ``metrics`` — a metrics snapshot in the canonical
+  :meth:`repro.obs.MetricsRegistry.snapshot` shape
+  (``{"counters": ..., "gauges": ..., "histograms": ...}``), so
+  observability consumers read every result type identically.
+
+The protocol is ``runtime_checkable``: conformance tests (and defensive
+callers) can ``isinstance(result, Result)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Result(Protocol):
+    """Common surface of every experiment result."""
+
+    def summary(self) -> dict: ...
+
+    def to_dict(self) -> dict: ...
+
+    @property
+    def metrics(self) -> Mapping[str, Any]: ...
+
+
+def synthesize_snapshot(
+    gauges: Mapping[str, float | None] | None = None,
+    counters: Mapping[str, int] | None = None,
+) -> dict[str, Any]:
+    """A canonical metrics snapshot from plain scalar fields.
+
+    Result types that do not run a live :class:`~repro.obs.MetricsRegistry`
+    (pair and streaming outcomes are derived aggregates) synthesize their
+    ``metrics`` view with this, keeping the snapshot shape — and key
+    ordering — identical to a real registry's.
+    """
+    return {
+        "counters": {key: counters[key] for key in sorted(counters)} if counters else {},
+        "gauges": {key: gauges[key] for key in sorted(gauges)} if gauges else {},
+        "histograms": {},
+    }

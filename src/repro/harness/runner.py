@@ -3,13 +3,30 @@
 This is the Pantheon stand-in: a declarative flow list goes in, per-flow
 stats and scenario-level summaries come out.  Every run is deterministic
 given its seed.
+
+**Public API conventions** (see ``docs/API.md``): every ``run_*`` entry
+point takes its scenario arguments positionally (the flow specs /
+protocol names and the :class:`~repro.harness.scenarios.LinkConfig`) and
+everything else — duration, seed, timeline, tracer, metrics registry —
+as keyword arguments.  Positional use of the legacy tail arguments still
+works for one release but warns ``DeprecationWarning``.
+
+**Observability** (see ``docs/OBSERVABILITY.md``): pass
+``tracer=``/``metrics=`` (or install a process-global tracer with
+:func:`repro.obs.install_tracer`) to capture trace events and a metrics
+snapshot from the run.  Every result satisfies the
+:class:`~repro.harness.results.Result` protocol — ``summary()``,
+``to_dict()``, and a ``metrics`` snapshot in the canonical registry
+shape.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import asdict, dataclass, field
 
+from ..obs import MetricsRegistry, PeriodicSampler, active_tracer
 from ..protocols import make_sender
 from ..sim import Dumbbell, FlowStats, LinkEvent, Simulator, TimelineDriver, make_rng
 from .cache import active_cache, hex_floats
@@ -41,6 +58,50 @@ def reset_scale_cache() -> None:
     _SCALE = None
 
 
+# ----------------------------------------------------------------------
+# One-release compatibility shim for formerly-positional arguments
+# ----------------------------------------------------------------------
+_UNSET: object = object()
+"""Sentinel distinguishing "not passed" from an explicit None/value."""
+
+
+def _apply_legacy_positional(
+    fn_name: str, legacy: tuple, slots: tuple[str, ...], values: dict
+) -> None:
+    """Map deprecated positional tail arguments onto their keyword slots.
+
+    ``legacy`` holds whatever the caller passed positionally beyond the
+    scenario arguments; ``slots`` names those positions in their
+    pre-redesign order; ``values`` maps slot name -> value from the
+    keyword form (``_UNSET`` when absent).  Mutates ``values`` in place.
+    Positional use warns ``DeprecationWarning`` once per call site;
+    passing the same argument both ways raises ``TypeError`` exactly
+    like a normal double-assignment would.
+    """
+    if not legacy:
+        return
+    if len(legacy) > len(slots):
+        raise TypeError(
+            f"{fn_name}() takes at most {len(slots)} legacy positional "
+            f"argument(s) ({', '.join(slots)}), got {len(legacy)}"
+        )
+    named = ", ".join(slots[: len(legacy)])
+    warnings.warn(
+        f"passing {named} positionally to {fn_name}() is deprecated; "
+        f"use keyword arguments (e.g. {fn_name}(..., {slots[0]}=...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for slot, value in zip(slots, legacy):
+        if values[slot] is not _UNSET:
+            raise TypeError(f"{fn_name}() got multiple values for argument {slot!r}")
+        values[slot] = value
+
+
+def _resolve(value, default):
+    return default if value is _UNSET else value
+
+
 @dataclass
 class FlowSpec:
     """Declarative description of one flow in an experiment."""
@@ -70,6 +131,10 @@ class RunResult:
     # per-link dynamics telemetry.  Cache rebuilds recompute it from the
     # timeline (event times are pure data, so the rebuild is exact).
     link_events: list[LinkEvent] = field(default_factory=list)
+    # Canonical metrics snapshot captured right after the run (and stored
+    # with the cache record, so warm hits return the identical snapshot
+    # including link-level counters the rebuilt result cannot recompute).
+    metrics_snapshot: dict | None = None
 
     def measurement_window(self) -> tuple[float, float]:
         """Post-warmup window: after the last flow started plus ramp-up."""
@@ -88,6 +153,73 @@ class RunResult:
     def utilization(self, window: tuple[float, float] | None = None) -> float:
         return sum(self.throughputs_mbps(window)) / self.config.bandwidth_mbps
 
+    # -- Result protocol ----------------------------------------------
+    def summary(self) -> dict:
+        """Per-flow aggregates plus scenario config (JSON-safe)."""
+        from .export import run_result_summary
+
+        return run_result_summary(self)
+
+    def to_dict(self) -> dict:
+        """Full serialisable record: ``kind`` + summary + metrics."""
+        return {"kind": "run", **self.summary(), "metrics": self.metrics}
+
+    @property
+    def metrics(self) -> dict:
+        """Canonical metrics snapshot (computed lazily when not captured).
+
+        The lazy fallback only covers per-flow series — a cache-rebuilt
+        result has no live links to read counters from — so runs that
+        want link metrics rely on the snapshot captured at run time.
+        """
+        if self.metrics_snapshot is None:
+            registry = MetricsRegistry()
+            collect_run_metrics(self, registry)
+            self.metrics_snapshot = registry.snapshot()
+        return self.metrics_snapshot
+
+
+def collect_run_metrics(result: RunResult, registry: MetricsRegistry) -> dict:
+    """Populate ``registry`` from a finished run; returns its snapshot.
+
+    Per-flow counters and gauges are labelled ``flow=<id>,
+    protocol=<name>``; link counters (only available while the live
+    topology still exists) are labelled ``link=<name>``.
+    """
+    window = result.measurement_window()
+    for i, stats in enumerate(result.stats):
+        labels = {"flow": stats.flow_id, "protocol": result.specs[i].protocol}
+        registry.counter("flow.packets_sent", **labels).inc(stats.packets_sent)
+        registry.counter("flow.losses", **labels).inc(stats.loss_count())
+        registry.counter("flow.delivered_bytes", **labels).inc(stats.delivered_bytes)
+        registry.gauge("flow.throughput_mbps", **labels).set(
+            result.throughput_mbps(i, window)
+        )
+        rtts = stats.rtt_samples(*window)
+        if rtts:
+            registry.gauge("flow.min_rtt_s", **labels).set(min(rtts))
+            registry.gauge("flow.p95_rtt_s", **labels).set(
+                stats.rtt_percentile(95, *window)
+            )
+    dumbbell = result.dumbbell
+    if dumbbell is not None:
+        for link in (dumbbell.bottleneck, dumbbell.reverse):
+            stats = link.stats
+            registry.counter("link.offered", link=link.name).inc(stats.offered)
+            registry.counter("link.delivered", link=link.name).inc(stats.delivered)
+            registry.counter("link.tail_drops", link=link.name).inc(stats.tail_drops)
+            registry.counter("link.random_losses", link=link.name).inc(
+                stats.random_losses
+            )
+            registry.counter("link.outage_drops", link=link.name).inc(
+                stats.outage_drops
+            )
+            registry.gauge("link.max_backlog_bytes", link=link.name).set(
+                stats.max_backlog_bytes
+            )
+    registry.gauge("run.utilization").set(result.utilization(window))
+    return registry.snapshot()
+
 
 def _flows_payload(
     specs: list[FlowSpec],
@@ -96,7 +228,11 @@ def _flows_payload(
     seed: int,
     timeline: Timeline | None = None,
 ) -> dict:
-    """Canonical cache payload for a ``run_flows`` call."""
+    """Canonical cache payload for a ``run_flows`` call.
+
+    Observability arguments (tracer, metrics registry, sample period)
+    never enter the payload: they observe the run, they do not change it.
+    """
     return {
         "kind": "run_flows",
         "specs": [
@@ -129,19 +265,33 @@ def _applied_events(timeline: Timeline, duration_s: float) -> list[LinkEvent]:
 def run_flows(
     specs: list[FlowSpec],
     config: LinkConfig,
-    duration_s: float,
-    seed: int = 1,
-    timeline: Timeline | None = None,
-    *,
+    *legacy,
+    duration_s: float = _UNSET,  # type: ignore[assignment]
+    seed: int = _UNSET,  # type: ignore[assignment]
+    timeline: Timeline | None = _UNSET,  # type: ignore[assignment]
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
+    sample_period_s: float | None = None,
     max_events: int | None = None,
     max_wall_s: float | None = None,
 ) -> RunResult:
     """Run ``specs`` over a dumbbell built from ``config``.
 
+    All arguments after ``config`` are keyword-only (positional use is
+    deprecated and warns for one release).  ``duration_s`` defaults to
+    30 simulated seconds.
+
     ``timeline`` scripts mid-run link dynamics (bandwidth steps/flaps,
     delay shifts, outages, burst loss — see
     :mod:`repro.harness.scenarios`); its events are applied to the live
     dumbbell links while the simulation runs.
+
+    ``tracer`` receives every trace event the run emits (defaults to the
+    process-global tracer from :func:`repro.obs.install_tracer`, i.e.
+    none).  ``metrics`` is a caller-owned
+    :class:`~repro.obs.MetricsRegistry` populated with the run's
+    counters/gauges; ``sample_period_s`` additionally samples the
+    bottleneck backlog into it every so many *simulated* seconds.
 
     ``max_events`` / ``max_wall_s`` are watchdog budgets handed straight
     to :meth:`Simulator.run` (``max_events`` also honours
@@ -155,27 +305,47 @@ def run_flows(
     :func:`repro.harness.cache.enable_cache`), a previously-computed run
     with the same specs, config, seed, timeline and simulator source is
     rebuilt from disk instead of re-simulated; the round-trip is
-    byte-identical (see :mod:`repro.harness.cache`).
+    byte-identical (see :mod:`repro.harness.cache`), including the
+    metrics snapshot.  A run with a tracer or a caller registry attached
+    always simulates live (observation needs the events), though its
+    result is still stored for later unobserved calls.
     """
+    values = {"duration_s": duration_s, "seed": seed, "timeline": timeline}
+    _apply_legacy_positional(
+        "run_flows", legacy, ("duration_s", "seed", "timeline"), values
+    )
+    duration_s = _resolve(values["duration_s"], 30.0)
+    seed = _resolve(values["seed"], 1)
+    timeline = _resolve(values["timeline"], None)
     if not specs:
         raise ValueError("need at least one flow")
+    if tracer is None:
+        tracer = active_tracer()
+    observing = tracer is not None or metrics is not None or sample_period_s is not None
     cache = active_cache()
     key = None
     if cache is not None:
         key = cache.key_for(_flows_payload(specs, config, duration_s, seed, timeline))
-        cached_stats = cache.load_stats(key)
-        if cached_stats is not None:
-            events = [] if timeline is None else _applied_events(timeline, duration_s)
-            return RunResult(
-                config, duration_s, cached_stats, None, specs,
-                timeline=timeline, link_events=events,
-            )
+        if not observing:
+            cached = cache.load_run(key)
+            if cached is not None:
+                cached_stats, snapshot = cached
+                events = [] if timeline is None else _applied_events(timeline, duration_s)
+                return RunResult(
+                    config, duration_s, cached_stats, None, specs,
+                    timeline=timeline, link_events=events,
+                    metrics_snapshot=snapshot,
+                )
     result = _run_flows_live(
         specs, config, duration_s, seed, timeline,
+        tracer=tracer, metrics=metrics, sample_period_s=sample_period_s,
         max_events=max_events, max_wall_s=max_wall_s,
     )
-    if cache is not None and key is not None:
-        cache.store_stats(key, result.stats)
+    # Periodic samples depend on sample_period_s, which is not part of
+    # the cache key — never store a snapshot that a later call with a
+    # different period would wrongly inherit.
+    if cache is not None and key is not None and sample_period_s is None:
+        cache.store_run(key, result.stats, metrics=result.metrics_snapshot)
     return result
 
 
@@ -186,10 +356,13 @@ def _run_flows_live(
     seed: int,
     timeline: Timeline | None = None,
     *,
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
+    sample_period_s: float | None = None,
     max_events: int | None = None,
     max_wall_s: float | None = None,
 ) -> RunResult:
-    sim = Simulator()
+    sim = Simulator(tracer=tracer)
     rng = make_rng(seed)
     dumbbell = Dumbbell(
         sim,
@@ -208,6 +381,18 @@ def _run_flows_live(
             {"bottleneck": dumbbell.bottleneck, "reverse": dumbbell.reverse},
             timeline.resolve(),
         )
+    sampler_registry = metrics
+    if sample_period_s is not None:
+        if sampler_registry is None:
+            sampler_registry = MetricsRegistry()
+        backlog_hist = sampler_registry.histogram(
+            "link.backlog_bytes", link=dumbbell.bottleneck.name
+        )
+        PeriodicSampler(
+            sim,
+            sample_period_s,
+            lambda _now: backlog_hist.observe(dumbbell.bottleneck.backlog_bytes()),
+        )
     stats: list[FlowStats] = []
     for i, spec in enumerate(specs):
         sender = make_sender(spec.protocol, seed=seed * 1000 + i, **spec.kwargs)
@@ -220,10 +405,23 @@ def _run_flows_live(
         stats.append(flow.stats)
     sim.run(until=duration_s, max_events=max_events, max_wall_s=max_wall_s)
     link_events = list(driver.applied) if driver is not None else []
-    return RunResult(
+    result = RunResult(
         config, duration_s, stats, dumbbell, specs,
         timeline=timeline, link_events=link_events,
     )
+    # Snapshot from a fresh registry so the stored record reflects only
+    # this run; the caller's registry (which may span several runs) is
+    # populated separately.
+    internal = MetricsRegistry()
+    result.metrics_snapshot = collect_run_metrics(result, internal)
+    if metrics is not None:
+        collect_run_metrics(result, metrics)
+    if sampler_registry is not None and sampler_registry is not metrics:
+        # Samples landed in an internal registry (sampling without a
+        # caller registry): merge them into the result's snapshot view.
+        sampled = sampler_registry.snapshot()
+        result.metrics_snapshot["histograms"].update(sampled["histograms"])
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -232,18 +430,30 @@ def _run_flows_live(
 def run_single(
     protocol: str,
     config: LinkConfig,
-    duration_s: float = 30.0,
-    seed: int = 1,
-    timeline: Timeline | None = None,
+    *legacy,
+    duration_s: float = _UNSET,  # type: ignore[assignment]
+    seed: int = _UNSET,  # type: ignore[assignment]
+    timeline: Timeline | None = _UNSET,  # type: ignore[assignment]
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
     **kwargs,
 ) -> RunResult:
-    """One flow alone on the bottleneck (Figs 3, 4, 9)."""
+    """One flow alone on the bottleneck (Figs 3, 4, 9).
+
+    Extra keyword arguments are forwarded to the protocol constructor.
+    """
+    values = {"duration_s": duration_s, "seed": seed, "timeline": timeline}
+    _apply_legacy_positional(
+        "run_single", legacy, ("duration_s", "seed", "timeline"), values
+    )
     return run_flows(
         [FlowSpec(protocol, kwargs=kwargs)],
         config,
-        duration_s,
-        seed=seed,
-        timeline=timeline,
+        duration_s=_resolve(values["duration_s"], 30.0),
+        seed=_resolve(values["seed"], 1),
+        timeline=_resolve(values["timeline"], None),
+        tracer=tracer,
+        metrics=metrics,
     )
 
 
@@ -258,6 +468,28 @@ class PairResult:
     utilization: float
     primary_rtt_ratio_95th: float
 
+    # -- Result protocol ----------------------------------------------
+    def summary(self) -> dict:
+        return asdict(self)
+
+    def to_dict(self) -> dict:
+        return {"kind": "pair", **self.summary(), "metrics": self.metrics}
+
+    @property
+    def metrics(self) -> dict:
+        from .results import synthesize_snapshot
+
+        return synthesize_snapshot(
+            gauges={
+                "pair.primary_solo_mbps": self.primary_solo_mbps,
+                "pair.primary_with_scavenger_mbps": self.primary_with_scavenger_mbps,
+                "pair.scavenger_mbps": self.scavenger_mbps,
+                "pair.primary_throughput_ratio": self.primary_throughput_ratio,
+                "pair.utilization": self.utilization,
+                "pair.primary_rtt_ratio_95th": self.primary_rtt_ratio_95th,
+            }
+        )
+
 
 def _pair_solo_metrics(
     primary: str,
@@ -266,9 +498,13 @@ def _pair_solo_metrics(
     seed: int,
     window: tuple[float, float],
     timeline: Timeline | None = None,
+    tracer=None,
 ) -> tuple[float, float]:
     """Solo-baseline metrics measured over the *paired* run's window."""
-    solo = run_single(primary, config, duration_s, seed=seed, timeline=timeline)
+    solo = run_single(
+        primary, config, duration_s=duration_s, seed=seed, timeline=timeline,
+        tracer=tracer,
+    )
     return (
         solo.throughput_mbps(0, window),
         solo.stats[0].rtt_percentile(95, *window),
@@ -283,6 +519,7 @@ def _pair_joint_metrics(
     scavenger_start_s: float,
     seed: int,
     timeline: Timeline | None = None,
+    tracer=None,
 ) -> tuple[float, float, float, float]:
     paired = run_flows(
         [
@@ -290,9 +527,10 @@ def _pair_joint_metrics(
             FlowSpec(scavenger, start_time=scavenger_start_s),
         ],
         config,
-        duration_s,
+        duration_s=duration_s,
         seed=seed,
         timeline=timeline,
+        tracer=tracer,
     )
     window = paired.measurement_window()
     return (
@@ -307,11 +545,14 @@ def run_pair(
     primary: str,
     scavenger: str,
     config: LinkConfig,
-    duration_s: float = 30.0,
-    scavenger_start_s: float | None = None,
-    seed: int = 1,
-    jobs: int | None = None,
-    timeline: Timeline | None = None,
+    *legacy,
+    duration_s: float = _UNSET,  # type: ignore[assignment]
+    scavenger_start_s: float | None = _UNSET,  # type: ignore[assignment]
+    seed: int = _UNSET,  # type: ignore[assignment]
+    jobs: int | None = _UNSET,  # type: ignore[assignment]
+    timeline: Timeline | None = _UNSET,  # type: ignore[assignment]
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
 ) -> PairResult:
     """Primary flow joined by a scavenger; compares against the solo run.
 
@@ -322,8 +563,31 @@ def run_pair(
     The solo baseline and the paired run are independent simulations, so
     they are dispatched concurrently when ``jobs``/``REPRO_JOBS`` allows;
     with the result cache active the solo baseline — identical across
-    every scavenger sweep point — is computed once and reused.
+    every scavenger sweep point — is computed once and reused.  With a
+    tracer attached both runs execute serially in-process instead, so
+    every event reaches the caller's tracer (worker processes cannot
+    stream into it).
     """
+    values = {
+        "duration_s": duration_s,
+        "scavenger_start_s": scavenger_start_s,
+        "seed": seed,
+        "jobs": jobs,
+        "timeline": timeline,
+    }
+    _apply_legacy_positional(
+        "run_pair",
+        legacy,
+        ("duration_s", "scavenger_start_s", "seed", "jobs", "timeline"),
+        values,
+    )
+    duration_s = _resolve(values["duration_s"], 30.0)
+    scavenger_start_s = _resolve(values["scavenger_start_s"], None)
+    seed = _resolve(values["seed"], 1)
+    jobs = _resolve(values["jobs"], None)
+    timeline = _resolve(values["timeline"], None)
+    if tracer is None:
+        tracer = active_tracer()
     if scavenger_start_s is None:
         scavenger_start_s = min(5.0, duration_s / 6.0)
     # The paired run's measurement window depends only on the flow start
@@ -334,30 +598,39 @@ def run_pair(
         last_start + DEFAULT_WARMUP_FRACTION * (duration_s - last_start),
         duration_s,
     )
-    (solo_mbps, solo_rtt), (with_scavenger, scavenger_mbps, util, paired_rtt) = (
-        ParallelExecutor(jobs).run_all(
-            [
-                (
-                    _pair_solo_metrics,
-                    (primary, config, duration_s, seed, window, timeline),
-                ),
-                (
-                    _pair_joint_metrics,
-                    (
-                        primary,
-                        scavenger,
-                        config,
-                        duration_s,
-                        scavenger_start_s,
-                        seed,
-                        timeline,
-                    ),
-                ),
-            ]
+    if tracer is not None:
+        solo_mbps, solo_rtt = _pair_solo_metrics(
+            primary, config, duration_s, seed, window, timeline, tracer
         )
-    )
+        with_scavenger, scavenger_mbps, util, paired_rtt = _pair_joint_metrics(
+            primary, scavenger, config, duration_s, scavenger_start_s, seed,
+            timeline, tracer,
+        )
+    else:
+        (solo_mbps, solo_rtt), (with_scavenger, scavenger_mbps, util, paired_rtt) = (
+            ParallelExecutor(jobs).run_all(
+                [
+                    (
+                        _pair_solo_metrics,
+                        (primary, config, duration_s, seed, window, timeline),
+                    ),
+                    (
+                        _pair_joint_metrics,
+                        (
+                            primary,
+                            scavenger,
+                            config,
+                            duration_s,
+                            scavenger_start_s,
+                            seed,
+                            timeline,
+                        ),
+                    ),
+                ]
+            )
+        )
     ratio = with_scavenger / solo_mbps if solo_mbps > 0 else 0.0
-    return PairResult(
+    result = PairResult(
         primary_solo_mbps=solo_mbps,
         primary_with_scavenger_mbps=with_scavenger,
         scavenger_mbps=scavenger_mbps,
@@ -365,6 +638,10 @@ def run_pair(
         utilization=util,
         primary_rtt_ratio_95th=paired_rtt / solo_rtt,
     )
+    if metrics is not None:
+        for name, value in result.metrics["gauges"].items():
+            metrics.gauge(name, primary=primary, scavenger=scavenger).set(value)
+    return result
 
 
 @dataclass
@@ -377,15 +654,37 @@ class StreamingResult:
     chunks_delivered: int
     startup_delay_s: float | None
 
+    # -- Result protocol ----------------------------------------------
+    def summary(self) -> dict:
+        return asdict(self)
+
+    def to_dict(self) -> dict:
+        return {"kind": "streaming", **self.summary(), "metrics": self.metrics}
+
+    @property
+    def metrics(self) -> dict:
+        from .results import synthesize_snapshot
+
+        return synthesize_snapshot(
+            gauges={
+                "streaming.average_bitrate_mbps": self.average_bitrate_mbps,
+                "streaming.rebuffer_ratio": self.rebuffer_ratio,
+                "streaming.startup_delay_s": self.startup_delay_s,
+            },
+            counters={"streaming.chunks_delivered": self.chunks_delivered},
+        )
+
 
 def run_streaming(
     videos,
     protocol: str,
     config: LinkConfig,
-    duration_s: float = 60.0,
-    forced_level: int | None = None,
-    background: list[FlowSpec] | None = None,
-    seed: int = 1,
+    *legacy,
+    duration_s: float = _UNSET,  # type: ignore[assignment]
+    forced_level: int | None = _UNSET,  # type: ignore[assignment]
+    background: list[FlowSpec] | None = _UNSET,  # type: ignore[assignment]
+    seed: int = _UNSET,  # type: ignore[assignment]
+    tracer=None,
 ) -> list[StreamingResult]:
     """Stream ``videos`` concurrently over ``protocol`` (Figs 11a, 12, 13).
 
@@ -395,7 +694,25 @@ def run_streaming(
     """
     from ..apps.streaming import StreamingSession
 
-    sim = Simulator()
+    values = {
+        "duration_s": duration_s,
+        "forced_level": forced_level,
+        "background": background,
+        "seed": seed,
+    }
+    _apply_legacy_positional(
+        "run_streaming",
+        legacy,
+        ("duration_s", "forced_level", "background", "seed"),
+        values,
+    )
+    duration_s = _resolve(values["duration_s"], 60.0)
+    forced_level = _resolve(values["forced_level"], None)
+    background = _resolve(values["background"], None)
+    seed = _resolve(values["seed"], 1)
+    if tracer is None:
+        tracer = active_tracer()
+    sim = Simulator(tracer=tracer)
     rng = make_rng(seed)
     dumbbell = Dumbbell(
         sim,
@@ -441,16 +758,43 @@ def run_homogeneous(
     protocol: str,
     n_flows: int,
     config: LinkConfig,
-    stagger_s: float = 5.0,
-    measure_s: float = 30.0,
-    seed: int = 1,
-    timeline: Timeline | None = None,
+    *legacy,
+    stagger_s: float = _UNSET,  # type: ignore[assignment]
+    measure_s: float = _UNSET,  # type: ignore[assignment]
+    seed: int = _UNSET,  # type: ignore[assignment]
+    timeline: Timeline | None = _UNSET,  # type: ignore[assignment]
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
 ) -> RunResult:
     """``n`` same-protocol flows with staggered starts (Figs 5, 17, 18)."""
+    values = {
+        "stagger_s": stagger_s,
+        "measure_s": measure_s,
+        "seed": seed,
+        "timeline": timeline,
+    }
+    _apply_legacy_positional(
+        "run_homogeneous",
+        legacy,
+        ("stagger_s", "measure_s", "seed", "timeline"),
+        values,
+    )
+    stagger_s = _resolve(values["stagger_s"], 5.0)
+    measure_s = _resolve(values["measure_s"], 30.0)
+    seed = _resolve(values["seed"], 1)
+    timeline = _resolve(values["timeline"], None)
     if n_flows < 1:
         raise ValueError("n_flows must be positive")
     specs = [
         FlowSpec(protocol, start_time=i * stagger_s) for i in range(n_flows)
     ]
     duration = (n_flows - 1) * stagger_s + measure_s
-    return run_flows(specs, config, duration, seed=seed, timeline=timeline)
+    return run_flows(
+        specs,
+        config,
+        duration_s=duration,
+        seed=seed,
+        timeline=timeline,
+        tracer=tracer,
+        metrics=metrics,
+    )

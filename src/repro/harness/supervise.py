@@ -147,6 +147,14 @@ class RetryPolicy:
     that still fail after pool retries: it yields a real traceback for
     the failure record.  It never applies to ``crashed-worker`` items —
     re-running an input that SIGKILLs its process would kill the driver.
+
+    ``trace_ring`` (when > 0) attaches a
+    :class:`~repro.obs.RingBufferTracer` of that capacity around every
+    *in-process* attempt, so a failing or timed-out trial's outcome
+    carries the last N trace events before the failure (the flight
+    recorder — see ``docs/OBSERVABILITY.md``).  Pool workers cannot
+    stream into the driver's ring, so the capture happens on the serial
+    paths, which is exactly where final failure records are produced.
     """
 
     retries: int | None = None
@@ -156,6 +164,7 @@ class RetryPolicy:
     jitter_fraction: float = 0.25
     seed: int = 0
     final_serial: bool = True
+    trace_ring: int = 0
 
     def max_attempts(self) -> int:
         return 1 + (default_retries() if self.retries is None else self.retries)
@@ -221,7 +230,9 @@ class TrialOutcome:
     :class:`~repro.sim.engine.SimBudgetExceeded`), or ``crashed-worker``
     (the worker process died).  ``payload`` is the canonical config
     payload the manifest key was derived from; ``resumed`` marks an
-    outcome rebuilt from a manifest rather than recomputed.
+    outcome rebuilt from a manifest rather than recomputed.  ``trace``
+    holds the last trace events before a failure when the policy's
+    ``trace_ring`` flight recorder was on (event dicts in emit order).
     """
 
     status: str
@@ -233,6 +244,7 @@ class TrialOutcome:
     traceback: str | None = None
     attempts: int = 0
     resumed: bool = False
+    trace: list[dict] | None = None
 
     @property
     def ok(self) -> bool:
@@ -250,6 +262,7 @@ class TrialOutcome:
             "error": self.error,
             "traceback": self.traceback,
             "attempts": self.attempts,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -265,6 +278,7 @@ class TrialOutcome:
             traceback=record.get("traceback"),
             attempts=record.get("attempts", 0),
             resumed=True,
+            trace=record.get("trace"),
         )
 
 
@@ -411,19 +425,36 @@ def _serial_attempts(
     prior_attempts: int,
     attempts_budget: int,
 ) -> TrialOutcome:
-    """Run ``fn(item)`` in-process up to ``attempts_budget`` more times."""
+    """Run ``fn(item)`` in-process up to ``attempts_budget`` more times.
+
+    With ``policy.trace_ring`` set, each attempt runs under a fresh
+    process-global ring-buffer tracer; the *last failing* attempt's ring
+    is attached to the failure outcome (a succeeding attempt discards
+    its ring — successes carry no trace).
+    """
     attempts = prior_attempts
     status, error, tb = STATUS_FAILED, None, None
+    trace: list[dict] | None = None
     for _ in range(max(1, attempts_budget)):
         if attempts > prior_attempts:
             time.sleep(policy.backoff_s(attempts, index))
         attempts += 1
+        ring = None
+        if policy.trace_ring > 0:
+            from ..obs import RingBufferTracer, tracing
+
+            ring = RingBufferTracer(capacity=policy.trace_ring)
         try:
-            value = fn(item)
+            if ring is not None:
+                with tracing(ring):
+                    value = fn(item)
+            else:
+                value = fn(item)
         except Exception as exc:
             status = _classify(exc)
             error = repr(exc)
             tb = traceback_mod.format_exc()
+            trace = ring.snapshot() if ring is not None else None
         else:
             return TrialOutcome(
                 status=STATUS_OK,
@@ -441,6 +472,7 @@ def _serial_attempts(
         error=error,
         traceback=tb,
         attempts=attempts,
+        trace=trace,
     )
 
 

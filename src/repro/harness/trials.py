@@ -119,6 +119,15 @@ def run_trials_supervised(
     )
 
 
+def _count_outcomes(registry, outcomes: "list[TrialOutcome]") -> None:
+    """Increment ``trials.<status>`` counters on a metrics registry."""
+    for outcome in outcomes:
+        registry.counter("trials.total").inc()
+        registry.counter("trials.by_status", status=outcome.status).inc()
+        if outcome.resumed:
+            registry.counter("trials.resumed").inc()
+
+
 def run_trials(
     experiment: Callable[[int], float],
     n_trials: int = 10,
@@ -126,6 +135,7 @@ def run_trials(
     jobs: int | None = None,
     policy: "RetryPolicy | None" = None,
     manifest: "str | Path | SweepManifest | None" = None,
+    metrics=None,
 ) -> TrialSummary:
     """Run ``experiment(seed)`` for ``n_trials`` seeds and summarise.
 
@@ -140,6 +150,11 @@ def run_trials(
     ``summarize`` raises ``ValueError("no trial values")`` only if every
     trial failed.  Use :func:`run_trials_supervised` to inspect the
     failures themselves.
+
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) accumulates
+    ``trials.total`` / ``trials.by_status{status=...}`` /
+    ``trials.resumed`` counters across calls — sweep drivers hand one
+    registry to every ``run_trials`` call and read a single snapshot.
     """
     if n_trials < 1:
         raise ValueError("n_trials must be positive")
@@ -147,9 +162,18 @@ def run_trials(
         outcomes = run_trials_supervised(
             experiment, n_trials, base_seed, jobs=jobs, policy=policy, manifest=manifest
         )
+        if metrics is not None:
+            _count_outcomes(metrics, outcomes)
         return summarize([o.value for o in outcomes if o.ok])
     seeds = [base_seed + i for i in range(n_trials)]
     values = pmap(experiment, seeds, jobs=jobs)
+    if metrics is not None:
+        from .supervise import STATUS_OK, TrialOutcome
+
+        _count_outcomes(
+            metrics,
+            [TrialOutcome(status=STATUS_OK, key="") for _ in values],
+        )
     return summarize(values)
 
 

@@ -1,0 +1,198 @@
+"""Metrics registry (the ``repro.obs`` metrics half).
+
+Counters, gauges, and histograms with per-flow / per-link labels, plus
+periodic samplers driven by *simulated* time (never wall clock — the
+no-wallclock lint rule applies here too).  Snapshots export to canonical
+dicts that flow into result-cache payloads unchanged, so a warm cache
+hit returns byte-identical metrics to the live run that produced it.
+
+Instruments are keyed by name plus a sorted label string, e.g.
+``link.tail_drops{link=bottleneck}`` or
+``flow.throughput_mbps{flow=1,protocol=proteus-s}``, so snapshots are
+deterministic regardless of creation order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import Simulator
+
+
+def _series_key(name: str, labels: dict[str, Any]) -> str:
+    """Canonical ``name{k=v,...}`` identity for one labelled series."""
+    if not labels:
+        return name
+    body = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+class Counter:
+    """Monotonically increasing count (drops, ACKs, decisions, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """Last-observed value (queue depth, current rate, utilization)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Distribution summary: count/sum/min/max plus optional buckets.
+
+    ``bounds`` are inclusive upper bucket edges; an implicit +inf bucket
+    catches the remainder.  Bucket counts are cumulative-free (each
+    observation lands in exactly one bucket) to keep snapshots small.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, Any],
+        bounds: Iterable[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds: tuple[float, ...] = tuple(sorted(bounds)) if bounds else ()
+        self.bucket_counts = [0] * (len(self.bounds) + 1) if self.bounds else []
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.bounds:
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    break
+            else:
+                self.bucket_counts[-1] += 1
+
+    def mean(self) -> float | None:
+        return self.sum / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """Factory and container for labelled instruments.
+
+    ``counter``/``gauge``/``histogram`` get-or-create, so call sites
+    never need to pre-register; re-requesting the same name+labels
+    returns the same instrument.  :meth:`snapshot` renders everything
+    as a canonical nested dict keyed by the series strings, sorted, so
+    two registries fed identical observations snapshot identically.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _series_key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(name, labels)
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _series_key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(name, labels)
+        return inst
+
+    def histogram(
+        self, name: str, *, bounds: Iterable[float] | None = None, **labels: Any
+    ) -> Histogram:
+        key = _series_key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(name, labels, bounds)
+        return inst
+
+    def snapshot(self) -> dict[str, Any]:
+        """Canonical ``{"counters": ..., "gauges": ..., "histograms": ...}``.
+
+        Pure builtins (str/int/float/list/dict), sorted by series key:
+        safe to JSON-encode, hash, and store in cache payloads.
+        """
+        counters = {key: self._counters[key].value for key in sorted(self._counters)}
+        gauges = {key: self._gauges[key].value for key in sorted(self._gauges)}
+        histograms = {}
+        for key in sorted(self._histograms):
+            hist = self._histograms[key]
+            entry: dict[str, Any] = {
+                "count": hist.count,
+                "sum": hist.sum,
+                "min": hist.min,
+                "max": hist.max,
+            }
+            if hist.bounds:
+                entry["bounds"] = list(hist.bounds)
+                entry["buckets"] = list(hist.bucket_counts)
+            histograms[key] = entry
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def empty_snapshot() -> dict[str, Any]:
+    """The canonical shape of :meth:`MetricsRegistry.snapshot`, empty."""
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class PeriodicSampler:
+    """Calls ``fn(now_s)`` every ``period_s`` of *simulated* time.
+
+    Self-rescheduling; starts with the first sample at
+    ``sim.now + period_s`` and stops when :meth:`cancel` is called or
+    the simulation ends (pending events past ``until`` never fire).
+    Typical use: sampling queue backlog or current rate into gauges or
+    a histogram at a fixed cadence.
+    """
+
+    def __init__(self, sim: "Simulator", period_s: float, fn: Callable[[float], None]) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.sim = sim
+        self.period_s = period_s
+        self.fn = fn
+        self._cancelled = False
+        sim.schedule_fast(period_s, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fn(self.sim.now)
+        self.sim.schedule_fast(self.period_s, self._fire)
+
+    def cancel(self) -> None:
+        self._cancelled = True

@@ -1,0 +1,342 @@
+"""Tracepoints and trace sinks (the ``repro.obs`` tracing half).
+
+The simulator and every sender can narrate what they are doing —
+per-packet link events, monitor-interval lifecycles with their utility
+components, rate-control decisions with reasons, RTT-filter verdicts —
+as a stream of typed **trace events**.  The design constraint is the
+same as the engine's: the disabled path must cost nothing measurable.
+Every emission site in hot code is guarded by a single
+``if tracer is not None`` attribute check (enforced end-to-end by the
+``repro bench`` events/sec gate), and no tracer object exists unless
+one was installed.
+
+Determinism: events carry *simulated* time only and are emitted in
+event-execution order, which is a pure function of the run's seed.  The
+JSONL encoding is canonical (sorted keys, fixed separators, Python's
+shortest-repr floats), so the byte stream — and therefore
+:func:`trace_digest` — is identical across hosts and across
+``REPRO_JOBS`` settings (each run traces inside its own process).
+
+Sinks:
+
+* :class:`CollectingTracer` — in-memory list of :class:`TraceEvent`.
+* :class:`JsonlTraceSink` — streams canonical JSONL to a file.
+* :class:`RingBufferTracer` — keeps only the last *N* events; the
+  supervision layer (:mod:`repro.harness.supervise`) attaches its
+  snapshot to failed/timed-out :class:`~repro.harness.supervise.TrialOutcome`
+  records ("what happened right before the crash").
+* :class:`TeeTracer` — fan-out to several sinks.
+
+A process-global tracer can be installed with :func:`install_tracer` /
+:func:`tracing`; ``run_flows`` and friends pick it up when no explicit
+``tracer=`` argument is given.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Iterable, Iterator, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Tracer(Protocol):
+    """Anything that can swallow trace events.
+
+    ``emit`` takes the event kind, the *simulated* timestamp, the
+    optional flow/link attribution, and free-form payload fields.  The
+    signature is flat (no event object) so hot emission sites allocate
+    nothing beyond the kwargs dict.
+    """
+
+    def emit(
+        self,
+        kind: str,
+        time_s: float,
+        *,
+        flow: int | None = None,
+        link: str | None = None,
+        **fields: Any,
+    ) -> None: ...
+
+
+class TraceEvent:
+    """One trace event: what happened, when, and to whom."""
+
+    __slots__ = ("kind", "time_s", "flow", "link", "fields")
+
+    def __init__(
+        self,
+        kind: str,
+        time_s: float,
+        flow: int | None = None,
+        link: str | None = None,
+        fields: dict[str, Any] | None = None,
+    ) -> None:
+        self.kind = kind
+        self.time_s = time_s
+        self.flow = flow
+        self.link = link
+        self.fields = fields if fields is not None else {}
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-safe form (``t``/``kind`` first, payload merged)."""
+        record: dict[str, Any] = {"t": self.time_s, "kind": self.kind}
+        if self.flow is not None:
+            record["flow"] = self.flow
+        if self.link is not None:
+            record["link"] = self.link
+        record.update(self.fields)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        who = f" flow={self.flow}" if self.flow is not None else ""
+        who += f" link={self.link}" if self.link is not None else ""
+        return f"<TraceEvent t={self.time_s:.6f} {self.kind}{who}>"
+
+
+def event_to_json(record: dict[str, Any]) -> str:
+    """Canonical single-line JSON encoding of one event dict.
+
+    Sorted keys and fixed separators: the byte stream depends only on
+    the event contents, never on insertion order or platform.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def events_to_jsonl(events: Iterable[TraceEvent | dict]) -> str:
+    """Events as canonical JSONL text (one event per line)."""
+    lines = []
+    for event in events:
+        record = event.to_dict() if isinstance(event, TraceEvent) else event
+        lines.append(event_to_json(record))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def trace_digest(events: Iterable[TraceEvent | dict]) -> str:
+    """sha256 over the canonical JSONL encoding of ``events``."""
+    return hashlib.sha256(events_to_jsonl(events).encode()).hexdigest()
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load a JSONL trace file back into event dicts."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Filtering (shared by ``repro trace`` record and replay paths)
+# ----------------------------------------------------------------------
+def kind_matches(kind: str, pattern: str) -> bool:
+    """True when ``pattern`` names ``kind`` or one of its namespaces.
+
+    ``"link"`` matches ``link.enqueue``/``link.drop``/...;
+    ``"link.drop"`` matches only itself.
+    """
+    return kind == pattern or kind.startswith(pattern + ".")
+
+
+def filter_events(
+    events: Iterable[dict],
+    *,
+    flows: Iterable[int] | None = None,
+    links: Iterable[str] | None = None,
+    kinds: Iterable[str] | None = None,
+) -> list[dict]:
+    """Event dicts matching every given filter (None = no constraint)."""
+    flow_set = None if flows is None else set(flows)
+    link_set = None if links is None else set(links)
+    kind_list = None if kinds is None else list(kinds)
+    kept = []
+    for event in events:
+        if flow_set is not None and event.get("flow") not in flow_set:
+            continue
+        if link_set is not None and event.get("link") not in link_set:
+            continue
+        if kind_list is not None and not any(
+            kind_matches(event.get("kind", ""), pattern) for pattern in kind_list
+        ):
+            continue
+        kept.append(event)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+class CollectingTracer:
+    """Keeps every event in memory (tests, ``repro trace``)."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(
+        self,
+        kind: str,
+        time_s: float,
+        *,
+        flow: int | None = None,
+        link: str | None = None,
+        **fields: Any,
+    ) -> None:
+        self.events.append(TraceEvent(kind, time_s, flow, link, fields))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_dicts(self) -> list[dict]:
+        return [event.to_dict() for event in self.events]
+
+    def to_jsonl(self) -> str:
+        return events_to_jsonl(self.events)
+
+    def digest(self) -> str:
+        return trace_digest(self.events)
+
+
+class RingBufferTracer:
+    """Keeps only the last ``capacity`` events — flight recorder mode.
+
+    Cheap enough to leave armed around a whole supervised trial: the
+    deque discards old events in O(1), and :meth:`snapshot` renders the
+    surviving tail as JSON-safe dicts for a
+    :class:`~repro.harness.supervise.TrialOutcome` failure record.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+
+    def emit(
+        self,
+        kind: str,
+        time_s: float,
+        *,
+        flow: int | None = None,
+        link: str | None = None,
+        **fields: Any,
+    ) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(kind, time_s, flow, link, fields))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def snapshot(self) -> list[dict]:
+        """The retained tail as event dicts, oldest first."""
+        return [event.to_dict() for event in self._events]
+
+
+class JsonlTraceSink:
+    """Streams events to ``path`` as canonical JSONL.
+
+    Usable as a context manager; :attr:`count` tracks emitted events.
+    The running :attr:`digest` matches :func:`trace_digest` over the
+    same events, so producers and replayers can compare byte-identity
+    without re-reading the file.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: IO[str] | None = self.path.open("w")
+        self._hasher = hashlib.sha256()
+        self.count = 0
+
+    def emit(
+        self,
+        kind: str,
+        time_s: float,
+        *,
+        flow: int | None = None,
+        link: str | None = None,
+        **fields: Any,
+    ) -> None:
+        if self._handle is None:
+            raise ValueError("trace sink is closed")
+        record: dict[str, Any] = {"t": time_s, "kind": kind}
+        if flow is not None:
+            record["flow"] = flow
+        if link is not None:
+            record["link"] = link
+        record.update(fields)
+        line = event_to_json(record) + "\n"
+        self._handle.write(line)
+        self._hasher.update(line.encode())
+        self.count += 1
+
+    def digest(self) -> str:
+        return self._hasher.hexdigest()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class TeeTracer:
+    """Fans every event out to several tracers."""
+
+    def __init__(self, *tracers: Tracer) -> None:
+        self.tracers = tracers
+
+    def emit(
+        self,
+        kind: str,
+        time_s: float,
+        *,
+        flow: int | None = None,
+        link: str | None = None,
+        **fields: Any,
+    ) -> None:
+        for tracer in self.tracers:
+            tracer.emit(kind, time_s, flow=flow, link=link, **fields)
+
+
+# ----------------------------------------------------------------------
+# Process-global tracer (picked up by run_* when no tracer= is passed)
+# ----------------------------------------------------------------------
+_ACTIVE_TRACER: Tracer | None = None
+
+
+def active_tracer() -> Tracer | None:
+    """The process-global tracer, or None (the zero-overhead default)."""
+    return _ACTIVE_TRACER
+
+
+def install_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install ``tracer`` globally; returns the previous one."""
+    global _ACTIVE_TRACER
+    previous = _ACTIVE_TRACER
+    _ACTIVE_TRACER = tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Scoped :func:`install_tracer` (restores the previous tracer)."""
+    previous = install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        install_tracer(previous)

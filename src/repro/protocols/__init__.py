@@ -20,7 +20,19 @@ from .fixed_rate import FixedRateSender
 from .ledbat import Ledbat25Sender, LedbatSender
 from .ledbat_pp import LedbatPPSender
 from .vegas import VegasSender
-from .vivace import VivaceSender
+
+
+def __getattr__(name: str):
+    # VivaceSender subclasses repro.core's ProteusSender, and repro.core in
+    # turn imports the sender base classes from this package.  Loading
+    # vivace lazily keeps this module import-order independent: importing
+    # ``repro.protocols`` never pulls ``repro.core``, and importing
+    # ``repro.core`` finds this module fully initialized.
+    if name == "VivaceSender":
+        from .vivace import VivaceSender
+
+        return VivaceSender
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 PROTOCOL_NAMES = (
     "cubic",
@@ -61,6 +73,9 @@ def make_sender(name: str, seed: int = 0, **kwargs) -> SenderBase:
     if key == "copa":
         return CopaSender(**kwargs)
     if key == "vivace":
+        # Lazy for the same cycle reason as the proteus branch below.
+        from .vivace import VivaceSender
+
         return VivaceSender(seed=seed, **kwargs)
     if key == "ledbat":
         return LedbatSender(**kwargs)

@@ -69,6 +69,7 @@ class SenderBase:
         self.name = name
         self.sim: Simulator | None = None
         self.flow: Flow | None = None
+        self.tracer = None
         self.started = False
         self.stopped = False
         self.paused = False
@@ -87,9 +88,20 @@ class SenderBase:
     def bind(self, sim: Simulator, flow: Flow) -> None:
         self.sim = sim
         self.flow = flow
+        self.tracer = sim.tracer
         # Per-sender jitter stream (deterministic from flow identity); used
         # to break pathological phase-locking between paced senders.
         self._jitter_rng = Rng(f"sender:{flow.flow_id}:{self.name}")
+
+    def trace(self, kind: str, **fields) -> None:
+        """Emit a trace event attributed to this sender's flow.
+
+        Call sites on hot paths should guard with ``if self.tracer is not
+        None`` themselves to skip the call entirely; this helper re-checks
+        so cold paths can call it unconditionally.
+        """
+        if self.tracer is not None:
+            self.tracer.emit(kind, self.sim.now, flow=self.flow.flow_id, **fields)
 
     def start(self) -> None:
         if self.sim is None:
@@ -269,8 +281,21 @@ class RateSender(SenderBase):
         self.inflight_cap: float | None = None  # packets; None = uncapped
         self._tick_event: Event | None = None
 
-    def set_rate(self, rate_bps: float) -> None:
+    def set_rate(self, rate_bps: float, reason: str | None = None) -> None:
+        """Change the pacing rate; ``reason`` tags the trace event.
+
+        ``reason`` is observability-only (e.g. ``"probe:0:1:hi"``,
+        ``"timeout:halve"``) — control-law behaviour never depends on it.
+        """
         self.rate_bps = max(self.min_rate_bps, rate_bps)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "rate.change",
+                self.sim.now,
+                flow=self.flow.flow_id,
+                rate_bps=self.rate_bps,
+                reason=reason,
+            )
 
     def on_start(self) -> None:
         self._schedule_tick(0.0)

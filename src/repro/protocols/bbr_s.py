@@ -91,5 +91,11 @@ class BBRScavengerSender(BBRSender):
             self.state not in ("STARTUP", "DRAIN")
             and deviation > self.deviation_threshold_s
         ):
+            if self.tracer is not None:
+                self.trace(
+                    "rate.decision",
+                    reason="bbr-s:yield",
+                    rtt_deviation_s=deviation,
+                )
             self._enter_probe_rtt(now, min_duration_s=self.forced_probe_rtt_s)
             self._apply_control()

@@ -81,7 +81,7 @@ class CopaSender(RateSender):
             self._move_window(up=current_rate_pps <= target_rate_pps)
         self._update_velocity(now)
         # Pacing at 2 * cwnd / RTT-standing, in-flight capped at cwnd.
-        self.set_rate(2.0 * self.cwnd * self.mss * 8.0 / standing)
+        self.set_rate(2.0 * self.cwnd * self.mss * 8.0 / standing, reason="copa:target")
         self.inflight_cap = self.cwnd
 
     def _move_window(self, up: bool) -> None:
@@ -110,3 +110,5 @@ class CopaSender(RateSender):
         self.cwnd = max(self.min_cwnd, self.cwnd / 2.0)
         self.velocity = 1.0
         self.inflight_cap = self.cwnd
+        if self.tracer is not None:
+            self.trace("cwnd.change", cwnd=self.cwnd, reason="copa:timeout")

@@ -72,12 +72,16 @@ class CubicSender(WindowSender):
         self.cwnd = max(self.min_cwnd, self.cwnd * self.beta)
         self.ssthresh = self.cwnd
         self._epoch_start = None
+        if self.tracer is not None:
+            self.trace("cwnd.change", cwnd=self.cwnd, reason="cubic:loss")
 
     def on_timeout(self) -> None:
         self.ssthresh = max(self.min_cwnd, self.cwnd / 2.0)
         self.cwnd = self.min_cwnd
         self._epoch_start = None
         self._recovery_end = self.sim.now
+        if self.tracer is not None:
+            self.trace("cwnd.change", cwnd=self.cwnd, reason="cubic:timeout")
 
 
 class RenoSender(WindowSender):
@@ -102,8 +106,12 @@ class RenoSender(WindowSender):
         self._recovery_end = self.sim.now
         self.cwnd = max(self.min_cwnd, self.cwnd / 2.0)
         self.ssthresh = self.cwnd
+        if self.tracer is not None:
+            self.trace("cwnd.change", cwnd=self.cwnd, reason="reno:loss")
 
     def on_timeout(self) -> None:
         self.ssthresh = max(self.min_cwnd, self.cwnd / 2.0)
         self.cwnd = self.min_cwnd
         self._recovery_end = self.sim.now
+        if self.tracer is not None:
+            self.trace("cwnd.change", cwnd=self.cwnd, reason="reno:timeout")

@@ -15,5 +15,7 @@ class FixedRateSender(RateSender):
     def __init__(self, rate_bps: float, name: str = "fixed"):
         super().__init__(name, initial_rate_bps=rate_bps)
 
-    def set_rate(self, rate_bps: float) -> None:  # pragma: no cover - guard
+    def set_rate(
+        self, rate_bps: float, reason: str | None = None
+    ) -> None:  # pragma: no cover - guard
         raise RuntimeError("FixedRateSender rate is immutable")

@@ -86,11 +86,15 @@ class LedbatSender(WindowSender):
         self.cwnd = max(self.min_cwnd, self.cwnd / 2.0)
         self.ssthresh = self.cwnd
         self._slow_start = False
+        if self.tracer is not None:
+            self.trace("cwnd.change", cwnd=self.cwnd, reason="ledbat:loss")
 
     def on_timeout(self) -> None:
         self.ssthresh = max(self.min_cwnd, self.cwnd / 2.0)
         self.cwnd = self.min_cwnd
         self._slow_start = False
+        if self.tracer is not None:
+            self.trace("cwnd.change", cwnd=self.cwnd, reason="ledbat:timeout")
 
 
 class Ledbat25Sender(LedbatSender):

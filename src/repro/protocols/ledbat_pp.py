@@ -72,6 +72,8 @@ class LedbatPPSender(LedbatSender):
         self.cwnd = self.min_cwnd
         self._slowdown_until = now + SLOWDOWN_HOLD_RTTS * rtt
         self._next_slowdown = None
+        if self.tracer is not None:
+            self.trace("cwnd.change", cwnd=self.cwnd, reason="ledbat++:slowdown")
 
     def in_slowdown(self) -> bool:
         return self._slowdown_until is not None

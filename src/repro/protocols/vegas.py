@@ -65,7 +65,11 @@ class VegasSender(WindowSender):
         self._recovery_end = self.sim.now
         self._slow_start = False
         self.cwnd = max(self.min_cwnd, self.cwnd * 0.75)
+        if self.tracer is not None:
+            self.trace("cwnd.change", cwnd=self.cwnd, reason="vegas:loss")
 
     def on_timeout(self) -> None:
         self.cwnd = self.min_cwnd
         self._slow_start = False
+        if self.tracer is not None:
+            self.trace("cwnd.change", cwnd=self.cwnd, reason="vegas:timeout")

@@ -176,6 +176,11 @@ class Simulator:
             (the default) consults the ``REPRO_CHECK_INVARIANTS``
             environment variable so whole test suites can opt in without
             threading a flag through every harness entry point.
+        tracer: Optional :class:`repro.obs.Tracer` that links and senders
+            consult (``sim.tracer``) to emit trace events.  ``None`` (the
+            default) keeps every emission site on its single-branch
+            no-op path; the event loop itself never touches the tracer,
+            so the unbudgeted hot loop is byte-for-byte unchanged.
 
     >>> sim = Simulator()
     >>> fired = []
@@ -185,8 +190,11 @@ class Simulator:
     (1.5, ['hello'])
     """
 
-    def __init__(self, check_invariants: bool | None = None) -> None:
+    def __init__(
+        self, check_invariants: bool | None = None, *, tracer: "Any | None" = None
+    ) -> None:
         self.now: float = 0.0
+        self.tracer = tracer
         self._heap: list[tuple] = []
         self._seq: int = 0
         self._running = False
@@ -323,6 +331,15 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         inv = self.invariants
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "sim.run.begin",
+                self.now,
+                until_s=until,
+                max_events=max_events,
+                max_wall_s=max_wall_s,
+            )
         try:
             if max_events is None and max_wall_s is None:
                 self._run_unbudgeted(until, inv)
@@ -332,6 +349,8 @@ class Simulator:
                 self.now = until
             if inv is not None:
                 inv.final_check()
+            if tracer is not None:
+                tracer.emit("sim.run.end", self.now, events_fired=self.events_fired)
         finally:
             self._running = False
 
@@ -386,6 +405,14 @@ class Simulator:
             if until is not None and entry[_TIME] > until:
                 break
             if max_events is not None and fired >= max_events:
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "sim.budget.exceeded",
+                        self.now,
+                        budget="events",
+                        events_fired=fired,
+                        max_events=max_events,
+                    )
                 raise SimBudgetExceeded(
                     f"event budget exhausted: {fired} events fired in one "
                     f"run() call with max_events={max_events} "
@@ -407,6 +434,14 @@ class Simulator:
                 wall_now = time.perf_counter()  # repro: noqa[no-wallclock]
                 if wall_now > deadline:
                     assert max_wall_s is not None
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            "sim.budget.exceeded",
+                            self.now,
+                            budget="wall",
+                            events_fired=fired,
+                            max_wall_s=max_wall_s,
+                        )
                     raise SimBudgetExceeded(
                         f"wall-clock budget exhausted: {max_wall_s:g}s of host "
                         f"time in one run() call after {fired} events "

@@ -185,14 +185,34 @@ class Link:
         lost on the wire) and False on a tail drop or outage drop.
         """
         now = self.sim.now
+        tracer = self.sim.tracer
         self.stats.offered += 1
         if self._down:
             self.stats.outage_drops += 1
+            if tracer is not None:
+                tracer.emit(
+                    "link.drop",
+                    now,
+                    flow=packet.flow_id,
+                    link=self.name,
+                    reason="outage",
+                    seq=packet.seq,
+                )
             return False
         backlog = max(0.0, self._busy_until - now) * self.bandwidth_bps / 8.0
         # Epsilon absorbs float error in the analytic backlog computation.
         if backlog + packet.size_bytes > self.buffer_bytes + 1e-6:
             self.stats.tail_drops += 1
+            if tracer is not None:
+                tracer.emit(
+                    "link.drop",
+                    now,
+                    flow=packet.flow_id,
+                    link=self.name,
+                    reason="tail",
+                    seq=packet.seq,
+                    backlog_bytes=backlog,
+                )
             return False
         # Peak occupancy includes the packet just accepted.
         if backlog + packet.size_bytes > self.stats.max_backlog_bytes:
@@ -200,14 +220,42 @@ class Link:
 
         start = self._busy_until if self._busy_until > now else now
         self._busy_until = start + packet.size_bytes * 8.0 / self.bandwidth_bps
+        if tracer is not None:
+            tracer.emit(
+                "link.enqueue",
+                now,
+                flow=packet.flow_id,
+                link=self.name,
+                seq=packet.seq,
+                size_bytes=packet.size_bytes,
+                backlog_bytes=backlog + packet.size_bytes,
+            )
 
         if self.loss_model is not None:
             # The packet still consumed transmitter time, but never arrives.
             if self.loss_model.is_lost(self.rng):
                 self.stats.random_losses += 1
+                if tracer is not None:
+                    tracer.emit(
+                        "link.drop",
+                        now,
+                        flow=packet.flow_id,
+                        link=self.name,
+                        reason="wire",
+                        seq=packet.seq,
+                    )
                 return True
         elif self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self.stats.random_losses += 1
+            if tracer is not None:
+                tracer.emit(
+                    "link.drop",
+                    now,
+                    flow=packet.flow_id,
+                    link=self.name,
+                    reason="wire",
+                    seq=packet.seq,
+                )
             return True
 
         deliver_at = self._busy_until + self.delay_s
@@ -219,6 +267,16 @@ class Link:
             deliver_at = self._last_delivery + 1e-9
         self._last_delivery = deliver_at
         self.stats.delivered += 1
+        if tracer is not None:
+            tracer.emit(
+                "link.dequeue",
+                now,
+                flow=packet.flow_id,
+                link=self.name,
+                seq=packet.seq,
+                depart_s=self._busy_until,
+                deliver_at_s=deliver_at,
+            )
         # Deliveries are fire-and-forget and dominate the heap; the fast
         # path skips the cancellable-Event allocation entirely.
         self.sim.schedule_fast_at(deliver_at, dst.receive, packet)

@@ -30,6 +30,7 @@ def test_registry_has_all_rules():
         "unit-suffix",
         "mutable-default-arg",
         "no-bare-subprocess-result",
+        "no-deep-harness-import",
     }
 
 
@@ -133,6 +134,23 @@ def test_no_bare_subprocess_result_exempts_supervise():
     assert [v.rule_id for v in flagged] == ["no-bare-subprocess-result"]
 
 
+def test_no_deep_harness_import():
+    engine = LintEngine()
+    src = (
+        "from repro.harness.runner import run_flows\n"
+        "import repro.harness.cache\n"
+        "from repro.harness import run_flows\n"
+        "from repro import run_pair\n"
+        "from repro.obs import CollectingTracer\n"
+    )
+    violations = engine.lint_source(src, "examples/demo.py")
+    # Only the first two reach into harness internals.
+    assert positions(violations, "no-deep-harness-import") == [(1, 1), (2, 1)]
+    assert "repro.harness.runner" in violations[0].message
+    # Library/test code may import submodules freely.
+    assert engine.lint_source(src, "src/repro/analysis/figures.py") == []
+
+
 def test_noqa_suppression_is_rule_precise():
     violations = lint_fixture("suppressed.py")
     # line 2: suppressed by rule id; line 3: suppressed by bare noqa;
@@ -171,5 +189,6 @@ def test_engine_lint_source_directly():
 
 
 def test_repo_source_tree_is_lint_clean():
-    # The acceptance bar: `repro lint src/` exits 0 on this repo.
-    assert lint_paths([str(REPO_SRC)]) == []
+    # The acceptance bar: `repro lint src examples` exits 0 on this repo.
+    examples = REPO_SRC.parent / "examples"
+    assert lint_paths([str(REPO_SRC), str(examples)]) == []

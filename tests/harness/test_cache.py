@@ -33,9 +33,9 @@ def cache(tmp_path):
 
 
 def test_hit_on_identical_config_and_seed(cache):
-    cold = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    cold = run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
     assert (cache.hits, cache.misses, cache.stores) == (0, 1, 1)
-    warm = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    warm = run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
     assert (cache.hits, cache.misses) == (1, 1)
     # Byte-identical round-trip: the determinism digest cannot tell a
     # cache rebuild from a live run.
@@ -46,58 +46,58 @@ def test_hit_on_identical_config_and_seed(cache):
 
 
 def test_miss_after_config_change(cache):
-    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
-    run_flows(SPECS, CONFIG.with_loss(0.02), DURATION_S, seed=7)
+    run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
+    run_flows(SPECS, CONFIG.with_loss(0.02), duration_s=DURATION_S, seed=7)
     assert cache.hits == 0
     assert cache.misses == 2
 
 
 def test_miss_after_seed_change(cache):
-    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
-    run_flows(SPECS, CONFIG, DURATION_S, seed=8)
+    run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
+    run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=8)
     assert cache.hits == 0
     assert cache.misses == 2
 
 
 def test_miss_after_source_digest_change(cache, monkeypatch):
-    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
     # Simulate editing the simulator source: every key must change.
     monkeypatch.setattr(cache_mod, "_SOURCE_DIGEST", "0" * 64)
-    result = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    result = run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
     assert cache.hits == 0
     assert cache.misses == 2
     assert result.dumbbell is not None  # recomputed live
 
 
 def test_corrupt_entry_falls_back_to_recompute(cache):
-    first = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    first = run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
     [entry] = list(cache.root.rglob("*.json"))
     entry.write_text("{ not json")
-    again = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    again = run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
     assert cache.hits == 0  # the torn entry never counted as a hit
     assert again.dumbbell is not None
     assert stats_digest(again.stats) == stats_digest(first.stats)
     # The recompute healed the entry.
-    healed = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    healed = run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
     assert cache.hits == 1
     assert stats_digest(healed.stats) == stats_digest(first.stats)
 
 
 def test_truncated_record_falls_back_to_recompute(cache):
-    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
     [entry] = list(cache.root.rglob("*.json"))
     # Valid JSON, wrong shape: stats records missing fields.
     entry.write_text('{"schema": 1, "stats": [{"flow_id": 1}]}')
-    again = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    again = run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
     assert cache.hits == 0
     assert again.dumbbell is not None
 
 
 def test_corrupt_entry_is_quarantined(cache):
-    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
     [entry] = list(cache.root.rglob("*.json"))
     entry.write_text("{ not json")
-    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
     assert cache.quarantined == 1
     # The torn file was moved aside for post-mortems, not deleted...
     [corpse] = list(cache.root.rglob("*.corrupt"))
@@ -110,17 +110,17 @@ def test_corrupt_entry_is_quarantined(cache):
 
 
 def test_quarantine_counted_once_per_entry(cache):
-    run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+    run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
     [entry] = list(cache.root.rglob("*.json"))
     entry.write_text('{"schema": 1, "stats": [{"flow_id": 1}]}')
-    run_flows(SPECS, CONFIG, DURATION_S, seed=7)  # quarantines + heals
-    run_flows(SPECS, CONFIG, DURATION_S, seed=7)  # clean hit
+    run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)  # quarantines + heals
+    run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)  # clean hit
     assert cache.quarantined == 1
     assert cache.hits == 1
 
 
 def test_stats_record_roundtrip_is_exact():
-    result = run_flows(SPECS, CONFIG, DURATION_S, seed=3)
+    result = run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=3)
     for stats in result.stats:
         rebuilt = stats_from_record(stats_to_record(stats))
         assert stats_digest([rebuilt]) == stats_digest([stats])
@@ -143,7 +143,7 @@ def test_disable_cache_overrides_env(tmp_path, monkeypatch):
     reset_cache_state()
     try:
         disable_cache()
-        result = run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+        result = run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
         assert result.dumbbell is not None
         assert not (tmp_path / "envcache").exists()
     finally:
@@ -155,7 +155,7 @@ def test_env_enables_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
     reset_cache_state()
     try:
-        run_flows(SPECS, CONFIG, DURATION_S, seed=7)
+        run_flows(SPECS, CONFIG, duration_s=DURATION_S, seed=7)
         assert (tmp_path / "envcache").exists()
     finally:
         reset_cache_state()

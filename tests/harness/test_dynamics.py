@@ -143,7 +143,7 @@ def test_step_down_reconverges_after_capacity_drop():
         (BandwidthStep(at_s=30.0, bandwidth_mbps=10.0),), label="step-down"
     )
     result = run_flows(
-        [FlowSpec("proteus-s")], config, 45.0, seed=7, timeline=timeline
+        [FlowSpec("proteus-s")], config, duration_s=45.0, seed=7, timeline=timeline
     )
     stats = result.stats[0]
     assert result.dumbbell is not None
@@ -177,7 +177,7 @@ def test_gilbert_timeline_reproducible_seed_for_seed():
 
     def digest(seed):
         result = run_flows(
-            [FlowSpec("cubic")], SMALL_CONFIG, 6.0, seed=seed, timeline=timeline
+            [FlowSpec("cubic")], SMALL_CONFIG, duration_s=6.0, seed=seed, timeline=timeline
         )
         assert result.stats[0].loss_count() > 0  # the channel actually bites
         return stats_digest(result.stats)
@@ -202,7 +202,7 @@ def test_property_runner_conservation_with_timeline(steps):
         tuple(BandwidthStep(at_s=at_s, bandwidth_mbps=mbps) for at_s, mbps in steps)
     )
     result = run_flows(
-        [FlowSpec("cubic")], SMALL_CONFIG, 1.5, seed=3, timeline=timeline
+        [FlowSpec("cubic")], SMALL_CONFIG, duration_s=1.5, seed=3, timeline=timeline
     )
     ls = result.dumbbell.bottleneck.stats
     assert ls.rate_changes == len(steps)
@@ -224,7 +224,7 @@ _PMAP_CONFIG = LinkConfig(bandwidth_mbps=16.0, rtt_ms=30.0, buffer_kb=120.0)
 def _timeline_digest(seed: int) -> str:
     """Module-level (hence picklable) experiment for the parallel gate."""
     result = run_flows(
-        [FlowSpec("proteus-s")], _PMAP_CONFIG, 5.0, seed=seed, timeline=_PMAP_TIMELINE
+        [FlowSpec("proteus-s")], _PMAP_CONFIG, duration_s=5.0, seed=seed, timeline=_PMAP_TIMELINE
     )
     return stats_digest(result.stats)
 
@@ -246,11 +246,11 @@ def test_timeline_participates_in_cache_key(cache):
     tl_a = Timeline((BandwidthStep(at_s=1.0, bandwidth_mbps=8.0),), label="t")
     # Identical except for one event time: must be a different key.
     tl_b = Timeline((BandwidthStep(at_s=1.5, bandwidth_mbps=8.0),), label="t")
-    run_flows(specs, SMALL_CONFIG, 4.0, seed=7, timeline=tl_a)
-    run_flows(specs, SMALL_CONFIG, 4.0, seed=7)  # timeline-free: its own key
-    run_flows(specs, SMALL_CONFIG, 4.0, seed=7, timeline=tl_b)
+    run_flows(specs, SMALL_CONFIG, duration_s=4.0, seed=7, timeline=tl_a)
+    run_flows(specs, SMALL_CONFIG, duration_s=4.0, seed=7)  # timeline-free: its own key
+    run_flows(specs, SMALL_CONFIG, duration_s=4.0, seed=7, timeline=tl_b)
     assert (cache.hits, cache.misses) == (0, 3)
-    warm = run_flows(specs, SMALL_CONFIG, 4.0, seed=7, timeline=tl_a)
+    warm = run_flows(specs, SMALL_CONFIG, duration_s=4.0, seed=7, timeline=tl_a)
     assert (cache.hits, cache.misses) == (1, 3)
     # The rebuilt result carries the timeline telemetry without a live run.
     assert warm.dumbbell is None
@@ -269,8 +269,8 @@ def test_cache_rebuild_matches_live_run(cache):
         ),
         label="partial",
     )
-    cold = run_flows(specs, SMALL_CONFIG, 4.0, seed=7, timeline=timeline)
-    warm = run_flows(specs, SMALL_CONFIG, 4.0, seed=7, timeline=timeline)
+    cold = run_flows(specs, SMALL_CONFIG, duration_s=4.0, seed=7, timeline=timeline)
+    warm = run_flows(specs, SMALL_CONFIG, duration_s=4.0, seed=7, timeline=timeline)
     assert stats_digest(warm.stats) == stats_digest(cold.stats)
     # Only the event that actually fired is in either log.
     assert len(cold.link_events) == 1

@@ -1,0 +1,233 @@
+"""Observability threaded through the harness: tracing, metrics, CLI.
+
+Covers the tentpole's end-to-end guarantees: tracepoints fire from the
+engine, links, and senders during real runs; trace digests are
+byte-identical regardless of ``REPRO_JOBS``; the supervision layer's
+ring-buffer flight recorder lands on failure records; and the
+``repro trace`` / ``repro metrics`` subcommands work.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import EMULAB_DEFAULT, FlowSpec, run_flows, run_pair
+from repro.harness.parallel import pmap
+from repro.obs import CollectingTracer, MetricsRegistry, install_tracer, tracing
+
+CONFIG = EMULAB_DEFAULT
+
+
+# ----------------------------------------------------------------------
+# Tracepoints reach the tracer from every layer
+# ----------------------------------------------------------------------
+def test_trace_covers_engine_link_and_sender():
+    tracer = CollectingTracer()
+    run_flows(
+        [FlowSpec("cubic"), FlowSpec("proteus-s", start_time=1.0)],
+        CONFIG,
+        duration_s=4.0,
+        seed=2,
+        tracer=tracer,
+    )
+    kinds = {event.kind for event in tracer.events}
+    # Engine lifecycle, link queue, MI lifecycle, rate control, filter.
+    for expected in (
+        "sim.run.begin",
+        "sim.run.end",
+        "link.enqueue",
+        "link.dequeue",
+        "mi.start",
+        "mi.end",
+        "rate.change",
+        "rtt_filter.accept",
+    ):
+        assert expected in kinds, f"missing {expected}; saw {sorted(kinds)}"
+    # Events are attributed: link events carry a link, MI events a flow.
+    assert any(e.link == "bottleneck" for e in tracer.events)
+    assert any(e.flow == 2 and e.kind == "mi.start" for e in tracer.events)
+
+
+def test_global_tracer_is_picked_up():
+    tracer = CollectingTracer()
+    with tracing(tracer):
+        run_flows([FlowSpec("cubic")], CONFIG, duration_s=2.0, seed=2)
+    assert len(tracer) > 0
+
+
+def test_tracing_does_not_change_results():
+    baseline = run_flows([FlowSpec("proteus-s")], CONFIG, duration_s=3.0, seed=4)
+    traced = run_flows(
+        [FlowSpec("proteus-s")], CONFIG, duration_s=3.0, seed=4,
+        tracer=CollectingTracer(),
+    )
+    assert traced.throughputs_mbps() == baseline.throughputs_mbps()
+    assert traced.stats[0].packets_sent == baseline.stats[0].packets_sent
+
+
+def test_run_pair_serial_when_traced():
+    tracer = CollectingTracer()
+    traced = run_pair(
+        "cubic", "proteus-s", CONFIG, duration_s=5.0, seed=2, tracer=tracer
+    )
+    untraced = run_pair("cubic", "proteus-s", CONFIG, duration_s=5.0, seed=2, jobs=1)
+    assert traced == untraced  # observation never changes the physics
+    assert len(tracer) > 0
+
+
+# ----------------------------------------------------------------------
+# Deterministic digests across parallelism
+# ----------------------------------------------------------------------
+def _traced_digest(seed: int) -> str:
+    tracer = CollectingTracer()
+    run_flows(
+        [FlowSpec("cubic"), FlowSpec("proteus-s", start_time=1.0)],
+        CONFIG,
+        duration_s=3.0,
+        seed=seed,
+        tracer=tracer,
+    )
+    return tracer.digest()
+
+
+def test_trace_digest_identical_across_jobs():
+    serial = pmap(_traced_digest, [1, 2], jobs=1)
+    parallel = pmap(_traced_digest, [1, 2], jobs=4)
+    assert serial == parallel
+    assert serial[0] != serial[1]  # different seeds, different traces
+
+
+# ----------------------------------------------------------------------
+# Metrics registry through run_flows
+# ----------------------------------------------------------------------
+def test_caller_registry_accumulates_across_runs():
+    registry = MetricsRegistry()
+    run_flows([FlowSpec("cubic")], CONFIG, duration_s=2.0, seed=1, metrics=registry)
+    first = registry.snapshot()["counters"]["flow.packets_sent{flow=1,protocol=cubic}"]
+    run_flows([FlowSpec("cubic")], CONFIG, duration_s=2.0, seed=1, metrics=registry)
+    second = registry.snapshot()["counters"]["flow.packets_sent{flow=1,protocol=cubic}"]
+    assert second == 2 * first  # counters accumulate in the caller's registry
+
+
+def test_sample_period_records_backlog_histogram():
+    result = run_flows(
+        [FlowSpec("cubic")], CONFIG, duration_s=3.0, seed=1, sample_period_s=0.25
+    )
+    hist = result.metrics["histograms"]["link.backlog_bytes{link=bottleneck}"]
+    assert hist["count"] == 12  # samples at 0.25, 0.5, ..., 3.0
+    assert hist["max"] > 0
+
+
+# ----------------------------------------------------------------------
+# Flight recorder on supervised failures
+# ----------------------------------------------------------------------
+def _failing_experiment(seed: int) -> float:
+    from repro.obs import active_tracer
+
+    tracer = active_tracer()
+    if tracer is not None:
+        for i in range(5):
+            tracer.emit("test.step", float(i), flow=seed, step=i)
+    raise RuntimeError(f"boom {seed}")
+
+
+def test_ring_buffer_attached_to_failure_outcome():
+    from repro.harness.supervise import RetryPolicy, supervised_map
+
+    policy = RetryPolicy(retries=0, trace_ring=3)
+    outcomes = supervised_map(_failing_experiment, [7], jobs=1, policy=policy)
+    assert len(outcomes) == 1
+    outcome = outcomes[0]
+    assert not outcome.ok
+    assert outcome.trace is not None
+    # Ring capacity 3: only the last 3 of 5 emitted events survive.
+    assert [event["step"] for event in outcome.trace] == [2, 3, 4]
+    # The trace round-trips through the manifest record.
+    rebuilt = type(outcome).from_record(
+        json.loads(json.dumps(outcome.to_record()))
+    )
+    assert rebuilt.trace == outcome.trace
+
+
+def test_successful_trials_carry_no_trace():
+    from repro.harness.supervise import RetryPolicy, supervised_map
+
+    policy = RetryPolicy(retries=0, trace_ring=8)
+    outcomes = supervised_map(lambda seed: seed * 2, [3], jobs=1, policy=policy)
+    assert outcomes[0].ok and outcomes[0].value == 6
+    assert outcomes[0].trace is None
+
+
+def test_trials_metrics_counters():
+    from repro.harness.trials import run_trials
+
+    registry = MetricsRegistry()
+    summary = run_trials(_double, n_trials=3, base_seed=1, jobs=1, metrics=registry)
+    assert summary.n == 3
+    counters = registry.snapshot()["counters"]
+    assert counters["trials.total"] == 3
+    assert counters["trials.by_status{status=ok}"] == 3
+
+
+def _double(seed: int) -> float:
+    return float(seed * 2)
+
+
+# ----------------------------------------------------------------------
+# CLI subcommands
+# ----------------------------------------------------------------------
+def test_cli_trace_record_filter_and_replay(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "trace",
+            "--protocols", "cubic,proteus-s",
+            "--duration", "2",
+            "--kind", "mi",
+            "--flow", "2",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    recorded = capsys.readouterr().out
+    assert "digest:" in recorded and "mi.start" in recorded
+    lines = [json.loads(line) for line in out.read_text().splitlines()]
+    assert lines and all(e["kind"].startswith("mi") and e["flow"] == 2 for e in lines)
+
+    code = main(["trace", "--replay", str(out), "--kind", "mi.start", "--limit", "2"])
+    assert code == 0
+    replayed = capsys.readouterr().out
+    assert "mi.start" in replayed and "mi.discard" not in replayed
+
+
+def test_cli_trace_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        main(["trace", "--protocols", "notaprotocol", "--duration", "1"])
+
+
+def test_cli_metrics(tmp_path, capsys):
+    out = tmp_path / "metrics.json"
+    code = main(
+        [
+            "metrics",
+            "--protocols", "cubic",
+            "--duration", "2",
+            "--sample", "0.5",
+            "--json", str(out),
+        ]
+    )
+    assert code == 0
+    shown = capsys.readouterr().out
+    assert "flow.throughput_mbps" in shown
+    snapshot = json.loads(out.read_text())
+    assert set(snapshot) == {"counters", "gauges", "histograms"}
+    assert "link.backlog_bytes{link=bottleneck}" in snapshot["histograms"]
+
+
+def test_no_global_tracer_leaks():
+    # Suite hygiene: nothing above may leave a process-global tracer.
+    from repro.obs import active_tracer
+
+    assert active_tracer() is None
+    assert install_tracer(None) is None

@@ -86,7 +86,7 @@ def _livelock_trial(_seed: int):
 
 
 def _digest_trial(seed: int) -> str:
-    result = run_flows([FlowSpec("cubic")], _LINK, 1.5, seed=seed)
+    result = run_flows([FlowSpec("cubic")], _LINK, duration_s=1.5, seed=seed)
     return stats_digest(result.stats)
 
 
@@ -399,4 +399,4 @@ def test_summarize_outcomes_counts():
 # ----------------------------------------------------------------------
 def test_run_flows_passes_watchdog_budget_through():
     with pytest.raises(SimBudgetExceeded):
-        run_flows([FlowSpec("cubic")], _LINK, 5.0, seed=1, max_events=50)
+        run_flows([FlowSpec("cubic")], _LINK, duration_s=5.0, seed=1, max_events=50)

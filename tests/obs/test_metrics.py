@@ -1,0 +1,100 @@
+"""Unit tests for the metrics half of ``repro.obs``."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, PeriodicSampler, empty_snapshot
+from repro.sim import Simulator
+
+
+def test_counter_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("flow.losses", flow=1)
+    counter.inc()
+    counter.inc(3)
+    assert counter.value == 4
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    gauge = registry.gauge("run.utilization")
+    assert gauge.value is None
+    gauge.set(0.93)
+    assert gauge.value == 0.93
+
+
+def test_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    a = registry.counter("c", link="bottleneck")
+    b = registry.counter("c", link="bottleneck")
+    assert a is b
+    other = registry.counter("c", link="reverse")
+    assert other is not a
+
+
+def test_series_keys_sort_labels():
+    registry = MetricsRegistry()
+    registry.counter("x", b=2, a=1).inc()
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]) == ["x{a=1,b=2}"]
+
+
+def test_snapshot_is_canonical_and_json_safe():
+    first, second = MetricsRegistry(), MetricsRegistry()
+    # Same observations, different creation order.
+    first.counter("n", flow=1).inc(2)
+    first.gauge("g").set(1.5)
+    second.gauge("g").set(1.5)
+    second.counter("n", flow=1).inc(2)
+    assert first.snapshot() == second.snapshot()
+    encoded = json.dumps(first.snapshot(), sort_keys=True)
+    assert json.loads(encoded) == first.snapshot()
+    assert empty_snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_histogram_without_bounds():
+    registry = MetricsRegistry()
+    hist = registry.histogram("rtt_s", flow=2)
+    for value in (0.03, 0.05, 0.01):
+        hist.observe(value)
+    assert hist.count == 3
+    assert hist.min == 0.01 and hist.max == 0.05
+    assert hist.mean() == pytest.approx(0.03)
+    entry = registry.snapshot()["histograms"]["rtt_s{flow=2}"]
+    assert entry["count"] == 3
+    assert "bounds" not in entry
+
+
+def test_histogram_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("backlog", bounds=(10.0, 100.0))
+    for value in (5.0, 10.0, 50.0, 500.0):
+        hist.observe(value)
+    entry = registry.snapshot()["histograms"]["backlog"]
+    assert entry["bounds"] == [10.0, 100.0]
+    # <=10, <=100, +inf — each observation in exactly one bucket.
+    assert entry["buckets"] == [2, 1, 1]
+    assert sum(entry["buckets"]) == entry["count"]
+    assert registry.histogram("empty").mean() is None
+
+
+def test_periodic_sampler_runs_on_sim_time():
+    sim = Simulator()
+    seen = []
+    PeriodicSampler(sim, 0.5, seen.append)
+    sim.run(until=2.4)
+    assert seen == pytest.approx([0.5, 1.0, 1.5, 2.0])
+
+
+def test_periodic_sampler_cancel_and_validation():
+    sim = Simulator()
+    seen = []
+    sampler = PeriodicSampler(sim, 0.5, seen.append)
+
+    def stop() -> None:
+        sampler.cancel()
+
+    sim.schedule_fast(1.2, stop)
+    sim.run(until=5.0)
+    assert seen == pytest.approx([0.5, 1.0])
+    with pytest.raises(ValueError):
+        PeriodicSampler(sim, 0.0, seen.append)

@@ -1,0 +1,149 @@
+"""Unit tests for the tracing half of ``repro.obs``."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CollectingTracer,
+    JsonlTraceSink,
+    RingBufferTracer,
+    TeeTracer,
+    TraceEvent,
+    Tracer,
+    active_tracer,
+    event_to_json,
+    events_to_jsonl,
+    filter_events,
+    install_tracer,
+    kind_matches,
+    read_jsonl,
+    trace_digest,
+    tracing,
+)
+
+
+def test_trace_event_to_dict_shape():
+    event = TraceEvent("link.drop", 1.5, flow=2, link="bottleneck", fields={"seq": 7})
+    assert event.to_dict() == {
+        "t": 1.5,
+        "kind": "link.drop",
+        "flow": 2,
+        "link": "bottleneck",
+        "seq": 7,
+    }
+    bare = TraceEvent("sim.run.begin", 0.0)
+    assert bare.to_dict() == {"t": 0.0, "kind": "sim.run.begin"}
+
+
+def test_event_to_json_is_canonical():
+    # Same logical event, different insertion order -> same bytes.
+    a = event_to_json({"t": 1.0, "kind": "x", "b": 2, "a": 1})
+    b = event_to_json({"a": 1, "b": 2, "kind": "x", "t": 1.0})
+    assert a == b
+    assert " " not in a  # fixed separators, no whitespace
+
+
+def test_jsonl_and_digest_round_trip(tmp_path):
+    tracer = CollectingTracer()
+    tracer.emit("mi.start", 0.1, flow=1, mi_id=1)
+    tracer.emit("mi.end", 0.2, flow=1, mi_id=1, utility=3.5)
+    text = tracer.to_jsonl()
+    assert text.endswith("\n") and len(text.splitlines()) == 2
+    assert trace_digest(tracer.events) == trace_digest(tracer.to_dicts())
+    path = tmp_path / "trace.jsonl"
+    path.write_text(text)
+    assert read_jsonl(path) == tracer.to_dicts()
+    assert events_to_jsonl([]) == ""
+
+
+def test_kind_matches_namespaces():
+    assert kind_matches("link.drop", "link")
+    assert kind_matches("link.drop", "link.drop")
+    assert not kind_matches("link.drop", "link.dr")
+    assert not kind_matches("linkage.drop", "link")
+
+
+def test_filter_events_all_dimensions():
+    events = [
+        {"t": 0.0, "kind": "link.enqueue", "flow": 1, "link": "bottleneck"},
+        {"t": 0.1, "kind": "link.drop", "flow": 2, "link": "bottleneck"},
+        {"t": 0.2, "kind": "mi.start", "flow": 2},
+        {"t": 0.3, "kind": "sim.run.end"},
+    ]
+    assert len(filter_events(events)) == 4
+    assert [e["kind"] for e in filter_events(events, flows=[2])] == [
+        "link.drop",
+        "mi.start",
+    ]
+    assert len(filter_events(events, links=["bottleneck"])) == 2
+    assert len(filter_events(events, kinds=["link"])) == 2
+    assert len(filter_events(events, kinds=["link.drop", "mi"])) == 2
+    assert filter_events(events, flows=[2], kinds=["mi"]) == [events[2]]
+
+
+def test_ring_buffer_keeps_tail_and_counts_drops():
+    ring = RingBufferTracer(capacity=3)
+    for i in range(5):
+        ring.emit("tick", float(i), seq=i)
+    assert len(ring) == 3
+    assert ring.dropped == 2
+    assert [e["seq"] for e in ring.snapshot()] == [2, 3, 4]
+    with pytest.raises(ValueError):
+        RingBufferTracer(capacity=0)
+
+
+def test_jsonl_sink_streams_and_digest_matches(tmp_path):
+    path = tmp_path / "sink.jsonl"
+    with JsonlTraceSink(path) as sink:
+        sink.emit("a", 0.0, flow=1)
+        sink.emit("b", 1.0, link="reverse", extra=2.5)
+        assert sink.count == 2
+        running = sink.digest()
+    records = read_jsonl(path)
+    assert [r["kind"] for r in records] == ["a", "b"]
+    assert trace_digest(records) == running
+    with pytest.raises(ValueError):
+        sink.emit("c", 2.0)
+
+
+def test_tee_fans_out():
+    first, second = CollectingTracer(), CollectingTracer()
+    tee = TeeTracer(first, second)
+    tee.emit("x", 0.5, flow=3, payload=1)
+    assert len(first) == len(second) == 1
+    assert first.to_dicts() == second.to_dicts()
+
+
+def test_global_tracer_install_and_scope():
+    assert active_tracer() is None
+    tracer = CollectingTracer()
+    previous = install_tracer(tracer)
+    try:
+        assert previous is None
+        assert active_tracer() is tracer
+    finally:
+        install_tracer(previous)
+    assert active_tracer() is None
+    with tracing(tracer) as scoped:
+        assert scoped is tracer
+        assert active_tracer() is tracer
+    assert active_tracer() is None
+
+
+def test_sinks_satisfy_tracer_protocol():
+    for sink in (
+        CollectingTracer(),
+        RingBufferTracer(),
+        TeeTracer(),
+    ):
+        assert isinstance(sink, Tracer)
+
+
+def test_digest_depends_on_content():
+    one = [{"t": 0.0, "kind": "a"}]
+    other = [{"t": 0.0, "kind": "b"}]
+    assert trace_digest(one) != trace_digest(other)
+    # Digest is over canonical bytes: dict order is irrelevant.
+    assert trace_digest([{"kind": "a", "t": 0.0}]) == trace_digest(one)
+    assert json.loads(event_to_json(one[0])) == one[0]

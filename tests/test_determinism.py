@@ -43,7 +43,7 @@ SCENARIOS = {
 def _digest(name, seed):
     scenario = SCENARIOS[name]
     result = run_flows(
-        scenario["specs"], scenario["config"], scenario["duration_s"], seed=seed
+        scenario["specs"], scenario["config"], duration_s=scenario["duration_s"], seed=seed
     )
     return stats_digest(result.stats)
 
@@ -82,7 +82,7 @@ def test_trace_digest_sensitivity():
     result = run_flows(
         SCENARIOS["vivace-lossy"]["specs"],
         SCENARIOS["vivace-lossy"]["config"],
-        SCENARIOS["vivace-lossy"]["duration_s"],
+        duration_s=SCENARIOS["vivace-lossy"]["duration_s"],
         seed=7,
     )
     stats = result.stats[0]

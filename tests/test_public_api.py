@@ -1,0 +1,88 @@
+"""The stable public surface of the ``repro`` package.
+
+Guards the API-redesign invariants: ``import repro`` is cheap (PEP 562
+lazy exports, no experiment machinery at module load), every name in
+``__all__`` resolves, and the three result types all satisfy the unified
+``Result`` protocol.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+HEAVY_PREFIXES = (
+    "repro.harness",
+    "repro.core",
+    "repro.protocols",
+    "repro.apps",
+    "repro.analysis",
+    "repro.sim",
+    "repro.devtools",
+)
+
+
+def test_import_repro_loads_no_heavy_modules():
+    # A fresh interpreter: this process has long since imported everything.
+    code = (
+        "import sys; import repro; "
+        "mods = [m for m in sys.modules if m.startswith('repro.')]; "
+        "print('\\n'.join(mods))"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": ""},
+        check=True,
+    )
+    loaded = [line for line in result.stdout.splitlines() if line]
+    heavy = [
+        m for m in loaded if any(m == p or m.startswith(p + ".") for p in HEAVY_PREFIXES)
+    ]
+    assert heavy == [], f"import repro eagerly loaded: {heavy}"
+
+
+def test_all_names_resolve_and_are_sorted():
+    import repro
+
+    assert repro.__all__ == sorted(repro.__all__)
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    # Lazy values are the same objects as their home module's.
+    from repro.harness import runner
+
+    assert repro.run_flows is runner.run_flows
+    assert repro.FlowSpec is runner.FlowSpec
+
+
+def test_unknown_attribute_raises():
+    import repro
+
+    try:
+        repro.definitely_not_a_name
+    except AttributeError as exc:
+        assert "definitely_not_a_name" in str(exc)
+    else:  # pragma: no cover - defensive
+        raise AssertionError("expected AttributeError")
+
+
+def test_public_surface_covers_the_issue_contract():
+    import repro
+
+    for name in (
+        "run_single",
+        "run_pair",
+        "run_flows",
+        "run_homogeneous",
+        "run_streaming",
+        "FlowSpec",
+        "Timeline",
+        "TIMELINES",
+        "Tracer",
+        "Result",
+        "MetricsRegistry",
+        "obs",
+    ):
+        assert name in repro.__all__, name
