@@ -55,7 +55,7 @@ _LAZY: dict[str, tuple[str, str | None]] = {
     "RunResult": ("repro.harness.runner", "RunResult"),
     "StreamingResult": ("repro.harness.runner", "StreamingResult"),
     # Protocols / core.
-    "ProteusSender": ("repro.core", "ProteusSender"),
+    "ProteusSender": ("repro.protocols", "ProteusSender"),
     "make_sender": ("repro.protocols", "make_sender"),
     "make_utility": ("repro.core", "make_utility"),
     # Observability.

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from ..core.metrics import rtt_deviation, rtt_gradient
-from ..sim.rng import Rng
+from ..core.rng import Rng
 
 
 def percentile(samples: Sequence[float], p: float) -> float:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.proteus import ProteusSender
+from ..protocols.proteus import ProteusSender
 from ..core.threshold import VideoThresholdPolicy
 from ..core.utility import HybridUtility
 from ..sim.engine import Simulator

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..sim.rng import Rng
+from ..core.rng import Rng
 
 CHUNK_DURATION_S = 3.0
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from ..protocols import make_sender
 from ..sim.engine import Simulator
-from ..sim.rng import Rng
+from ..core.rng import Rng
 from ..sim.topology import Dumbbell
 
 MAX_PARALLEL_CONNECTIONS = 6

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .analysis import jains_index
 from .harness import (
@@ -478,6 +479,83 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    # Imported here so simulation commands never pay for the analyzers.
+    from .devtools.analysis import (
+        Baseline,
+        Project,
+        describe_checks,
+        format_report_github,
+        format_report_json,
+        format_report_text,
+        run_check,
+        write_trace_schema,
+    )
+
+    if args.list_checks:
+        print(describe_checks())
+        return 0
+    paths = args.paths if args.paths else ["src"]
+    if args.docs_dir:
+        docs_dir = Path(args.docs_dir)
+    else:
+        # Auto-detect: documentation checks only make sense at repo root.
+        docs_dir = Path("docs") if Path("docs").is_dir() else None
+    try:
+        project = Project.load(paths)
+    except FileNotFoundError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+    if args.update_schema:
+        if docs_dir is None:
+            print("repro check: --update-schema needs --docs-dir", file=sys.stderr)
+            return 2
+        written = write_trace_schema(paths, docs_dir, project=project)
+        print(f"wrote {written}")
+
+    baseline = None
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is not None and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+    try:
+        report = run_check(
+            paths,
+            checks=args.check or None,
+            baseline=baseline,
+            docs_dir=docs_dir,
+            project=project,
+        )
+    except ValueError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print("repro check: --update-baseline needs --baseline", file=sys.stderr)
+            return 2
+        seeded = Baseline.from_findings(report.findings)
+        # Keep still-live entries (with their justifications) and append
+        # fresh ones for new findings.
+        live = [e for e in baseline.entries if e not in report.stale_entries] if baseline else []
+        covered = {(e.rule, e.path) for e in live}
+        seeded.entries = live + [
+            e for e in seeded.entries if (e.rule, e.path) not in covered
+        ]
+        seeded.write(baseline_path)
+        print(f"wrote {baseline_path} ({len(seeded.entries)} entries)")
+        return 0
+
+    if args.format == "json":
+        print(format_report_json(report))
+    elif args.format == "github":
+        output = format_report_github(report)
+        if output:
+            print(output)
+    else:
+        print(format_report_text(report))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -665,6 +743,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit violations as JSON"
     )
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_check = sub.add_parser(
+        "check",
+        help="whole-program static analysis: units, races, tracepoints, "
+        "layering (see docs/DEVTOOLS.md)",
+    )
+    p_check.add_argument(
+        "paths", nargs="*", help="files or directories (default: src)"
+    )
+    p_check.add_argument(
+        "--check",
+        action="append",
+        metavar="ANALYZER",
+        help="run only this analyzer (repeatable; default: all)",
+    )
+    p_check.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="finding output format (github = workflow annotations)",
+    )
+    p_check.add_argument(
+        "--baseline",
+        default="check_baseline.json",
+        metavar="PATH",
+        help="justified-exception file (missing file = empty baseline)",
+    )
+    p_check.add_argument(
+        "--docs-dir",
+        default=None,
+        metavar="DIR",
+        help="docs directory for tracepoint schema checks "
+        "(default: ./docs when it exists)",
+    )
+    p_check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover current findings, keeping "
+        "justifications of entries that still match",
+    )
+    p_check.add_argument(
+        "--update-schema",
+        action="store_true",
+        help="regenerate docs/TRACE_SCHEMA.md from the emit sites",
+    )
+    p_check.add_argument(
+        "--list-checks", action="store_true", help="describe analyzers and exit"
+    )
+    p_check.set_defaults(fn=cmd_check)
     return parser
 
 

@@ -10,10 +10,14 @@ The pieces of Fig 1's architecture:
 * :mod:`~repro.core.noise_tolerance` — §5's tolerance mechanisms;
 * :mod:`~repro.core.rate_control` — gradient-ascent controller with the
   majority rule;
-* :mod:`~repro.core.proteus` — the assembled sender with live utility
-  switching;
+* :mod:`~repro.core.rng` — the seeded, spawnable random stream;
 * :mod:`~repro.core.threshold` — Proteus-H's cross-layer threshold
   policy for video.
+
+The assembled sender (:class:`ProteusSender`) lives in
+:mod:`repro.protocols.proteus` with the other senders; it is still
+re-exported here — lazily, so importing ``repro.core`` never pulls the
+protocols or sim layers in.
 """
 
 from .metrics import (
@@ -31,8 +35,8 @@ from .noise_tolerance import (
     NoiseTolerancePipeline,
     TrendingTracker,
 )
-from .proteus import ProteusSender
 from .rate_control import RateControlConfig, RateController
+from .rng import Rng, make_rng, spawn
 from .threshold import DeadlineThresholdPolicy, VideoThresholdPolicy
 from .utility import (
     AllegroUtility,
@@ -64,10 +68,24 @@ __all__ = [
     "UtilityFunction",
     "VideoThresholdPolicy",
     "VivaceUtility",
+    "Rng",
     "compute_interval_metrics",
     "linear_regression",
+    "make_rng",
     "make_utility",
     "regression_error",
     "rtt_deviation",
     "rtt_gradient",
+    "spawn",
 ]
+
+
+def __getattr__(name: str):
+    # ProteusSender moved to repro.protocols.proteus; forward lazily so
+    # `from repro.core import ProteusSender` keeps working without this
+    # package importing the protocols/sim layers at module scope.
+    if name == "ProteusSender":
+        from ..protocols.proteus import ProteusSender
+
+        return ProteusSender
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

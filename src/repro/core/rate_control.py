@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..sim.rng import Rng
+from .rng import Rng
 from .monitor import MonitorInterval
 
 

@@ -1,0 +1,49 @@
+"""Whole-program static analysis behind ``repro check``.
+
+Where ``repro lint`` judges one file at a time, the analyzers here share
+a single parsed :class:`~repro.devtools.analysis.loader.Project` and
+reason across module boundaries:
+
+* ``units`` — dataflow over the ``_s/_ms/_bps/_bytes/_pkts`` suffix
+  convention, including cross-module call sites;
+* ``races`` — determinism hazards in code reachable from the
+  ``pmap``/``run_trials*`` worker dispatch;
+* ``tracepoints`` — the ``tracer.emit`` event/field schema and its docs;
+* ``layering`` — the core→sim→protocols→analysis→obs→harness→cli
+  import DAG and cycle detection.
+
+Importing this package registers all analyzers in
+:data:`~repro.devtools.analysis.base.ANALYZERS`.
+"""
+
+from __future__ import annotations
+
+from . import layering, races, tracepoints, units  # noqa - analyzer registration
+from .base import ANALYZERS, Analyzer, Baseline, BaselineEntry
+from .loader import Project
+from .runner import (
+    CheckReport,
+    describe_checks,
+    format_report_github,
+    format_report_json,
+    format_report_text,
+    run_check,
+    select_analyzers,
+    write_trace_schema,
+)
+
+__all__ = [
+    "ANALYZERS",
+    "Analyzer",
+    "Baseline",
+    "BaselineEntry",
+    "CheckReport",
+    "Project",
+    "describe_checks",
+    "format_report_github",
+    "format_report_json",
+    "format_report_text",
+    "run_check",
+    "select_analyzers",
+    "write_trace_schema",
+]

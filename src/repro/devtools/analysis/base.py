@@ -1,0 +1,172 @@
+"""Analyzer framework for ``repro check``: findings, registry, baseline.
+
+Findings reuse the lint engine's :class:`~repro.devtools.lint.base.
+Violation` shape (path/line/col/rule/message) so suppression, sorting and
+text/JSON rendering are shared, and each analyzer declares the check ids
+it can emit (``repro check --list-checks``).
+
+The **baseline** is the incremental-adoption valve: a committed JSON
+file of *justified* exceptions.  A finding is baselined when an entry's
+``rule`` matches, its ``path`` suffix-matches the finding's path, and
+its ``match`` string (if any) occurs in the message.  Baselined findings
+don't fail the build; entries that match nothing are reported as stale
+so the file can only shrink honestly.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from ..lint.base import Violation
+from .loader import ModuleInfo, Project
+
+
+class Analyzer:
+    """Base class: one whole-program pass over a loaded :class:`Project`."""
+
+    id: str = ""
+    description: str = ""
+    check_ids: tuple[str, ...] = ()
+
+    def analyze(self, project: Project) -> Iterator[Violation]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    @staticmethod
+    def finding(
+        module: ModuleInfo, node: ast.AST, check_id: str, message: str
+    ) -> Violation:
+        return Violation(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=check_id,
+            message=message,
+        )
+
+
+class AnalyzerRegistry:
+    def __init__(self) -> None:
+        self.analyzers: dict[str, Analyzer] = {}
+
+    def register(self, analyzer_cls: type[Analyzer]) -> type[Analyzer]:
+        analyzer = analyzer_cls()
+        if not analyzer.id:
+            raise ValueError(f"analyzer {analyzer_cls.__name__} has no id")
+        if analyzer.id in self.analyzers:
+            raise ValueError(f"duplicate analyzer id {analyzer.id}")
+        self.analyzers[analyzer.id] = analyzer
+        return analyzer_cls
+
+    def all(self) -> list[Analyzer]:
+        return [self.analyzers[key] for key in sorted(self.analyzers)]
+
+    def select(self, ids: Sequence[str] | None) -> list[Analyzer]:
+        if ids is None:
+            return self.all()
+        return [self.analyzers[analyzer_id] for analyzer_id in ids]
+
+
+ANALYZERS = AnalyzerRegistry()
+register_analyzer = ANALYZERS.register
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One justified exception: which findings it covers, and why."""
+
+    rule: str
+    path: str
+    reason: str
+    match: str = ""
+
+    def covers(self, finding: Violation) -> bool:
+        if finding.rule_id != self.rule:
+            return False
+        normalized = finding.path.replace("\\", "/")
+        if not (normalized == self.path or normalized.endswith("/" + self.path)):
+            return False
+        return self.match in finding.message
+
+    def to_dict(self) -> dict:
+        record = {"rule": self.rule, "path": self.path, "reason": self.reason}
+        if self.match:
+            record["match"] = self.match
+        return record
+
+
+@dataclass
+class Baseline:
+    """The committed exception list plus bookkeeping from one filter run."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        data = json.loads(path.read_text())
+        entries = [
+            BaselineEntry(
+                rule=entry["rule"],
+                path=entry["path"],
+                reason=entry.get("reason", ""),
+                match=entry.get("match", ""),
+            )
+            for entry in data.get("entries", [])
+        ]
+        return cls(entries=entries, path=path)
+
+    def apply(
+        self, findings: Sequence[Violation]
+    ) -> tuple[list[Violation], list[Violation], list[BaselineEntry]]:
+        """Split ``findings`` into (kept, baselined); also stale entries."""
+        kept: list[Violation] = []
+        baselined: list[Violation] = []
+        used: set[BaselineEntry] = set()
+        for finding in findings:
+            entry = next((e for e in self.entries if e.covers(finding)), None)
+            if entry is None:
+                kept.append(finding)
+            else:
+                baselined.append(finding)
+                used.add(entry)
+        stale = [entry for entry in self.entries if entry not in used]
+        return kept, baselined, stale
+
+    def write(self, path: str | Path) -> None:
+        payload = {
+            "_comment": (
+                "repro check baseline: justified exceptions only. Each entry "
+                "suppresses findings of `rule` in files whose path ends with "
+                "`path` and whose message contains `match`. Keep `reason` "
+                "honest - stale entries fail the gate."
+            ),
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Violation]) -> "Baseline":
+        """Seed a baseline covering ``findings`` (reasons left to edit)."""
+        entries: list[BaselineEntry] = []
+        seen: set[tuple[str, str]] = set()
+        for finding in findings:
+            key = (finding.rule_id, finding.path.replace("\\", "/"))
+            if key in seen:
+                continue
+            seen.add(key)
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule_id,
+                    path=key[1],
+                    reason="TODO: justify this exception",
+                )
+            )
+        return cls(entries=entries)

@@ -1,0 +1,353 @@
+"""Project loader: one parse of the whole tree, shared by every analyzer.
+
+``repro check`` is *whole-program*: the unit-dataflow pass follows a
+call from ``harness/runner.py`` into a ``sim/link.py`` signature, the
+race pass walks a call graph that crosses module boundaries, and the
+layering pass needs every import edge at once.  So unlike the per-file
+lint engine, the analyzers here share a single :class:`Project` — every
+``.py`` file parsed once, plus a symbol table of modules, top-level
+functions, classes (with dataclass fields), and resolved import
+aliases.
+
+Module names are derived structurally: walk up from each file while an
+``__init__.py`` is present, so ``src/repro/sim/link.py`` loads as
+``repro.sim.link`` and a test fixture tree ``fixtures/x/repro/sim/a.py``
+loads as ``repro.sim.a`` — analyzers never special-case where a tree
+happens to sit on disk.
+
+Suppression reuses the lint engine's :class:`~repro.devtools.lint.base.
+LintContext` (``# repro: noqa[check-id]`` and
+``# repro: noqa-file[check-id]`` work identically for lint rules and
+check analyzers).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ..lint.base import LintContext
+from ..lint.engine import iter_python_files
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus its per-module symbol tables."""
+
+    name: str  # dotted module name, e.g. "repro.sim.link"
+    path: Path
+    source: str
+    tree: ast.Module
+    ctx: LintContext
+    # local alias -> absolute dotted target, e.g. {"Rng": "repro.core.rng.Rng"}
+    imports: dict[str, str] = field(default_factory=dict)
+    # names assigned at module scope (race analysis: the mutable-global set)
+    global_names: set[str] = field(default_factory=set)
+    # absolute dotted modules imported at module scope (layering edges),
+    # mapped to the first import node for finding locations
+    module_imports: dict[str, ast.stmt] = field(default_factory=dict)
+    # subset of module_imports only ever imported under `if TYPE_CHECKING:`
+    # (coupling, but invisible at runtime — exempt from cycle detection)
+    typing_only: set[str] = field(default_factory=set)
+
+    @property
+    def is_package(self) -> bool:
+        return self.path.name == "__init__.py"
+
+    @property
+    def package(self) -> str:
+        """The package relative imports resolve against.
+
+        A package's ``__init__.py`` is its own package (``from . import
+        x`` in ``repro/apps/__init__.py`` means ``repro.apps.x``).
+        """
+        if self.is_package:
+            return self.name
+        return self.name.rpartition(".")[0]
+
+
+@dataclass
+class FunctionInfo:
+    """A function or method, addressable by qualified name."""
+
+    qname: str  # "repro.sim.link.Link.send"
+    module: ModuleInfo
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: "ClassInfo | None" = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def positional_params(self) -> list[str]:
+        """Names fillable by position (``self``/``cls`` dropped for methods)."""
+        args = self.node.args
+        names = [a.arg for a in (*args.posonlyargs, *args.args)]
+        if self.cls is not None and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names
+
+    def all_param_names(self) -> list[str]:
+        args = self.node.args
+        return self.positional_params() + [a.arg for a in args.kwonlyargs]
+
+
+@dataclass
+class ClassInfo:
+    """A class: methods, and (for dataclasses) the field-as-init-API view."""
+
+    qname: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    is_dataclass: bool
+    fields: list[str] = field(default_factory=list)  # annotated dataclass fields
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def init_params(self) -> list[str]:
+        """The constructor's positional parameter names."""
+        init = self.methods.get("__init__")
+        if init is not None:
+            return init.positional_params()
+        if self.is_dataclass:
+            return list(self.fields)
+        return []
+
+
+def _is_dataclass_def(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from package structure (``__init__.py`` walk)."""
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+class Project:
+    """Every module of the analyzed tree, parsed once, plus symbol tables."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.by_terminal: dict[str, list[FunctionInfo]] = {}
+        self.syntax_errors: list[tuple[Path, SyntaxError]] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, paths: Iterable[str | Path]) -> "Project":
+        project = cls()
+        for path in iter_python_files(paths):
+            project.add_file(path)
+        return project
+
+    def add_file(self, path: Path) -> None:
+        source = Path(path).read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            self.syntax_errors.append((Path(path), exc))
+            return
+        name = module_name_for(Path(path))
+        if name in self.modules:
+            # Two files mapping to one module name (e.g. twin fixture
+            # trees): disambiguate so neither shadows the other.
+            base, counter = name, 2
+            while name in self.modules:
+                name = f"{base}#{counter}"
+                counter += 1
+        module = ModuleInfo(
+            name=name,
+            path=Path(path),
+            source=source,
+            tree=tree,
+            ctx=LintContext(Path(path), source, tree),
+        )
+        self.modules[name] = module
+        self._index_module(module)
+
+    # ------------------------------------------------------------------
+    def _index_module(self, module: ModuleInfo) -> None:
+        for stmt in module.tree.body:
+            self._index_stmt(module, stmt, top_level=True)
+
+    def _index_stmt(
+        self,
+        module: ModuleInfo,
+        stmt: ast.stmt,
+        top_level: bool,
+        typing_only: bool = False,
+    ) -> None:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            self._index_import(module, stmt, typing_only)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and top_level:
+            self._add_function(module, stmt, cls=None)
+        elif isinstance(stmt, ast.ClassDef) and top_level:
+            self._add_class(module, stmt)
+        elif top_level and isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            for target in _assign_targets(stmt):
+                module.global_names.add(target)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # Imports under `if TYPE_CHECKING:` / try-except fallbacks are
+            # still module-scope edges; nested defs there are rare enough
+            # to ignore.
+            guarded = typing_only or _is_type_checking_test(stmt)
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    self._index_stmt(
+                        module, child, top_level=False, typing_only=guarded
+                    )
+
+    def _index_import(
+        self,
+        module: ModuleInfo,
+        stmt: ast.Import | ast.ImportFrom,
+        typing_only: bool = False,
+    ) -> None:
+        def record(target: str) -> None:
+            first_time = target not in module.module_imports
+            module.module_imports.setdefault(target, stmt)
+            if typing_only:
+                if first_time:
+                    module.typing_only.add(target)
+            else:
+                module.typing_only.discard(target)
+
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                module.imports[local] = target
+                record(alias.name)
+        else:
+            base = self._resolve_from_base(module, stmt)
+            if base is None:
+                return
+            record(base)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                module.imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+    @staticmethod
+    def _resolve_from_base(module: ModuleInfo, stmt: ast.ImportFrom) -> str | None:
+        """Absolute dotted base of a ``from X import ...`` statement."""
+        if stmt.level == 0:
+            return stmt.module or None
+        # Relative import: climb from the containing package.
+        package_parts = module.package.split(".") if module.package else []
+        climb = stmt.level - 1
+        if climb > len(package_parts):
+            return None
+        base_parts = package_parts[: len(package_parts) - climb]
+        if stmt.module:
+            base_parts.append(stmt.module)
+        return ".".join(base_parts) if base_parts else None
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: ClassInfo | None,
+    ) -> FunctionInfo:
+        owner = cls.qname if cls is not None else module.name
+        info = FunctionInfo(qname=f"{owner}.{node.name}", module=module, node=node, cls=cls)
+        self.functions[info.qname] = info
+        self.by_terminal.setdefault(node.name, []).append(info)
+        return info
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        info = ClassInfo(
+            qname=f"{module.name}.{node.name}",
+            module=module,
+            node=node,
+            is_dataclass=_is_dataclass_def(node),
+        )
+        self.classes[info.qname] = info
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[stmt.name] = self._add_function(module, stmt, cls=info)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if info.is_dataclass and not stmt.target.id.startswith("_"):
+                    info.fields.append(stmt.target.id)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def expand_alias(self, module: ModuleInfo, dotted: str) -> str:
+        """Rewrite a local dotted path through the module's import aliases."""
+        head, _, rest = dotted.partition(".")
+        target = module.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_callable(
+        self, module: ModuleInfo, func: ast.AST
+    ) -> FunctionInfo | ClassInfo | None:
+        """Best-effort resolution of a call's target.
+
+        Handles direct names (same module or imported), dotted module
+        attributes, and constructors.  ``self.method`` is resolved by the
+        analyzers that track a class context; unresolvable calls return
+        None (analyzers must stay silent rather than guess).
+        """
+        dotted = _dotted_name(func)
+        if dotted is None:
+            return None
+        absolute = self.expand_alias(module, dotted)
+        for candidate in (absolute, f"{module.name}.{dotted}"):
+            if candidate in self.functions:
+                return self.functions[candidate]
+            if candidate in self.classes:
+                return self.classes[candidate]
+        return None
+
+
+def _is_type_checking_test(stmt: ast.stmt) -> bool:
+    test = getattr(stmt, "test", None)
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _assign_targets(stmt: ast.stmt) -> list[str]:
+    names: list[str] = []
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    else:
+        return names
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names.extend(el.id for el in target.elts if isinstance(el, ast.Name))
+    return names

@@ -4,7 +4,11 @@ Rules are small classes that inspect AST nodes.  The engine walks each
 file's tree exactly once and dispatches every node to the rules
 registered for that node's type, so adding a rule never adds a tree
 traversal.  Suppression is line-scoped via ``# repro: noqa[rule-id]``
-(or a blanket ``# repro: noqa``) on the flagged line.
+(or a blanket ``# repro: noqa``) on the flagged line, or file-scoped
+via ``# repro: noqa-file[rule-id]`` anywhere in the file.  File-level
+suppression always names explicit rule ids — there is deliberately no
+blanket ``noqa-file``.  Both forms are shared by ``repro lint`` and the
+``repro check`` analyzers.
 """
 
 from __future__ import annotations
@@ -15,7 +19,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
-_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s\-]+)\])?")
+# The lookahead keeps a `noqa-file[...]` marker from doubling as a
+# blanket line-level `noqa` on its own line.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?!-file)(?:\[([A-Za-z0-9_,\s\-]+)\])?")
+_NOQA_FILE_RE = re.compile(r"#\s*repro:\s*noqa-file\[([A-Za-z0-9_,\s\-]+)\]")
 
 ALL_RULES = "*"
 """Sentinel stored in a noqa map entry for a blanket suppression."""
@@ -44,6 +51,7 @@ class LintContext:
         self.tree = tree
         self.parts = tuple(part for part in path.parts if part not in (".", ".."))
         self._noqa: dict[int, set[str]] | None = None
+        self._noqa_file: set[str] | None = None
 
     def in_package(self, *names: str) -> bool:
         """True when the file lives under any of the named directories."""
@@ -72,7 +80,24 @@ class LintContext:
             self._noqa = mapping
         return self._noqa
 
+    def file_suppressions(self) -> set[str]:
+        """Rule ids suppressed file-wide via ``# repro: noqa-file[...]``."""
+        if self._noqa_file is None:
+            ids: set[str] = set()
+            for line in self.source.splitlines():
+                match = _NOQA_FILE_RE.search(line)
+                if match is not None:
+                    ids.update(
+                        part.strip()
+                        for part in match.group(1).split(",")
+                        if part.strip()
+                    )
+            self._noqa_file = ids
+        return self._noqa_file
+
     def is_suppressed(self, line: int, rule_id: str) -> bool:
+        if rule_id in self.file_suppressions():
+            return True
         suppressed = self.noqa_map().get(line)
         if suppressed is None:
             return False

@@ -12,13 +12,25 @@ from .base import REGISTRY, LintContext, Rule, Violation
 SYNTAX_ERROR_RULE = "syntax-error"
 
 
+#: Directory names skipped when expanding a directory argument.  Fixture
+#: corpora are deliberate rule violations — linting/checking a whole test
+#: tree must not trip over them.  Naming a file (or a fixtures dir)
+#: directly still works: the skip only applies during expansion.
+SKIP_DIR_NAMES = frozenset({"fixtures", "__pycache__"})
+
+
 def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
     """Expand files/directories into a sorted list of ``.py`` files."""
     found: set[Path] = set()
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            found.update(path.rglob("*.py"))
+            found.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not SKIP_DIR_NAMES
+                & set(candidate.relative_to(path).parts[:-1])
+            )
         elif path.suffix == ".py":
             found.add(path)
         else:

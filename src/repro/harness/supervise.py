@@ -19,7 +19,7 @@ Three layers fix that:
   over a process pool like :class:`~repro.harness.parallel.ParallelExecutor`,
   but a ``BrokenProcessPool`` or worker exception only fails the
   affected items: they are retried on a fresh pool with capped
-  exponential backoff (seeded jitter via :class:`repro.sim.rng.Rng` —
+  exponential backoff (seeded jitter via :class:`repro.core.rng.Rng` —
   no wall-clock reads in the decision path) and, if still failing,
   re-run once serially in-process so the real traceback is captured.
   Items whose workers *crashed* (SIGKILL, ``os._exit``) are never
@@ -55,7 +55,7 @@ from pathlib import Path
 from typing import Any
 
 from ..sim.engine import SimBudgetExceeded
-from ..sim.rng import Rng
+from ..core.rng import Rng
 from .cache import hex_floats, payload_key
 from .parallel import (
     ParallelCallError,

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
-from ..sim.rng import Rng
+from ..core.rng import Rng
 from .parallel import pmap
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only

@@ -5,8 +5,9 @@ BBR, COPA, PCC Vivace), the scavenger baseline (LEDBAT at 100 ms and
 25 ms targets), the §7.1 BBR-S demonstration, a fixed-rate probe, and a
 name-based factory used by the experiment harness.
 
-Proteus itself lives in :mod:`repro.core`; :func:`make_sender` exposes it
-under the names ``proteus-p``, ``proteus-s``, and ``proteus-h``.
+Proteus itself lives in :mod:`~repro.protocols.proteus`;
+:func:`make_sender` exposes it under the names ``proteus-p``,
+``proteus-s``, and ``proteus-h``.
 """
 
 from __future__ import annotations
@@ -19,20 +20,9 @@ from .cubic import CubicSender, RenoSender
 from .fixed_rate import FixedRateSender
 from .ledbat import Ledbat25Sender, LedbatSender
 from .ledbat_pp import LedbatPPSender
+from .proteus import ProteusSender
 from .vegas import VegasSender
-
-
-def __getattr__(name: str):
-    # VivaceSender subclasses repro.core's ProteusSender, and repro.core in
-    # turn imports the sender base classes from this package.  Loading
-    # vivace lazily keeps this module import-order independent: importing
-    # ``repro.protocols`` never pulls ``repro.core``, and importing
-    # ``repro.core`` finds this module fully initialized.
-    if name == "VivaceSender":
-        from .vivace import VivaceSender
-
-        return VivaceSender
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+from .vivace import VivaceSender
 
 PROTOCOL_NAMES = (
     "cubic",
@@ -73,9 +63,6 @@ def make_sender(name: str, seed: int = 0, **kwargs) -> SenderBase:
     if key == "copa":
         return CopaSender(**kwargs)
     if key == "vivace":
-        # Lazy for the same cycle reason as the proteus branch below.
-        from .vivace import VivaceSender
-
         return VivaceSender(seed=seed, **kwargs)
     if key == "ledbat":
         return LedbatSender(**kwargs)
@@ -84,10 +71,6 @@ def make_sender(name: str, seed: int = 0, **kwargs) -> SenderBase:
     if key in ("ledbat++", "ledbat-pp"):
         return LedbatPPSender(**kwargs)
     if key in ("proteus-p", "proteus-s", "proteus-h", "allegro"):
-        # Imported here: repro.core imports the sender base classes from
-        # this package, so a module-level import would be circular.
-        from ..core.proteus import ProteusSender
-
         kwargs.setdefault("utility", key)
         return ProteusSender(seed=seed, **kwargs)
     if key == "fixed":
@@ -106,6 +89,7 @@ __all__ = [
     "LedbatPPSender",
     "LedbatSender",
     "PROTOCOL_NAMES",
+    "ProteusSender",
     "RateSender",
     "RenoSender",
     "SenderBase",

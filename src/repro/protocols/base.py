@@ -21,7 +21,7 @@ from collections import deque
 from ..sim.engine import Event, Simulator
 from ..sim.flow import Flow
 from ..sim.packet import MTU_BYTES, Packet
-from ..sim.rng import Rng
+from ..core.rng import Rng
 
 MIN_RTO_S = 0.25
 """Floor on the retransmission timeout."""

@@ -95,6 +95,7 @@ class BBRScavengerSender(BBRSender):
                 self.trace(
                     "rate.decision",
                     reason="bbr-s:yield",
+                    rate_bps=self.rate_bps,
                     rtt_deviation_s=deviation,
                 )
             self._enter_probe_rtt(now, min_duration_s=self.forced_probe_rtt_s)

@@ -11,7 +11,7 @@ paper, modelled here by simply disabling the adaptive pipeline.
 from __future__ import annotations
 
 from ..core.noise_tolerance import NoiseToleranceConfig
-from ..core.proteus import ProteusSender
+from .proteus import ProteusSender
 from ..core.rate_control import RateControlConfig
 from ..core.utility import VivaceUtility
 

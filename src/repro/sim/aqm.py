@@ -26,7 +26,7 @@ from .engine import Simulator
 from .link import LinkStats, Receiver
 from .noise import NoiseModel
 from .packet import Packet
-from .rng import Rng
+from ..core.rng import Rng
 
 
 class QueueDiscipline(Protocol):

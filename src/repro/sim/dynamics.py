@@ -20,7 +20,7 @@ the runtime half of the dynamics subsystem:
 
 Everything here is deterministic given the simulation seed: event times
 come from the timeline spec, and the Gilbert-Elliott draws come from the
-link's injected :class:`~repro.sim.rng.Rng`, so a burst-loss pattern is
+link's injected :class:`~repro.core.rng.Rng`, so a burst-loss pattern is
 reproducible seed-for-seed.
 """
 
@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from .engine import SimulationError, Simulator
-from .rng import Rng
+from ..core.rng import Rng
 
 EVENT_KINDS = ("bandwidth", "delay", "down", "up", "loss", "gilbert")
 """Primitive event kinds understood by :class:`TimelineDriver`.

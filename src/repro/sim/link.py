@@ -27,7 +27,7 @@ from typing import Protocol
 from .engine import Simulator
 from .noise import NoiseModel
 from .packet import Packet
-from .rng import Rng
+from ..core.rng import Rng
 
 
 class Receiver(Protocol):

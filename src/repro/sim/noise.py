@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Protocol
 
-from .rng import Rng
+from ..core.rng import Rng
 
 
 class NoiseModel(Protocol):

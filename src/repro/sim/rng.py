@@ -1,53 +1,14 @@
-"""Seeded randomness helpers.
+"""Compatibility shim: the seeded RNG now lives in :mod:`repro.core.rng`.
 
-Every stochastic component in the simulator draws from an :class:`Rng`
-handed to it explicitly, so experiments are reproducible from a single
-seed.  :meth:`Rng.spawn` (and the module-level :func:`spawn`) derive
-independent child streams for components so adding a new consumer does
-not perturb existing ones.
-
-This module is the only place in the source tree allowed to touch the
-stdlib ``random`` module directly; the ``no-bare-random`` lint rule
-(see :mod:`repro.devtools.lint`) enforces that everything else receives
-an injected :class:`Rng`.
+The :class:`Rng` started life in the sim package, but it is pure
+control-law infrastructure with no dependency on the event loop, and
+``repro.core`` (the bottom of the layer DAG) needs it for dithering in
+the rate controller — so the implementation moved down a layer.  This
+module re-exports it so ``repro.sim.rng`` imports keep working.
 """
 
 from __future__ import annotations
 
-import random
+from ..core.rng import Rng, make_rng, spawn
 
-
-class Rng(random.Random):
-    """A seeded random stream with labelled child derivation.
-
-    Subclasses :class:`random.Random`, so every stdlib drawing method
-    (``random``, ``gauss``, ``expovariate``, ``sample``, ...) is
-    available, and an ``Rng`` is accepted anywhere a plain
-    ``random.Random`` is.
-    """
-
-    def spawn(self, label: str) -> "Rng":
-        """Derive an independent child stream keyed by ``label``.
-
-        The child depends on this stream's current state and the label,
-        not on how many other children were spawned afterwards (the
-        parent is not mutated), so component streams are stable under
-        refactoring.
-        """
-        state_words = self.getstate()[1][:4]
-        return Rng(f"{state_words}:{label}")
-
-
-def make_rng(seed: int | None) -> Rng:
-    """Create a new RNG. ``None`` seeds from the OS (non-reproducible)."""
-    return Rng(seed)
-
-
-def spawn(parent: random.Random, label: str) -> Rng:
-    """Derive an independent child RNG from ``parent`` keyed by ``label``.
-
-    Functional form of :meth:`Rng.spawn` that also accepts a plain
-    ``random.Random`` parent (e.g. one created by test code).
-    """
-    state_words = parent.getstate()[1][:4]
-    return Rng(f"{state_words}:{label}")
+__all__ = ["Rng", "make_rng", "spawn"]

@@ -12,7 +12,7 @@ from .engine import Simulator
 from .flow import Flow, Path
 from .link import Link
 from .noise import NoiseModel
-from .rng import Rng, spawn
+from ..core.rng import Rng, spawn
 
 
 def mbps(value: float) -> float:

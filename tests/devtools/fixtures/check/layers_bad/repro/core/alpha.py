@@ -1,0 +1,5 @@
+"""Half of a runtime import cycle within the core layer."""
+
+from repro.core import beta
+
+__all__ = ["beta"]

@@ -1,0 +1,5 @@
+"""The other half of the runtime import cycle."""
+
+from repro.core import alpha
+
+__all__ = ["alpha"]

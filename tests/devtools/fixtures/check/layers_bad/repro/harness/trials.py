@@ -1,0 +1,3 @@
+"""Harness-layer module the sim fixture illegally imports."""
+
+RUNS = 1

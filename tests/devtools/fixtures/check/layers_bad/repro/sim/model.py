@@ -1,0 +1,5 @@
+"""An upward import: sim reaching into the harness layer."""
+
+from repro.harness import trials
+
+__all__ = ["trials"]

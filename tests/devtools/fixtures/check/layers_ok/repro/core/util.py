@@ -1,0 +1,3 @@
+"""Bottom-layer module with no repro imports at all."""
+
+SCALE = 1.0

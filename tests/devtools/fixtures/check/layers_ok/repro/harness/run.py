@@ -1,0 +1,5 @@
+"""Harness-layer module importing downward into the sim layer."""
+
+from repro.sim import engine
+
+__all__ = ["engine"]

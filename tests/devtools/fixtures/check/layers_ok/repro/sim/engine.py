@@ -1,0 +1,10 @@
+"""Sim-layer module: downward import plus a typing-only back edge."""
+
+from typing import TYPE_CHECKING
+
+from repro.core import util
+
+if TYPE_CHECKING:
+    from repro.sim import flow
+
+__all__ = ["util", "flow"]

@@ -1,0 +1,5 @@
+"""Completes the engine<->flow pair; only one edge is a runtime import."""
+
+from repro.sim import engine
+
+__all__ = ["engine"]

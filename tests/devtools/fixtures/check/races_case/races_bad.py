@@ -1,0 +1,34 @@
+"""Positive fixtures: worker-reachable state the race detector must flag."""
+
+import random
+
+RESULTS: list = []
+CACHE: dict = {}
+COUNTER = 0
+
+
+def pmap(fn, items):
+    return [fn(item) for item in items]
+
+
+def trial(seed):
+    global COUNTER
+    COUNTER += 1  # global counter written inside a worker
+    RESULTS.append(seed)  # module-level list mutated inside a worker
+    CACHE[seed] = seed  # module-level dict written by subscript
+    return jitter(seed)
+
+
+def jitter(seed):
+    return seed + random.random()  # unseeded randomness via a helper
+
+
+def digest_of(values):
+    parts = []
+    for value in set(values):  # unordered iteration in a digest function
+        parts.append(value)
+    return parts
+
+
+def run(seeds):
+    return pmap(trial, seeds)

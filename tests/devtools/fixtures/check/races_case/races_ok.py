@@ -1,0 +1,25 @@
+"""Negative fixtures: deterministic worker code the race detector must pass."""
+
+LIMIT = 4
+
+
+def pmap(fn, items):
+    return [fn(item) for item in items]
+
+
+def trial(seed, rng):
+    values = []
+    values.append(seed)  # local mutation: fine
+    draw = rng.random()  # caller-seeded Rng instance: fine
+    return draw, values
+
+
+def digest_of(values):
+    parts = []
+    for value in sorted(set(values)):  # sorted() pins the order
+        parts.append(value)
+    return parts
+
+
+def run(seeds, rng):
+    return pmap(trial, seeds)

@@ -1,0 +1,22 @@
+"""Positive fixtures: emit sites whose field sets cannot be reconciled."""
+
+
+def sample_rtt(tracer, rtt_s):
+    tracer.emit("fix.sample", rtt_s=rtt_s)
+
+
+def sample_loss(tracer, loss_pkts):
+    tracer.emit("fix.sample", loss_pkts=loss_pkts)  # disagrees with rtt site
+
+
+def hook_util(tracer, reason, util):
+    tracer.emit("fix.mixed", reason=reason, util=util)
+
+
+def hook_rtt(tracer, reason, rtt_s):
+    # Same dynamic discriminator, different payload: wildcard sites must agree.
+    tracer.emit("fix.mixed", reason=reason, rtt_s=rtt_s)
+
+
+def boot_mixed(tracer):
+    tracer.emit("fix.mixed", reason="boot", util=0.0)

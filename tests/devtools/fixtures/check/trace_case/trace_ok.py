@@ -1,0 +1,29 @@
+"""Negative fixtures: consistent emit sites, discriminated or identical."""
+
+
+def drop_tail(tracer, backlog_bytes):
+    tracer.emit("fix.drop", reason="tail", backlog_bytes=backlog_bytes)
+
+
+def drop_outage(tracer):
+    tracer.emit("fix.drop", reason="outage")
+
+
+def rate_sample(tracer, rate_bps):
+    tracer.emit("fix.rate", rate_bps=rate_bps)
+
+
+def rate_sample_again(tracer, rate_bps):
+    tracer.emit("fix.rate", rate_bps=rate_bps)
+
+
+def hook_a(tracer, reason, util):
+    tracer.emit("fix.decision", reason=reason, util=util)
+
+
+def hook_b(tracer, reason, util):
+    tracer.emit("fix.decision", reason=reason, util=util)
+
+
+def boot(tracer):
+    tracer.emit("fix.decision", reason="boot", util=0.0, delay_s=0.0)

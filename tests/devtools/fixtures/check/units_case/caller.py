@@ -1,0 +1,15 @@
+"""Caller side: positional arguments resolved across module boundaries."""
+
+from helper import Pacer, wait_for
+
+
+def call_wrong(rtt_ms):
+    return wait_for(rtt_ms)  # positional: delay_s parameter fed _ms value
+
+
+def construct_wrong(size_bytes):
+    return Pacer(size_bytes)  # constructor: rate_bps parameter fed _bytes
+
+
+def call_right(rtt_ms):
+    return wait_for(rtt_ms * 1e-3)

@@ -1,0 +1,10 @@
+"""Callee side of the cross-module positional-argument check."""
+
+
+def wait_for(delay_s):
+    return delay_s
+
+
+class Pacer:
+    def __init__(self, rate_bps):
+        self.rate_bps = rate_bps

@@ -1,0 +1,27 @@
+"""Positive fixtures: every function here trips the unit dataflow pass."""
+
+
+def mix_dimensions(rtt_ms, size_bytes):
+    return rtt_ms + size_bytes  # add: time vs data
+
+
+def rescale_wrong(rtt_ms):
+    delay_s = rtt_ms  # assignment: _s vs _ms
+    return delay_s
+
+
+def compare_wrong(timeout_s, rtt_ms):
+    return timeout_s > rtt_ms  # comparison: _s vs _ms
+
+
+def keyword_wrong(sink, rtt_ms):
+    sink.record(rtt_s=rtt_ms)  # keyword: _s parameter fed _ms value
+
+
+def unify_wrong(rtt_s, size_bytes):
+    return max(rtt_s, size_bytes)  # min/max must unify
+
+
+def grow_wrong(total_bytes, dur_s):
+    total_bytes += dur_s  # augmented assignment: data vs time
+    return total_bytes

@@ -1,0 +1,27 @@
+"""Negative fixtures: unit-correct code the dataflow pass must not flag."""
+
+
+def rescale(rtt_ms):
+    rtt_s = rtt_ms * 1e-3  # literal factor: dimension kept, scale forgotten
+    return rtt_s
+
+
+def goodput(total_bytes, dur_s):
+    goodput_bps = total_bytes * 8.0 / dur_s  # bytes/time combine to a rate
+    return goodput_bps
+
+
+def scaled_by_unknown(factor, rtt_s):
+    # An unsuffixed operand may carry its own unit: no dimension claimed.
+    chunk_bytes = factor * rtt_s
+    return chunk_bytes
+
+
+def unify(rtt_s, floor_s):
+    timeout_s = max(rtt_s, floor_s)
+    return timeout_s
+
+
+def bdp(rate_bps, rtt_s):
+    inflight_bytes = rate_bps * rtt_s / 8.0
+    return inflight_bytes

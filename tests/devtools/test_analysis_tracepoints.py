@@ -1,0 +1,76 @@
+"""Tracepoint schema analyzer: conflicts, variants, and the docs gates."""
+
+from pathlib import Path
+
+from repro.devtools.analysis import ANALYZERS, Project, run_check, write_trace_schema
+from repro.devtools.analysis.tracepoints import build_schema, render_schema_md
+
+CASE = Path(__file__).parent / "fixtures" / "check" / "trace_case"
+OK_FILE = CASE / "trace_ok.py"
+
+
+def findings_for(paths):
+    project = Project.load(paths)
+    return sorted(ANALYZERS.analyzers["tracepoints"].analyze(project))
+
+
+def test_disagreeing_sites_conflict():
+    findings = findings_for([CASE])
+    assert [f.rule_id for f in findings] == ["trace-field-mismatch"] * 2
+    events = sorted(f.message.split("'")[1] for f in findings)
+    assert events == ["fix.mixed", "fix.sample"]
+    assert all(f.path.endswith("trace_bad.py") for f in findings)
+
+
+def test_discriminated_and_wildcard_sites_are_consistent():
+    assert findings_for([OK_FILE]) == []
+
+
+def test_schema_variants():
+    schemas = {s.event: s for s in build_schema(Project.load([OK_FILE]))}
+    assert sorted(schemas) == ["fix.decision", "fix.drop", "fix.rate"]
+
+    drop = schemas["fix.drop"]
+    values = sorted(v.value for v in drop.variants)
+    assert values == ["outage", "tail"]
+    tail = next(v for v in drop.variants if v.value == "tail")
+    assert "backlog_bytes" in tail.required
+
+    # Identical sites collapse to one undistinguished variant.
+    rate = schemas["fix.rate"]
+    assert len(rate.variants) == 1 and rate.variants[0].discriminator is None
+
+    # Dynamic-discriminator sites group into the `reason=*` wildcard.
+    decision = schemas["fix.decision"]
+    wildcard = [v for v in decision.variants if v.value is None]
+    assert len(wildcard) == 1 and wildcard[0].discriminator == "reason"
+    assert len(wildcard[0].sites) == 2
+
+
+def test_rendered_markdown_shows_wildcard_variants():
+    rendered = render_schema_md(build_schema(Project.load([OK_FILE])))
+    assert "`reason=*`" in rendered
+    assert "`reason=tail`" in rendered
+
+
+def test_missing_schema_doc_is_stale_until_generated(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    report = run_check([OK_FILE], checks=["tracepoints"], docs_dir=docs)
+    assert [f.rule_id for f in report.findings] == ["trace-schema-stale"]
+
+    write_trace_schema([OK_FILE], docs)
+    report = run_check([OK_FILE], checks=["tracepoints"], docs_dir=docs)
+    assert report.ok
+
+
+def test_undocumented_events_are_flagged(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    write_trace_schema([OK_FILE], docs)
+    (docs / "OBSERVABILITY.md").write_text(
+        "# Events\n\nOnly `fix.drop` and `fix.rate` are described here.\n"
+    )
+    report = run_check([OK_FILE], checks=["tracepoints"], docs_dir=docs)
+    assert [f.rule_id for f in report.findings] == ["trace-undocumented"]
+    assert "fix.decision" in report.findings[0].message

@@ -1,0 +1,78 @@
+"""Acceptance gates: seeding each bug class into a copy of src/ must fail.
+
+Each test copies the real tree, plants one defect of the class the
+issue names (unit mismatch, worker-reachable global write, inconsistent
+emit field set, upward sim->harness import), and asserts ``repro
+check`` turns red — proving the gate would catch the regression on CI.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def planted_src(tmp_path, monkeypatch):
+    shutil.copytree(
+        REPO_ROOT / "src",
+        tmp_path / "src",
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    shutil.copy(REPO_ROOT / "check_baseline.json", tmp_path / "check_baseline.json")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path / "src"
+
+
+def test_pristine_copy_passes(planted_src, capsys):
+    assert main(["check", "src"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_unit_mismatch_fails(planted_src, capsys):
+    target = planted_src / "repro" / "core" / "utility.py"
+    target.write_text(
+        target.read_text()
+        + "\n\ndef _planted_mix(rtt_ms, dur_s):\n    return rtt_ms + dur_s\n"
+    )
+    assert main(["check", "src"]) == 1
+    assert "unit-mismatch" in capsys.readouterr().out
+
+
+def test_worker_global_write_fails(planted_src, capsys):
+    (planted_src / "repro" / "harness" / "_planted.py").write_text(
+        "_CACHE: dict = {}\n"
+        "\n\n"
+        "def _planted_worker(item):\n"
+        "    _CACHE[item] = item\n"
+        "    return item\n"
+        "\n\n"
+        "def _planted_run(pmap, items):\n"
+        "    return pmap(_planted_worker, items)\n"
+    )
+    assert main(["check", "src"]) == 1
+    assert "worker-global-write" in capsys.readouterr().out
+
+
+def test_inconsistent_emit_fields_fail(planted_src, capsys):
+    (planted_src / "repro" / "obs" / "_planted.py").write_text(
+        "def a(tracer, rtt_s):\n"
+        '    tracer.emit("planted.ev", rtt_s=rtt_s)\n'
+        "\n\n"
+        "def b(tracer, loss_pkts):\n"
+        '    tracer.emit("planted.ev", loss_pkts=loss_pkts)\n'
+    )
+    assert main(["check", "src"]) == 1
+    assert "trace-field-mismatch" in capsys.readouterr().out
+
+
+def test_sim_importing_harness_fails(planted_src, capsys):
+    (planted_src / "repro" / "sim" / "_planted.py").write_text(
+        "from repro.harness import trials\n\n__all__ = ['trials']\n"
+    )
+    assert main(["check", "src"]) == 1
+    assert "layer-violation" in capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""run_check plumbing: suppression, baseline semantics, error handling."""
+
+import pytest
+
+from repro.devtools.analysis import (
+    Baseline,
+    BaselineEntry,
+    run_check,
+    select_analyzers,
+)
+
+MIXED = "def f(rtt_ms, size_bytes):\n    return rtt_ms + size_bytes{comment}\n"
+
+
+def check_source(tmp_path, source, **kwargs):
+    target = tmp_path / "mod.py"
+    target.write_text(source)
+    return run_check([target], **kwargs)
+
+
+def test_line_noqa_suppresses_a_finding(tmp_path):
+    report = check_source(
+        tmp_path, MIXED.format(comment="  # repro: noqa[unit-mismatch]")
+    )
+    assert report.ok
+    assert report.suppressed == 1
+
+
+def test_file_noqa_suppresses_across_the_file(tmp_path):
+    source = "# repro: noqa-file[unit-mismatch]\n" + MIXED.format(comment="")
+    report = check_source(tmp_path, source)
+    assert report.ok
+    assert report.suppressed == 1
+
+
+def test_unsuppressed_finding_fails(tmp_path):
+    report = check_source(tmp_path, MIXED.format(comment=""))
+    assert not report.ok
+    assert [f.rule_id for f in report.findings] == ["unit-mismatch"]
+
+
+def test_baseline_covers_and_reports_stale(tmp_path):
+    covering = Baseline(
+        entries=[BaselineEntry(rule="unit-mismatch", path="mod.py", reason="known")]
+    )
+    report = check_source(tmp_path, MIXED.format(comment=""), baseline=covering)
+    assert report.ok
+    assert len(report.baselined) == 1 and not report.findings
+
+    stale = Baseline(
+        entries=[BaselineEntry(rule="unit-mismatch", path="other.py", reason="gone")]
+    )
+    report = check_source(tmp_path, "X = 1\n", baseline=stale)
+    assert not report.ok  # a stale entry fails the gate even with no findings
+    assert len(report.stale_entries) == 1
+
+
+def test_baseline_match_string_must_occur(tmp_path):
+    miss = Baseline(
+        entries=[
+            BaselineEntry(
+                rule="unit-mismatch", path="mod.py", reason="x", match="no-such-text"
+            )
+        ]
+    )
+    report = check_source(tmp_path, MIXED.format(comment=""), baseline=miss)
+    assert not report.ok
+    assert report.findings and report.stale_entries
+
+
+def test_syntax_errors_become_findings(tmp_path):
+    report = check_source(tmp_path, "def broken(:\n")
+    assert [f.rule_id for f in report.findings] == ["syntax-error"]
+    assert report.files == 1
+
+
+def test_unknown_check_id_raises():
+    with pytest.raises(ValueError, match="unknown check"):
+        select_analyzers(["nope"])
+
+
+def test_select_all_analyzers():
+    assert sorted(a.id for a in select_analyzers(None)) == [
+        "layering",
+        "races",
+        "tracepoints",
+        "units",
+    ]

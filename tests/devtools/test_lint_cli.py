@@ -9,21 +9,28 @@ FIXTURES = Path(__file__).parent / "fixtures"
 REPO_SRC = Path(__file__).resolve().parents[2] / "src"
 
 
+def planted(tmp_path, name):
+    """Copy a fixture outside the tests/ tree so full rule strictness applies."""
+    out = tmp_path / Path(name).name
+    out.write_text((FIXTURES / name).read_text())
+    return str(out)
+
+
 def test_lint_clean_tree_exits_zero(capsys):
     assert main(["lint", str(REPO_SRC)]) == 0
     out = capsys.readouterr().out
     assert "0 violations" in out
 
 
-def test_lint_violations_exit_one(capsys):
-    assert main(["lint", str(FIXTURES / "bare_random.py")]) == 1
+def test_lint_violations_exit_one(capsys, tmp_path):
+    assert main(["lint", planted(tmp_path, "bare_random.py")]) == 1
     out = capsys.readouterr().out
     assert "no-bare-random" in out
     assert "4 violations" in out
 
 
-def test_lint_json_output(capsys):
-    assert main(["lint", "--json", str(FIXTURES / "mutable_default.py")]) == 1
+def test_lint_json_output(capsys, tmp_path):
+    assert main(["lint", "--json", planted(tmp_path, "mutable_default.py")]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert len(payload) == 3
     assert payload[0]["rule"] == "mutable-default-arg"

@@ -2,7 +2,7 @@
 
 The fixtures live under ``fixtures/`` — the ``sim/`` subdirectory exists
 so path-scoped rules (no-wallclock, unit-suffix) see an in-scope path,
-and ``fixtures/sim/rng.py`` exercises the no-bare-random exemption.
+and ``fixtures/core/rng.py`` exercises the no-bare-random exemption.
 """
 
 from pathlib import Path
@@ -14,7 +14,19 @@ REPO_SRC = Path(__file__).resolve().parents[2] / "src"
 
 
 def lint_fixture(name, rules=None):
-    return lint_paths([str(FIXTURES / name)], rules=rules)
+    # Lint under the fixture's *logical* path ("sim/wallclock.py"), not its
+    # on-disk location: fixtures plant src-tree violations, and the rules
+    # deliberately relax under a real tests/ or benchmarks/ directory.
+    engine = LintEngine(rules)
+    root = FIXTURES / name
+    if root.is_dir():
+        violations = []
+        for path in sorted(root.rglob("*.py")):
+            violations.extend(
+                engine.lint_source(path.read_text(), path.relative_to(FIXTURES))
+            )
+        return sorted(violations)
+    return engine.lint_source(root.read_text(), name)
 
 
 def positions(violations, rule_id):
@@ -45,8 +57,8 @@ def test_no_bare_random():
     assert all(v.rule_id == "no-bare-random" for v in violations)
 
 
-def test_no_bare_random_exempts_sim_rng():
-    violations = lint_fixture("sim/rng.py")
+def test_no_bare_random_exempts_core_rng():
+    violations = lint_fixture("core/rng.py")
     assert violations == []
 
 
@@ -158,6 +170,31 @@ def test_noqa_suppression_is_rule_precise():
     assert [(v.line, v.rule_id) for v in violations] == [
         (7, "no-bare-random"),
     ]
+
+
+def test_noqa_file_suppresses_named_rules_everywhere():
+    engine = LintEngine()
+    src = (
+        "# repro: noqa-file[no-bare-random]\n"
+        "import random\n"
+        "\n"
+        "\n"
+        "def draw():\n"
+        "    return random.random()\n"
+    )
+    assert engine.lint_source(src, "pkg/module.py") == []
+    # The marker names explicit ids: other rules still fire.
+    src_other = src + "\n\ndef f(xs=[]):\n    return xs\n"
+    violations = engine.lint_source(src_other, "pkg/module.py")
+    assert [v.rule_id for v in violations] == ["mutable-default-arg"]
+
+
+def test_noqa_file_marker_is_not_a_line_blanket():
+    engine = LintEngine()
+    # On its own line the -file marker must not double as a bare noqa.
+    src = "import random  # repro: noqa-file[no-wallclock]\n"
+    violations = engine.lint_source(src, "pkg/module.py")
+    assert [v.rule_id for v in violations] == ["no-bare-random"]
 
 
 def test_rule_filter():
