@@ -48,7 +48,7 @@ def test_fast_path_not_slower_than_event_path():
 
 
 def test_scenario_throughput(benchmark):
-    rate, events, _wall = benchmark.pedantic(
+    rate, events, virtual, _wall = benchmark.pedantic(
         lambda: scenario_events_per_sec(duration_s=2.0),
         rounds=1,
         iterations=1,
@@ -56,3 +56,15 @@ def test_scenario_throughput(benchmark):
     )
     assert rate > 0
     assert events > 1_000  # a real scenario, not an empty run
+    assert virtual == 0  # default fidelity is packet-exact
+
+
+def test_scenario_throughput_hybrid():
+    rate, events, virtual, _wall = scenario_events_per_sec(
+        duration_s=2.0, fidelity="hybrid"
+    )
+    assert rate > 0
+    assert events > 0
+    # Hybrid mode must actually absorb work analytically on this
+    # scenario (two unbounded single-hop flows on a healthy link).
+    assert virtual > 0

@@ -199,20 +199,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
     # Imported here so scenario commands never pay for the bench suite.
     import json
 
-    from .harness.bench import check_regression, run_bench, write_bench_json
+    from .harness.bench import (
+        append_history,
+        check_regression,
+        profile_scenario,
+        run_bench,
+        update_baseline,
+    )
 
     record = run_bench(
         quick=args.quick,
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_root=args.cache_dir,
+        fidelity=args.fidelity,
     )
     engine = record["engine"]
     cache = record["cache"]
+    scenario = record["scenario"]
     print_table(
         ["metric", "value"],
         [
-            ("scenario events/sec", f"{record['events_per_sec']:,.0f}"),
+            ("fidelity", record["fidelity"]),
+            ("scenario events/sec (effective)", f"{record['events_per_sec']:,.0f}"),
+            (
+                "scenario events fired/virtual",
+                f"{scenario['events']:,}/{scenario['events_virtual']:,}",
+            ),
             ("engine fast-path events/sec", f"{engine['fast_events_per_sec']:,.0f}"),
             ("engine Event-path events/sec", f"{engine['event_events_per_sec']:,.0f}"),
             ("suite wall (s)", f"{record['suite_wall_s']:.2f}"),
@@ -232,8 +245,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ],
         title="repro bench" + (" --quick" if args.quick else ""),
     )
-    write_bench_json(args.out, record)
-    print(f"wrote {args.out}")
+    n_runs = append_history(args.out, record)
+    print(f"appended run {n_runs} to {args.out}")
+    if args.profile:
+        report = profile_scenario(
+            duration_s=1.5 if args.quick else 3.0, fidelity=args.fidelity
+        )
+        with open(args.profile, "w") as fh:
+            fh.write(report)
+        print(f"wrote profile to {args.profile}")
+    if args.update_baseline:
+        update_baseline(args.update_baseline, record)
+        print(f"updated baseline floors in {args.update_baseline}")
     if args.check_against:
         try:
             baseline = json.loads(open(args.check_against).read())
@@ -592,7 +615,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="reduced scale for CI smoke runs"
     )
     p_bench.add_argument(
-        "--out", default="BENCH_sim.json", help="result JSON path"
+        "--out",
+        default="BENCH_sim.json",
+        help="trajectory history JSON; each run appends a machine-tagged entry",
+    )
+    p_bench.add_argument(
+        "--fidelity",
+        default=None,
+        choices=["exact", "hybrid"],
+        help="execution fidelity of the scenario bench "
+        "(default: REPRO_FIDELITY, else exact)",
+    )
+    p_bench.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="write a cProfile top-20 report of the scenario bench to PATH",
+    )
+    p_bench.add_argument(
+        "--update-baseline",
+        default=None,
+        nargs="?",
+        const="benchmarks/perf/baseline.json",
+        metavar="PATH",
+        help="write derated floors from this run to the committed baseline "
+        "(default PATH: benchmarks/perf/baseline.json)",
     )
     p_bench.add_argument(
         "--check-against",

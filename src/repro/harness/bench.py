@@ -23,12 +23,14 @@ the simulated world can see the host clock.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
-from ..sim import Simulator
+from ..sim import Fidelity, Simulator, resolve_fidelity
 from . import cache as cache_mod
 from .cache import disable_cache, enable_cache, reset_cache_state
 from .parallel import default_jobs
@@ -43,9 +45,18 @@ from .scenarios import (
 )
 from .trials import run_trials
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+HISTORY_SCHEMA_VERSION = 1
 REGRESSION_TOLERANCE = 0.30
 """CI gate: fail when events/sec drops more than this vs the baseline."""
+
+BASELINE_DERATE = 0.6
+"""Default floor = measured rate x this factor, so ordinary CI-runner
+variance (shared cores, thermal throttling) never false-positives.
+``--update-baseline`` preserves a baseline's own ``derate`` once set."""
+
+HISTORY_LIMIT = 200
+"""Runs kept in the committed ``BENCH_sim.json`` trajectory."""
 
 _CHAINS = 64
 """Concurrent self-rescheduling chains in the microbenchmark — keeps the
@@ -88,11 +99,18 @@ def engine_events_per_sec(n_events: int = 200_000, fast: bool = True) -> float:
     return sim.events_fired / elapsed
 
 
-def scenario_events_per_sec(duration_s: float = 6.0) -> tuple[float, int, float]:
-    """(events/sec, events, wall_s) of a real two-flow scenario.
+def scenario_events_per_sec(
+    duration_s: float = 6.0, fidelity: Fidelity | str | None = None
+) -> tuple[float, int, int, float]:
+    """(effective events/sec, fired, virtual, wall_s) of a real scenario.
 
     Runs live (never through the cache): the point is to measure the
-    simulator, not the JSON decoder.
+    simulator, not the JSON decoder.  The rate counts *effective* events
+    ``(fired + virtual) / wall`` — in hybrid fidelity the engine absorbs
+    collapsed packet legs and paced-burst ticks into closed-form updates
+    (``Simulator.events_virtual``), and those represent real simulated
+    work that packet-exact mode would have dispatched one by one.  In
+    exact mode ``virtual == 0`` and the rate is plain fired-per-second.
     """
     config = LinkConfig(bandwidth_mbps=50.0, rtt_ms=30.0, buffer_kb=375.0)
     specs = [FlowSpec("cubic"), FlowSpec("proteus-s", start_time=1.0)]
@@ -100,13 +118,17 @@ def scenario_events_per_sec(duration_s: float = 6.0) -> tuple[float, int, float]
     disable_cache()
     try:
         start = time.perf_counter()
-        result = run_flows(specs, config, duration_s=duration_s, seed=1)
+        result = run_flows(
+            specs, config, duration_s=duration_s, seed=1, fidelity=fidelity
+        )
         elapsed = time.perf_counter() - start
     finally:
         cache_mod._ACTIVE = saved
     assert result.dumbbell is not None  # live run, never cache-rebuilt
-    fired = result.dumbbell.sim.events_fired
-    return fired / elapsed, fired, elapsed
+    sim = result.dumbbell.sim
+    fired = sim.events_fired
+    virtual = sim.events_virtual
+    return (fired + virtual) / elapsed, fired, virtual, elapsed
 
 
 def tracing_overhead(duration_s: float = 3.0) -> dict:
@@ -229,8 +251,18 @@ def run_bench(
     jobs: int | None = None,
     use_cache: bool = True,
     cache_root: str | Path | None = None,
+    fidelity: Fidelity | str | None = None,
 ) -> dict:
-    """Run the full benchmark suite and return the result record."""
+    """Run the full benchmark suite and return the result record.
+
+    ``fidelity`` selects the execution mode of the *scenario* bench (the
+    headline events/sec number); ``None`` resolves ``REPRO_FIDELITY``
+    (exact by default), so CI can run the suite once per mode.  The
+    engine microbenchmarks are mode-independent — batched same-timestamp
+    dispatch is always on — and the figure workloads run at the same
+    mode so their wall times track what a sweep at that fidelity costs.
+    """
+    fid = resolve_fidelity(fidelity)
     if jobs is None:
         jobs = default_jobs()
     if use_cache:
@@ -247,10 +279,19 @@ def run_bench(
             "event_events_per_sec": engine_events_per_sec(n_events, fast=False),
         }
         scenario_duration = 3.0 if quick else 6.0
-        events_per_sec, fired, wall = scenario_events_per_sec(scenario_duration)
+        # Best of two draws: the scenario bench is a short single-process
+        # run, so one unlucky scheduler preemption otherwise dominates.
+        best = max(
+            (scenario_events_per_sec(scenario_duration, fidelity=fid)
+             for _ in range(2)),
+            key=lambda r: r[0],
+        )
+        events_per_sec, fired, virtual, wall = best
         scenario = {
             "duration_s": scenario_duration,
+            "fidelity": fid.mode,
             "events": fired,
+            "events_virtual": virtual,
             "wall_s": wall,
             "events_per_sec": events_per_sec,
         }
@@ -265,9 +306,11 @@ def run_bench(
             "schema": SCHEMA_VERSION,
             "quick": quick,
             "jobs": jobs,
+            "fidelity": fid.mode,
             "engine": engine,
             "scenario": scenario,
-            # Headline number for the CI regression gate.
+            # Headline number for the CI regression gate (effective
+            # events/sec: fired + virtual over wall).
             "events_per_sec": events_per_sec,
             "tracing": tracing,
             "figures": figures,
@@ -286,6 +329,161 @@ def run_bench(
         reset_cache_state()
 
 
+def profile_scenario(
+    duration_s: float = 3.0,
+    fidelity: Fidelity | str | None = None,
+    top: int = 20,
+) -> str:
+    """cProfile the scenario bench; returns the top-*N* report as text.
+
+    CI attaches this to the workflow run (``repro bench --profile``) so a
+    hot-path regression flagged by the baseline gate is diagnosable from
+    the artifact alone — the cumulative-time ranking points at the layer
+    (engine dispatch, link send, sender tick, stats append) that grew.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    fid = resolve_fidelity(fidelity)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scenario_events_per_sec(duration_s, fidelity=fid)
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    header = (
+        f"# repro bench --profile: scenario bench, fidelity={fid.mode}, "
+        f"duration_s={duration_s}, top {top} by cumulative time\n"
+    )
+    return header + buf.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Trajectory history and baseline management
+# ----------------------------------------------------------------------
+def machine_tag() -> dict:
+    """Stable-ish description of the host a bench run executed on.
+
+    Rates are only comparable within one machine class; the tag lets the
+    committed trajectory hold entries from laptops and CI runners side
+    by side without anyone mistaking a hardware change for a regression.
+    """
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "node": platform.node(),
+        "ci": bool(os.environ.get("CI")),
+    }
+
+
+def history_entry(record: dict) -> dict:
+    """Compact per-run summary appended to the ``BENCH_sim.json`` history.
+
+    Full records (figure wall times, cache stats, tracing section) are
+    large and machine-noisy; the trajectory keeps just the gated rates
+    plus enough context to interpret them.
+    """
+    from datetime import datetime, timezone
+
+    scenario = record.get("scenario", {})
+    engine = record.get("engine", {})
+    return {
+        "recorded_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": machine_tag(),
+        "schema": record.get("schema"),
+        "quick": record.get("quick"),
+        "fidelity": record.get("fidelity"),
+        "events_per_sec": record.get("events_per_sec"),
+        "scenario_events": scenario.get("events"),
+        "scenario_events_virtual": scenario.get("events_virtual"),
+        "engine_fast_events_per_sec": engine.get("fast_events_per_sec"),
+        "engine_event_events_per_sec": engine.get("event_events_per_sec"),
+        "tracing_enabled_slowdown": record.get("tracing", {}).get(
+            "enabled_slowdown"
+        ),
+        "suite_wall_s": record.get("suite_wall_s"),
+    }
+
+
+def append_history(path: str | Path, record: dict) -> int:
+    """Append ``record``'s summary to the trajectory file; returns its size.
+
+    The file is ``{"history_schema": 1, "runs": [entry, ...]}``; a legacy
+    single-record file (pre-history ``repro bench --out``) or unreadable
+    JSON is replaced by a fresh history.  Only the newest
+    :data:`HISTORY_LIMIT` runs are kept.
+    """
+    path = Path(path)
+    history: dict = {"history_schema": HISTORY_SCHEMA_VERSION, "runs": []}
+    try:
+        data = json.loads(path.read_text())
+        if isinstance(data, dict) and isinstance(data.get("runs"), list):
+            history["runs"] = data["runs"]
+    except (OSError, ValueError):
+        pass
+    history["runs"].append(history_entry(record))
+    history["runs"] = history["runs"][-HISTORY_LIMIT:]
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return len(history["runs"])
+
+
+def update_baseline(path: str | Path, record: dict) -> dict:
+    """Write derated floors from ``record`` to the committed baseline.
+
+    Replaces the manual copy-with-x0.6 step the baseline's comment used
+    to prescribe: every gated rate becomes ``measured x derate`` (the
+    baseline's own ``derate`` key, default :data:`BASELINE_DERATE`),
+    rounded down to the nearest 1000 events/sec.  The ``_comment`` and
+    ``derate`` keys of an existing baseline are preserved; the scenario
+    floor is written per fidelity mode — the top-level ``events_per_sec``
+    stays the packet-exact floor and hybrid runs update
+    ``fidelity.hybrid.events_per_sec`` — so one file gates both CI modes.
+    """
+    path = Path(path)
+    baseline: dict = {}
+    try:
+        existing = json.loads(path.read_text())
+        if isinstance(existing, dict):
+            baseline = existing
+    except (OSError, ValueError):
+        pass
+    derate = float(baseline.get("derate", BASELINE_DERATE))
+    baseline.setdefault(
+        "_comment",
+        "Committed perf baseline for the CI bench-smoke gate "
+        "(repro bench --check-against). Floors are measured rates derated "
+        "by `derate` so CI-runner variance never false-positives. "
+        "Regenerate with: PYTHONPATH=src python -m repro bench "
+        "--update-baseline (once per fidelity mode).",
+    )
+    baseline["derate"] = derate
+    baseline["schema"] = record.get("schema", SCHEMA_VERSION)
+
+    def floor(rate: float) -> int:
+        return int(rate * derate // 1000 * 1000)
+
+    engine = record.get("engine", {})
+    baseline.setdefault("engine", {})
+    baseline["engine"]["fast_events_per_sec"] = floor(engine["fast_events_per_sec"])
+    baseline["engine"]["event_events_per_sec"] = floor(
+        engine["event_events_per_sec"]
+    )
+    mode = record.get("fidelity", "exact")
+    if mode == "exact":
+        baseline["events_per_sec"] = floor(record["events_per_sec"])
+    else:
+        baseline.setdefault("fidelity", {})
+        baseline["fidelity"][mode] = {
+            "events_per_sec": floor(record["events_per_sec"])
+        }
+    path.write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
 def write_bench_json(path: str | Path, record: dict) -> None:
     Path(path).write_text(json.dumps(record, indent=2) + "\n")
 
@@ -302,12 +500,25 @@ def check_regression(
     the default :data:`REGRESSION_TOLERANCE` fractional drop — CI runs a
     second, tighter pass (``--tolerance 0.05``) with tracing disabled to
     enforce the observability layer's when-off overhead budget.
+
+    The scenario floor is fidelity-aware: a record produced in a
+    non-exact mode is compared against the baseline's
+    ``fidelity.<mode>.events_per_sec`` floor when one is committed, so a
+    hybrid CI run is held to the hybrid speedup target rather than the
+    (much lower) packet-exact floor.
     """
     if tolerance is None:
         tolerance = REGRESSION_TOLERANCE
     failures: list[str] = []
+    mode = record.get("fidelity", "exact")
+    scenario_name = "events_per_sec"
+    scenario_ref = baseline.get("events_per_sec")
+    per_mode = baseline.get("fidelity", {}).get(mode)
+    if mode != "exact" and isinstance(per_mode, dict):
+        scenario_name = f"fidelity.{mode}.events_per_sec"
+        scenario_ref = per_mode.get("events_per_sec")
     checks = (
-        ("events_per_sec", record.get("events_per_sec"), baseline.get("events_per_sec")),
+        (scenario_name, record.get("events_per_sec"), scenario_ref),
         (
             "engine.fast_events_per_sec",
             record.get("engine", {}).get("fast_events_per_sec"),

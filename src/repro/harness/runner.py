@@ -28,7 +28,17 @@ from dataclasses import asdict, dataclass, field
 
 from ..obs import MetricsRegistry, PeriodicSampler, active_tracer
 from ..protocols import make_sender
-from ..sim import Dumbbell, FlowStats, LinkEvent, Simulator, TimelineDriver, make_rng
+from ..sim import (
+    Dumbbell,
+    Fidelity,
+    FlowStats,
+    LinkEvent,
+    Simulator,
+    TimelineDriver,
+    activate_fastforward,
+    make_rng,
+    resolve_fidelity,
+)
 from .cache import active_cache, hex_floats
 from .parallel import ParallelExecutor
 from .scenarios import LinkConfig, Timeline
@@ -227,11 +237,14 @@ def _flows_payload(
     duration_s: float,
     seed: int,
     timeline: Timeline | None = None,
+    fidelity: Fidelity | None = None,
 ) -> dict:
     """Canonical cache payload for a ``run_flows`` call.
 
     Observability arguments (tracer, metrics registry, sample period)
     never enter the payload: they observe the run, they do not change it.
+    Execution fidelity *does*: an exact and a hybrid run of the same
+    scenario are different experiments (see :mod:`repro.sim.fidelity`).
     """
     return {
         "kind": "run_flows",
@@ -249,6 +262,7 @@ def _flows_payload(
         "seed": seed,
         # hex_floats: timelines differing by one ULP are different keys.
         "timeline": None if timeline is None else hex_floats(timeline.to_dict()),
+        "fidelity": resolve_fidelity(fidelity).key(),
     }
 
 
@@ -274,6 +288,7 @@ def run_flows(
     sample_period_s: float | None = None,
     max_events: int | None = None,
     max_wall_s: float | None = None,
+    fidelity: Fidelity | str | None = None,
 ) -> RunResult:
     """Run ``specs`` over a dumbbell built from ``config``.
 
@@ -301,6 +316,12 @@ def run_flows(
     as a ``timed-out`` trial.  Budgets never enter the cache key: they
     bound *how long* a run may take, not what it computes.
 
+    ``fidelity`` selects the execution-fidelity mode (see
+    :mod:`repro.sim.fidelity`): ``"exact"`` (the default), ``"hybrid"``,
+    or a :class:`~repro.sim.Fidelity` instance.  ``None`` consults the
+    ``REPRO_FIDELITY`` environment variable, so whole suites can switch
+    without touching call sites.  Fidelity *is* part of the cache key.
+
     When a result cache is active (``REPRO_CACHE=1`` or
     :func:`repro.harness.cache.enable_cache`), a previously-computed run
     with the same specs, config, seed, timeline and simulator source is
@@ -321,11 +342,14 @@ def run_flows(
         raise ValueError("need at least one flow")
     if tracer is None:
         tracer = active_tracer()
+    fidelity = resolve_fidelity(fidelity)
     observing = tracer is not None or metrics is not None or sample_period_s is not None
     cache = active_cache()
     key = None
     if cache is not None:
-        key = cache.key_for(_flows_payload(specs, config, duration_s, seed, timeline))
+        key = cache.key_for(
+            _flows_payload(specs, config, duration_s, seed, timeline, fidelity)
+        )
         if not observing:
             cached = cache.load_run(key)
             if cached is not None:
@@ -339,7 +363,7 @@ def run_flows(
     result = _run_flows_live(
         specs, config, duration_s, seed, timeline,
         tracer=tracer, metrics=metrics, sample_period_s=sample_period_s,
-        max_events=max_events, max_wall_s=max_wall_s,
+        max_events=max_events, max_wall_s=max_wall_s, fidelity=fidelity,
     )
     # Periodic samples depend on sample_period_s, which is not part of
     # the cache key — never store a snapshot that a later call with a
@@ -361,8 +385,9 @@ def _run_flows_live(
     sample_period_s: float | None = None,
     max_events: int | None = None,
     max_wall_s: float | None = None,
+    fidelity: Fidelity | None = None,
 ) -> RunResult:
-    sim = Simulator(tracer=tracer)
+    sim = Simulator(tracer=tracer, fidelity=fidelity)
     rng = make_rng(seed)
     dumbbell = Dumbbell(
         sim,
@@ -394,6 +419,7 @@ def _run_flows_live(
             lambda _now: backlog_hist.observe(dumbbell.bottleneck.backlog_bytes()),
         )
     stats: list[FlowStats] = []
+    flows = []
     for i, spec in enumerate(specs):
         sender = make_sender(spec.protocol, seed=seed * 1000 + i, **spec.kwargs)
         flow = dumbbell.add_flow(
@@ -402,7 +428,11 @@ def _run_flows_live(
             size_bytes=spec.size_bytes,
             start_time=spec.start_time,
         )
+        flows.append(flow)
         stats.append(flow.stats)
+    # Hybrid fidelity: with the whole flow set known, mark the flows
+    # whose packet legs may collapse (no-op in exact mode).
+    activate_fastforward(sim, flows)
     sim.run(until=duration_s, max_events=max_events, max_wall_s=max_wall_s)
     link_events = list(driver.applied) if driver is not None else []
     result = RunResult(
@@ -436,6 +466,7 @@ def run_single(
     timeline: Timeline | None = _UNSET,  # type: ignore[assignment]
     tracer=None,
     metrics: MetricsRegistry | None = None,
+    fidelity: Fidelity | str | None = None,
     **kwargs,
 ) -> RunResult:
     """One flow alone on the bottleneck (Figs 3, 4, 9).
@@ -454,6 +485,7 @@ def run_single(
         timeline=_resolve(values["timeline"], None),
         tracer=tracer,
         metrics=metrics,
+        fidelity=fidelity,
     )
 
 
@@ -499,11 +531,12 @@ def _pair_solo_metrics(
     window: tuple[float, float],
     timeline: Timeline | None = None,
     tracer=None,
+    fidelity: Fidelity | None = None,
 ) -> tuple[float, float]:
     """Solo-baseline metrics measured over the *paired* run's window."""
     solo = run_single(
         primary, config, duration_s=duration_s, seed=seed, timeline=timeline,
-        tracer=tracer,
+        tracer=tracer, fidelity=fidelity,
     )
     return (
         solo.throughput_mbps(0, window),
@@ -520,6 +553,7 @@ def _pair_joint_metrics(
     seed: int,
     timeline: Timeline | None = None,
     tracer=None,
+    fidelity: Fidelity | None = None,
 ) -> tuple[float, float, float, float]:
     paired = run_flows(
         [
@@ -531,6 +565,7 @@ def _pair_joint_metrics(
         seed=seed,
         timeline=timeline,
         tracer=tracer,
+        fidelity=fidelity,
     )
     window = paired.measurement_window()
     return (
@@ -553,6 +588,7 @@ def run_pair(
     timeline: Timeline | None = _UNSET,  # type: ignore[assignment]
     tracer=None,
     metrics: MetricsRegistry | None = None,
+    fidelity: Fidelity | str | None = None,
 ) -> PairResult:
     """Primary flow joined by a scavenger; compares against the solo run.
 
@@ -588,6 +624,7 @@ def run_pair(
     timeline = _resolve(values["timeline"], None)
     if tracer is None:
         tracer = active_tracer()
+    fidelity = resolve_fidelity(fidelity)
     if scavenger_start_s is None:
         scavenger_start_s = min(5.0, duration_s / 6.0)
     # The paired run's measurement window depends only on the flow start
@@ -600,11 +637,11 @@ def run_pair(
     )
     if tracer is not None:
         solo_mbps, solo_rtt = _pair_solo_metrics(
-            primary, config, duration_s, seed, window, timeline, tracer
+            primary, config, duration_s, seed, window, timeline, tracer, fidelity
         )
         with_scavenger, scavenger_mbps, util, paired_rtt = _pair_joint_metrics(
             primary, scavenger, config, duration_s, scavenger_start_s, seed,
-            timeline, tracer,
+            timeline, tracer, fidelity,
         )
     else:
         (solo_mbps, solo_rtt), (with_scavenger, scavenger_mbps, util, paired_rtt) = (
@@ -612,7 +649,8 @@ def run_pair(
                 [
                     (
                         _pair_solo_metrics,
-                        (primary, config, duration_s, seed, window, timeline),
+                        (primary, config, duration_s, seed, window, timeline,
+                         None, fidelity),
                     ),
                     (
                         _pair_joint_metrics,
@@ -624,6 +662,8 @@ def run_pair(
                             scavenger_start_s,
                             seed,
                             timeline,
+                            None,
+                            fidelity,
                         ),
                     ),
                 ]
@@ -765,6 +805,7 @@ def run_homogeneous(
     timeline: Timeline | None = _UNSET,  # type: ignore[assignment]
     tracer=None,
     metrics: MetricsRegistry | None = None,
+    fidelity: Fidelity | str | None = None,
 ) -> RunResult:
     """``n`` same-protocol flows with staggered starts (Figs 5, 17, 18)."""
     values = {
@@ -797,4 +838,5 @@ def run_homogeneous(
         timeline=timeline,
         tracer=tracer,
         metrics=metrics,
+        fidelity=fidelity,
     )

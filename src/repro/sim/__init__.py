@@ -22,6 +22,13 @@ from .dynamics import (
     TimelineDriver,
 )
 from .engine import Event, SimBudgetExceeded, SimulationError, Simulator
+from .fidelity import (
+    EXACT,
+    HYBRID,
+    Fidelity,
+    activate_fastforward,
+    resolve_fidelity,
+)
 from .flow import Flow, FlowReceiver, Path
 from .invariants import InvariantChecker, InvariantError
 from .link import Link, LinkStats
@@ -49,12 +56,15 @@ __all__ = [
     "step_rate",
     "DynamicsError",
     "DynamicsLog",
+    "EXACT",
     "Event",
+    "Fidelity",
     "Flow",
     "FlowReceiver",
     "FlowStats",
     "GaussianJitter",
     "GilbertElliott",
+    "HYBRID",
     "LinkEvent",
     "TimelineDriver",
     "InvariantChecker",
@@ -70,7 +80,9 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "SpikeNoise",
+    "activate_fastforward",
     "make_rng",
+    "resolve_fidelity",
     "mbps",
     "spawn",
     "wifi_noise",

@@ -172,6 +172,12 @@ class TimelineDriver:
         self.links = dict(links)
         self.applied: list[LinkEvent] = []
         self._outages_open: dict[str, int] = {}
+        # Per-link queue of pending event times, in firing order (the
+        # heap fires ties in scheduling order, and a stable sort on
+        # time_s preserves list order within a tie).  The head of each
+        # queue is the link's fast-forward barrier: hybrid fidelity must
+        # not analytically advance a packet past the next mutation.
+        self._pending_times: dict[str, list[float]] = {}
         for event in events:
             link = self.links.get(event.link)
             if link is None:
@@ -180,7 +186,11 @@ class TimelineDriver:
                     f"known links: {sorted(self.links)}"
                 )
             self._validate(event, link)
+            self._pending_times.setdefault(event.link, []).append(event.time_s)
             sim.schedule_fast_at(event.time_s, self._apply, event)
+        for name, times in self._pending_times.items():
+            times.sort()
+            self.links[name].ff_barrier_s = times[0]
 
     @staticmethod
     def _validate(event: LinkEvent, link: Any) -> None:
@@ -221,6 +231,12 @@ class TimelineDriver:
         else:  # "gilbert" — __post_init__ rejects anything else
             link.loss_model = GilbertElliott(*event.value)
         self.applied.append(event)
+        # Advance the link's fast-forward barrier to the next pending
+        # mutation (or clear it once the timeline for this link drains).
+        times = self._pending_times.get(event.link)
+        if times:
+            times.pop(0)
+            link.ff_barrier_s = times[0] if times else float("inf")
 
 
 @dataclass

@@ -60,6 +60,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _COMPACT_MIN_HEAP = 64
 """Heap size below which compaction is not worth the heapify cost."""
 
+_BATCH_MAX_EVENTS = 1024
+"""Cap on events drained per same-timestamp batch.
+
+Bounds how long the batched dispatcher can spin at one timestamp before
+control returns to the outer loop, so the invariant checker's stall
+tripwire and the budgeted loop's watchdogs still observe a zero-dt
+self-rescheduling livelock instead of being starved by an endless batch.
+"""
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation engine."""
@@ -181,6 +190,12 @@ class Simulator:
             default) keeps every emission site on its single-branch
             no-op path; the event loop itself never touches the tracer,
             so the unbudgeted hot loop is byte-for-byte unchanged.
+        fidelity: Execution-fidelity mode — a
+            :class:`repro.sim.fidelity.Fidelity`, a mode name, or
+            ``None`` to consult ``REPRO_FIDELITY`` (default ``exact``).
+            The engine itself only stores the resolved mode; links and
+            senders consult ``sim.fidelity`` to decide whether the
+            hybrid fast-forward paths are allowed to engage.
 
     >>> sim = Simulator()
     >>> fired = []
@@ -191,15 +206,26 @@ class Simulator:
     """
 
     def __init__(
-        self, check_invariants: bool | None = None, *, tracer: "Any | None" = None
+        self,
+        check_invariants: bool | None = None,
+        *,
+        tracer: "Any | None" = None,
+        fidelity: "Any | None" = None,
     ) -> None:
+        from .fidelity import resolve_fidelity
+
         self.now: float = 0.0
         self.tracer = tracer
+        self.fidelity = resolve_fidelity(fidelity)
         self._heap: list[tuple] = []
         self._seq: int = 0
         self._running = False
         self._cancelled = 0
         self.events_fired: int = 0
+        # Events whose effects were applied analytically (fast-forward)
+        # without a heap dispatch.  ``events_fired + events_virtual`` is
+        # the packet-exact-equivalent event count of a hybrid run.
+        self.events_virtual: int = 0
         if check_invariants is None:
             check_invariants = os.environ.get("REPRO_CHECK_INVARIANTS", "") not in (
                 "",
@@ -226,10 +252,21 @@ class Simulator:
         return event
 
     def schedule(self, delay_s: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` after ``delay_s`` seconds from now."""
+        """Schedule ``fn(*args)`` after ``delay_s`` seconds from now.
+
+        Inlined rather than delegating to :meth:`schedule_at`: a
+        non-negative delay cannot land in the past, and relative
+        scheduling is hot enough (pacing ticks, RTO arms) that the extra
+        call and redundant past-check showed up in the engine
+        microbenchmark.
+        """
         if delay_s < 0:
             raise SimulationError(f"negative delay {delay_s}")
-        return self.schedule_at(self.now + delay_s, fn, *args)
+        time_s = self.now + delay_s
+        self._seq += 1
+        event = Event(time_s, self._seq, fn, args, self)
+        heapq.heappush(self._heap, (time_s, self._seq, fn, args, event))
+        return event
 
     def schedule_fast_at(self, time_s: float, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule a fire-and-forget ``fn(*args)`` at absolute ``time_s``.
@@ -237,19 +274,37 @@ class Simulator:
         No :class:`Event` is allocated, so the callback cannot be
         cancelled.  Use for the per-packet deliveries that dominate the
         heap; use :meth:`schedule_at` for anything a caller may cancel.
+
+        A ``time_s`` in the past is clamped to ``now`` (with a
+        ``sim.schedule.past`` trace event): analytic fast-forward can
+        compute delivery times a float-rounding hair behind the clock,
+        and the batched dispatcher assumes no entry ever lands behind
+        the batch it is draining.
         """
         if time_s < self.now:
-            raise SimulationError(
-                f"cannot schedule event in the past ({time_s} < now={self.now})"
-            )
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "sim.schedule.past",
+                    self.now,
+                    scheduled_s=time_s,
+                    lag_s=self.now - time_s,
+                )
+            time_s = self.now
         self._seq += 1
         heapq.heappush(self._heap, (time_s, self._seq, fn, args, None))
 
     def schedule_fast(self, delay_s: float, fn: Callable[..., Any], *args: Any) -> None:
-        """Schedule a fire-and-forget ``fn(*args)`` after ``delay_s``."""
+        """Schedule a fire-and-forget ``fn(*args)`` after ``delay_s``.
+
+        Inlined for the same reason as :meth:`schedule`: per-packet
+        deliveries pay this call on every packet, and a non-negative
+        delay can never need the past-clamp in :meth:`schedule_fast_at`.
+        """
         if delay_s < 0:
             raise SimulationError(f"negative delay {delay_s}")
-        self.schedule_fast_at(self.now + delay_s, fn, *args)
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay_s, self._seq, fn, args, None))
 
     # ------------------------------------------------------------------
     # Cancellation bookkeeping
@@ -355,26 +410,61 @@ class Simulator:
             self._running = False
 
     def _run_unbudgeted(self, until: float | None, inv: "InvariantChecker | None") -> None:
-        """The hot loop: no watchdog compares when no budget is armed."""
+        """The hot loop: no watchdog compares when no budget is armed.
+
+        Dispatch is batched by timestamp: the first pop opens a batch,
+        then every entry sharing its time is drained in a tight inner
+        loop with one clock write, one ``events_fired`` flush, and one
+        invariant hook for the whole batch.  Entries are popped before
+        the ``until`` test (cheaper than peek-then-pop); the rare
+        overshooting entry is pushed back.
+        """
         heap = self._heap
-        while heap:
-            entry = heap[0]
-            event = entry[_EVENT]
-            if event is not None and event.cancelled:
-                heapq.heappop(heap)
-                if self._cancelled > 0:
-                    self._cancelled -= 1
-                continue
-            if until is not None and entry[_TIME] > until:
-                break
-            heapq.heappop(heap)
-            if event is not None:
-                event.sim = None
-            self.now = entry[_TIME]
-            entry[_FN](*entry[_ARGS])
-            self.events_fired += 1
-            if inv is not None:
-                inv.after_event(self.now)
+        pop = heapq.heappop
+        until_t = float("inf") if until is None else until
+        cap = _BATCH_MAX_EVENTS
+        if inv is not None and inv.max_stall_events is not None:
+            # Let the stall tripwire see the clock at least once per
+            # threshold's worth of same-time events.
+            cap = min(cap, inv.max_stall_events)
+        fired = 0
+        try:
+            while heap:
+                # One tuple unpack instead of four subscripts per event.
+                now, _, fn, args, event = entry = pop(heap)
+                if event is not None and event.cancelled:
+                    if self._cancelled > 0:
+                        self._cancelled -= 1
+                    continue
+                if now > until_t:
+                    heapq.heappush(heap, entry)
+                    break
+                if event is not None:
+                    # Detach so a late cancel() cannot corrupt accounting.
+                    event.sim = None
+                self.now = now
+                batch_start = fired
+                fn(*args)
+                fired += 1
+                # Exact equality is the point: only events sharing this
+                # timestamp belong to the batch.
+                while heap and heap[0][_TIME] == now and fired - batch_start < cap:  # repro: noqa[no-float-eq]
+                    _, _, fn, args, event = pop(heap)
+                    if event is not None:
+                        if event.cancelled:
+                            if self._cancelled > 0:
+                                self._cancelled -= 1
+                            continue
+                        event.sim = None
+                    fn(*args)
+                    fired += 1
+                if inv is not None:
+                    inv.after_event(now, fired - batch_start)
+        finally:
+            # One flush per run, not one attribute store per event; every
+            # external reader observes the counter only after run()/step()
+            # returns or an exception has propagated through here.
+            self.events_fired += fired
 
     def _run_budgeted(
         self,
@@ -389,8 +479,13 @@ class Simulator:
         per event (the engine microbenchmark gates that).
         """
         heap = self._heap
+        pop = heapq.heappop
+        batch_cap = _BATCH_MAX_EVENTS
+        if inv is not None and inv.max_stall_events is not None:
+            batch_cap = min(batch_cap, inv.max_stall_events)
         fired = 0
         deadline = None
+        next_wall_check = 1024
         if max_wall_s is not None:
             # Watchdog only: the simulated world never sees this value.
             deadline = time.perf_counter() + max_wall_s  # repro: noqa[no-wallclock]
@@ -398,7 +493,7 @@ class Simulator:
             entry = heap[0]
             event = entry[_EVENT]
             if event is not None and event.cancelled:
-                heapq.heappop(heap)
+                pop(heap)
                 if self._cancelled > 0:
                     self._cancelled -= 1
                 continue
@@ -421,16 +516,39 @@ class Simulator:
                     max_events=max_events,
                     max_wall_s=max_wall_s,
                 )
-            heapq.heappop(heap)
+            pop(heap)
             if event is not None:
                 event.sim = None
-            self.now = entry[_TIME]
-            entry[_FN](*entry[_ARGS])
-            self.events_fired += 1
-            fired += 1
+            now = entry[_TIME]
+            self.now = now
+            batch = 0
+            try:
+                entry[_FN](*entry[_ARGS])
+                batch = 1
+                # Same-timestamp batch, additionally bounded by the event
+                # budget so exhaustion is raised at exactly ``max_events``.
+                # Exact-timestamp batch membership, same as the
+                # unbudgeted loop.
+                while heap and heap[0][_TIME] == now and batch < batch_cap:  # repro: noqa[no-float-eq]
+                    if max_events is not None and fired + batch >= max_events:
+                        break
+                    entry = pop(heap)
+                    event = entry[_EVENT]
+                    if event is not None:
+                        if event.cancelled:
+                            if self._cancelled > 0:
+                                self._cancelled -= 1
+                            continue
+                        event.sim = None
+                    entry[_FN](*entry[_ARGS])
+                    batch += 1
+            finally:
+                self.events_fired += batch
+                fired += batch
             if inv is not None:
-                inv.after_event(self.now)
-            if deadline is not None and fired & 1023 == 0:
+                inv.after_event(now, batch)
+            if deadline is not None and fired >= next_wall_check:
+                next_wall_check = fired + 1024
                 wall_now = time.perf_counter()  # repro: noqa[no-wallclock]
                 if wall_now > deadline:
                     assert max_wall_s is not None

@@ -10,12 +10,15 @@ for chunked workloads).
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Protocol
 
 from .engine import Simulator
 from .link import Link
 from .packet import ACK_BYTES, Packet
 from .trace import FlowStats
+
+_INF = float("inf")
 
 
 class SenderProtocol(Protocol):
@@ -109,6 +112,53 @@ class FlowReceiver:
         flow.reverse_path.send(ack, flow.sender_endpoint)
         flow.check_complete()
 
+    def receive_ff(self, packet: Packet, at_s: float) -> None:
+        """Collapsed delivery at virtual time ``at_s`` (hybrid fidelity).
+
+        Runs the same bookkeeping as :meth:`receive` with the clock read
+        replaced by the analytic delivery time, sends the ACK through the
+        reverse link analytically, and schedules the *one* real event of
+        the collapsed chain: the ACK arriving back at the sender.  Only
+        reachable for flows without completion/delivery callbacks (see
+        ``fidelity.activate_fastforward``), so those hooks are skipped.
+        """
+        flow = self.flow
+        sim = flow.sim
+        flow.stats.record_delivery(at_s, packet.size_bytes)
+        self._ack_seq += 1
+        ack = Packet(
+            flow_id=flow.flow_id,
+            seq=self._ack_seq,
+            size_bytes=ACK_BYTES,
+            sent_time=at_s,
+            is_ack=True,
+            data_seq=packet.seq,
+            data_sent_time=packet.sent_time,
+            data_recv_time=at_s,
+        )
+        # The skipped data-delivery dispatch, whether or not the ACK
+        # also survives the reverse link.
+        sim.events_virtual += 1
+        ack_at = flow.ff_rev.send_ff(ack, at_s)
+        if ack_at is not None:
+            # Inlined schedule_fast_at: ack_at >= at_s >= sim.now (link
+            # delivery times never precede the send), so the past-time
+            # clamp can never trigger on this path.
+            sim._seq += 1
+            heapq.heappush(
+                sim._heap,
+                (ack_at, sim._seq, flow.sender.handle_ack_packet, (ack,), None),
+            )
+        if sim.tracer is not None:
+            sim.tracer.emit(
+                "sim.fastforward",
+                at_s,
+                flow=flow.flow_id,
+                reason="collapse",
+                seq=packet.seq,
+                ack_at_s=ack_at,
+            )
+
 
 class _SenderEndpoint:
     """Sender-side ACK sink; dispatches to the congestion controller."""
@@ -173,6 +223,16 @@ class Flow:
             sim.invariants.register_flow(self)
         self.completed = False
         self._next_seq = 0
+        # Hybrid-fidelity collapse flag; set by
+        # ``fidelity.activate_fastforward`` once the whole flow set is
+        # known (eligibility is a property of every flow sharing a link,
+        # not of one flow alone).  Always False in packet-exact mode.
+        # ``ff_fwd``/``ff_rev`` cache the first hop of each path — for a
+        # collapsed flow (single-hop by eligibility) they are *the* links,
+        # saving two path traversals per packet on the hot path.
+        self.ff_collapse = False
+        self.ff_fwd = forward_path.links[0]
+        self.ff_rev = reverse_path.links[0]
         # Unbounded flows always have data; bounded/chunked flows meter it.
         if chunked:
             self.bytes_unsent: float = 0.0
@@ -218,6 +278,133 @@ class Flow:
             self.bytes_unsent -= size_bytes
         accepted = self.forward_path.send(packet, self.receiver)
         return seq, accepted
+
+    def transmit_ff(self, size_bytes: int, at_s: float) -> tuple[int, bool]:
+        """Collapsed transmit at virtual time ``at_s`` (hybrid fidelity).
+
+        Sends the data packet analytically through the (single-link)
+        forward path and runs the receiver + ACK chain inline; the only
+        heap event of the whole round trip is the ACK arriving back at
+        the sender.  When a link's fast-forward barrier (pending timeline
+        event) would be crossed by the packet's virtual window — and the
+        send is happening at the real clock, so falling back is still
+        possible — the packet takes the packet-exact path instead.
+
+        For healthy static links with no tracer attached the whole
+        chain — both link legs, the receiver bookkeeping, and the ACK
+        scheduling — is fused inline below with no intermediate packet
+        object; the arithmetic is identical to ``Link.send_ff`` +
+        ``FlowReceiver.receive_ff``, which remain the reference (and
+        only) path whenever a link needs per-packet decisions.
+
+        Returns ``(seq, accepted)`` exactly like :meth:`transmit`.
+        """
+        sim = self.sim
+        fwd = self.ff_fwd
+        rev = self.ff_rev
+        limit = fwd.ff_barrier_s
+        if rev.ff_barrier_s < limit:
+            limit = rev.ff_barrier_s
+        if limit != _INF:
+            ack_at = fwd.peek_round_trip_ff(size_bytes, at_s, rev, ACK_BYTES)
+            if ack_at + 1e-6 >= limit and at_s <= sim.now:
+                return self.transmit(size_bytes)
+        self._next_seq += 1
+        seq = self._next_seq
+        stats = self.stats
+        stats.packets_sent += 1  # record_send, inlined
+        if self.bytes_unsent != _INF:
+            self.bytes_unsent -= size_bytes
+        if (
+            sim.tracer is None
+            and fwd.loss_model is None
+            and fwd.noise is None
+            and fwd.loss_rate == 0.0  # repro: noqa[no-float-eq] — gate, not math
+            and not fwd._down
+            and rev.loss_model is None
+            and rev.noise is None
+            and rev.loss_rate == 0.0  # repro: noqa[no-float-eq] — gate, not math
+            and not rev._down
+        ):
+            # ---- forward leg (Link.send_ff fast path, inlined) ----
+            fwd_stats = fwd.stats
+            fwd_stats.offered += 1
+            bw = fwd.bandwidth_bps
+            busy = fwd._busy_until
+            occupancy = (
+                (busy - at_s) * bw / 8.0 if busy > at_s else 0.0
+            ) + size_bytes
+            if occupancy > fwd.buffer_bytes + 1e-6:
+                fwd_stats.tail_drops += 1
+                return seq, False
+            if occupancy > fwd_stats.max_backlog_bytes:
+                fwd_stats.max_backlog_bytes = occupancy
+            start = busy if busy > at_s else at_s
+            fwd._busy_until = busy = start + size_bytes * 8.0 / bw
+            deliver_at = busy + fwd.delay_s
+            if deliver_at <= fwd._last_delivery:
+                deliver_at = fwd._last_delivery + 1e-9
+            fwd._last_delivery = deliver_at
+            fwd_stats.delivered += 1
+            # ---- receiver bookkeeping (receive_ff, inlined) ----
+            stats.delivered_bytes += size_bytes
+            if stats.first_delivery is None:
+                stats.first_delivery = deliver_at
+            stats.last_delivery = deliver_at
+            receiver = self.receiver
+            receiver._ack_seq += 1
+            # The skipped data-delivery dispatch, whether or not the ACK
+            # also survives the reverse link.
+            sim.events_virtual += 1
+            # ---- reverse (ACK) leg ----
+            rev_stats = rev.stats
+            rev_stats.offered += 1
+            bw = rev.bandwidth_bps
+            busy = rev._busy_until
+            occupancy = (
+                (busy - deliver_at) * bw / 8.0 if busy > deliver_at else 0.0
+            ) + ACK_BYTES
+            if occupancy > rev.buffer_bytes + 1e-6:
+                rev_stats.tail_drops += 1
+                return seq, True
+            if occupancy > rev_stats.max_backlog_bytes:
+                rev_stats.max_backlog_bytes = occupancy
+            start = busy if busy > deliver_at else deliver_at
+            rev._busy_until = busy = start + ACK_BYTES * 8.0 / bw
+            ack_arrive = busy + rev.delay_s
+            if ack_arrive <= rev._last_delivery:
+                ack_arrive = rev._last_delivery + 1e-9
+            rev._last_delivery = ack_arrive
+            rev_stats.delivered += 1
+            ack = Packet(
+                flow_id=self.flow_id,
+                seq=receiver._ack_seq,
+                size_bytes=ACK_BYTES,
+                sent_time=deliver_at,
+                is_ack=True,
+                data_seq=seq,
+                data_sent_time=at_s,
+                data_recv_time=deliver_at,
+            )
+            # Inlined schedule_fast_at: ack_arrive >= at_s >= sim.now,
+            # so the past-time clamp can never trigger on this path.
+            sim._seq += 1
+            heapq.heappush(
+                sim._heap,
+                (ack_arrive, sim._seq, self.sender.handle_ack_packet, (ack,), None),
+            )
+            return seq, True
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=seq,
+            size_bytes=size_bytes,
+            sent_time=at_s,
+        )
+        deliver_at = fwd.send_ff(packet, at_s)
+        if deliver_at is None:
+            return seq, False
+        self.receiver.receive_ff(packet, deliver_at)
+        return seq, True
 
     def requeue_bytes(self, nbytes: int) -> None:
         """Return lost bytes to the unsent pool (models retransmission)."""

@@ -98,17 +98,28 @@ class InvariantChecker:
     # ------------------------------------------------------------------
     # Hooks (called from the engine)
     # ------------------------------------------------------------------
-    def after_event(self, now: float) -> None:
-        """Per-event hook: clock monotonicity + periodic sweeps."""
+    def after_event(self, now: float, events: int = 1) -> None:
+        """Per-dispatch hook: clock monotonicity + periodic sweeps.
+
+        ``events`` is how many events the engine fired at this timestamp
+        (the batched dispatcher drains same-time entries in one pass and
+        calls this hook once per batch).  Counting the whole batch keeps
+        ``sweep_every_events`` and ``max_stall_events`` denominated in
+        events, not dispatch passes, so thresholds mean the same thing
+        in both dispatch modes.
+        """
         if now < self._last_now:
             raise InvariantError(
                 f"simulated clock moved backwards: {self._last_now} -> {now}"
             )
         if self.max_stall_events is not None:
             if now > self._last_now:
-                self._stall_events = 0
+                # The batch's first event advanced the clock; the rest of
+                # the batch shares its timestamp, exactly as the
+                # per-event counter would have scored it.
+                self._stall_events = events - 1
             else:
-                self._stall_events += 1
+                self._stall_events += events
                 if self._stall_events >= self.max_stall_events:
                     raise InvariantError(
                         f"simulated clock stalled: {self._stall_events} "
@@ -116,7 +127,7 @@ class InvariantChecker:
                         "self-rescheduling livelock?)"
                     )
         self._last_now = now
-        self._events_since_sweep += 1
+        self._events_since_sweep += events
         if self._events_since_sweep >= self.sweep_every_events:
             self.check_now()
 

@@ -117,6 +117,12 @@ class Link:
         self._busy_until = 0.0
         self._last_delivery = 0.0
         self._down = False
+        # Hybrid-fidelity fast-forward state (see repro.sim.fidelity).
+        # ``ff_barrier_s`` is the next time at which this link's behaviour
+        # changes (timeline event); analytic sends whose virtual window
+        # would cross it fall back to packet-exact delivery.  Maintained
+        # by the TimelineDriver; ``inf`` on static links.
+        self.ff_barrier_s = float("inf")
         if sim.invariants is not None:
             sim.invariants.register_link(self)
 
@@ -281,3 +287,160 @@ class Link:
         # path skips the cancellable-Event allocation entirely.
         self.sim.schedule_fast_at(deliver_at, dst.receive, packet)
         return True
+
+    def send_ff(self, packet: Packet, at_s: float) -> "float | None":
+        """Analytic send at virtual time ``at_s``: no delivery event.
+
+        The hybrid-fidelity collapse path (see :mod:`repro.sim.fidelity`)
+        runs the receiver's bookkeeping inline instead of scheduling a
+        delivery, so it needs the delivery timestamp as a value.  This is
+        :meth:`send` with the clock read replaced by ``at_s`` and the
+        final ``schedule_fast_at`` dropped — every counter, queue update,
+        RNG draw, and trace emission is the same computation in the same
+        order.  Returns the delivery time, or ``None`` when the packet
+        never arrives (outage, tail drop, or wire loss).
+
+        Callers are responsible for fast-forward eligibility: ``at_s``
+        at or after this link's ``ff_barrier_s`` is a contract violation
+        (the link's parameters may change at the barrier).
+        """
+        tracer = self.sim.tracer
+        if (
+            tracer is None
+            and self.loss_model is None
+            and self.noise is None
+            and self.loss_rate == 0.0  # repro: noqa[no-float-eq] — gate, not math
+            and not self._down
+        ):
+            # Healthy static link, nobody watching: the arithmetic-only
+            # spine of the general path below (same results, no draws to
+            # keep in step because there are none).
+            stats = self.stats
+            stats.offered += 1
+            bw = self.bandwidth_bps
+            busy = self._busy_until
+            size = packet.size_bytes
+            occupancy = (
+                (busy - at_s) * bw / 8.0 if busy > at_s else 0.0
+            ) + size
+            if occupancy > self.buffer_bytes + 1e-6:
+                stats.tail_drops += 1
+                return None
+            if occupancy > stats.max_backlog_bytes:
+                stats.max_backlog_bytes = occupancy
+            start = busy if busy > at_s else at_s
+            self._busy_until = busy = start + size * 8.0 / bw
+            deliver_at = busy + self.delay_s
+            if deliver_at <= self._last_delivery:
+                deliver_at = self._last_delivery + 1e-9
+            self._last_delivery = deliver_at
+            stats.delivered += 1
+            return deliver_at
+        now = at_s
+        self.stats.offered += 1
+        if self._down:
+            self.stats.outage_drops += 1
+            if tracer is not None:
+                tracer.emit(
+                    "link.drop",
+                    now,
+                    flow=packet.flow_id,
+                    link=self.name,
+                    reason="outage",
+                    seq=packet.seq,
+                )
+            return None
+        backlog = max(0.0, self._busy_until - now) * self.bandwidth_bps / 8.0
+        if backlog + packet.size_bytes > self.buffer_bytes + 1e-6:
+            self.stats.tail_drops += 1
+            if tracer is not None:
+                tracer.emit(
+                    "link.drop",
+                    now,
+                    flow=packet.flow_id,
+                    link=self.name,
+                    reason="tail",
+                    seq=packet.seq,
+                    backlog_bytes=backlog,
+                )
+            return None
+        if backlog + packet.size_bytes > self.stats.max_backlog_bytes:
+            self.stats.max_backlog_bytes = backlog + packet.size_bytes
+
+        start = self._busy_until if self._busy_until > now else now
+        self._busy_until = start + packet.size_bytes * 8.0 / self.bandwidth_bps
+        if tracer is not None:
+            tracer.emit(
+                "link.enqueue",
+                now,
+                flow=packet.flow_id,
+                link=self.name,
+                seq=packet.seq,
+                size_bytes=packet.size_bytes,
+                backlog_bytes=backlog + packet.size_bytes,
+            )
+
+        if self.loss_model is not None:
+            if self.loss_model.is_lost(self.rng):
+                self.stats.random_losses += 1
+                if tracer is not None:
+                    tracer.emit(
+                        "link.drop",
+                        now,
+                        flow=packet.flow_id,
+                        link=self.name,
+                        reason="wire",
+                        seq=packet.seq,
+                    )
+                return None
+        elif self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.stats.random_losses += 1
+            if tracer is not None:
+                tracer.emit(
+                    "link.drop",
+                    now,
+                    flow=packet.flow_id,
+                    link=self.name,
+                    reason="wire",
+                    seq=packet.seq,
+                )
+            return None
+
+        deliver_at = self._busy_until + self.delay_s
+        if self.noise is not None:
+            deliver_at += self.noise.sample(now, self.rng)
+        if deliver_at <= self._last_delivery:
+            deliver_at = self._last_delivery + 1e-9
+        self._last_delivery = deliver_at
+        self.stats.delivered += 1
+        if tracer is not None:
+            tracer.emit(
+                "link.dequeue",
+                now,
+                flow=packet.flow_id,
+                link=self.name,
+                seq=packet.seq,
+                depart_s=self._busy_until,
+                deliver_at_s=deliver_at,
+            )
+        return deliver_at
+
+    def peek_round_trip_ff(
+        self, size_bytes: int, at_s: float, reverse: "Link", ack_bytes: int
+    ) -> float:
+        """Upper bound on the ACK arrival of a packet sent at ``at_s``.
+
+        A dry run of the noise-free :meth:`send_ff` chain through this
+        link and ``reverse`` — no state is mutated.  The collapse path
+        compares this against the links' fast-forward barriers before
+        committing to an analytic send.
+        """
+        start = self._busy_until if self._busy_until > at_s else at_s
+        deliver = start + size_bytes * 8.0 / self.bandwidth_bps + self.delay_s
+        if deliver <= self._last_delivery:
+            deliver = self._last_delivery + 1e-9
+        start = reverse._busy_until if reverse._busy_until > deliver else deliver
+        ack_at = start + ack_bytes * 8.0 / reverse.bandwidth_bps + reverse.delay_s
+        if ack_at <= reverse._last_delivery:
+            ack_at = reverse._last_delivery + 1e-9
+        return ack_at

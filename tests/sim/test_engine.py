@@ -144,8 +144,29 @@ def test_schedule_fast_validates_like_schedule():
         sim.schedule_fast(-1.0, lambda: None)
     sim.schedule_fast(1.0, lambda: None)
     sim.run()
-    with pytest.raises(SimulationError):
-        sim.schedule_fast_at(0.5, lambda: None)
+
+
+def test_schedule_fast_at_clamps_past_times_to_now():
+    # A past timestamp is clamped to `now` (not an error): analytic
+    # fast-forward can compute delivery times a rounding hair behind the
+    # clock, and the batched dispatcher relies on never seeing an entry
+    # behind the batch it is draining.
+    from repro.obs import CollectingTracer
+
+    tracer = CollectingTracer()
+    sim = Simulator(tracer=tracer)
+    sim.schedule_fast(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 1.0
+    fired = []
+    sim.schedule_fast_at(0.5, fired.append, "late")
+    sim.run()
+    assert fired == ["late"]
+    assert sim.now == 1.0  # clamped, not rewound
+    past = [ev for ev in tracer.events if ev.kind == "sim.schedule.past"]
+    assert len(past) == 1
+    assert past[0].fields["scheduled_s"] == 0.5
+    assert past[0].fields["lag_s"] == pytest.approx(0.5)
 
 
 def test_pending_is_constant_time_and_counts_fast_events():
