@@ -23,9 +23,12 @@ from pathlib import Path
 from .analysis import jains_index
 from .harness import (
     TIMELINES,
+    TOPOLOGIES,
     LinkConfig,
     Timeline,
+    TopologySpec,
     load_timeline,
+    load_topology,
     print_table,
     run_homogeneous,
     run_pair,
@@ -55,6 +58,15 @@ def _timeline_from_args(args: argparse.Namespace) -> Timeline | None:
         raise SystemExit(f"repro: {exc}") from exc
 
 
+def _topology_from_args(args: argparse.Namespace) -> TopologySpec | None:
+    if not getattr(args, "topology", None):
+        return None
+    try:
+        return load_topology(args.topology)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}") from exc
+
+
 def _add_core_link_args(
     parser: argparse.ArgumentParser, default_duration: float = 30.0
 ) -> None:
@@ -72,6 +84,15 @@ def _add_core_link_args(
         metavar="NAME_OR_JSON",
         help="link-dynamics timeline: a preset name "
         f"({', '.join(sorted(TIMELINES))}) or a JSON spec file",
+    )
+    parser.add_argument(
+        "--topology",
+        type=str,
+        default=None,
+        metavar="NAME_OR_JSON",
+        help="multi-hop topology: a preset name "
+        f"({', '.join(sorted(TOPOLOGIES))}) or a JSON spec file "
+        "(default: classic single-bottleneck dumbbell)",
     )
     parser.add_argument(
         "--duration", type=float, default=default_duration, help="seconds"
@@ -119,6 +140,7 @@ def cmd_single(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         seed=args.seed,
         timeline=_timeline_from_args(args),
+        topology=_topology_from_args(args),
     )
     window = result.measurement_window()
     stats = result.stats[0]
@@ -148,6 +170,7 @@ def cmd_pair(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         seed=args.seed,
         timeline=_timeline_from_args(args),
+        topology=_topology_from_args(args),
     )
     print_table(
         ["metric", "value"],
@@ -174,6 +197,7 @@ def cmd_fairness(args: argparse.Namespace) -> int:
         measure_s=args.duration,
         seed=args.seed,
         timeline=_timeline_from_args(args),
+        topology=_topology_from_args(args),
     )
     shares = result.throughputs_mbps()
     rows = [(f"flow {i + 1}", f"{thr:.2f}") for i, thr in enumerate(shares)]
@@ -185,6 +209,44 @@ def cmd_fairness(args: argparse.Namespace) -> int:
         title=f"{args.flows} x {args.protocol} on {config.bandwidth_mbps:g} Mbps",
     )
     _print_link_events(result)
+    _export(args, result)
+    return 0
+
+
+def cmd_many(args: argparse.Namespace) -> int:
+    """Many short primaries vs a few scavengers over a shared core."""
+    from .harness import run_many
+
+    config = _link_from_args(args)
+    topology = _topology_from_args(args)
+    result = run_many(
+        args.primary,
+        args.scavenger,
+        config,
+        n_flows=args.flows,
+        n_scavengers=args.scavengers,
+        flow_kb=args.flow_kb,
+        duration_s=args.duration,
+        seed=args.seed,
+        **({"topology": topology} if topology is not None else {}),
+    )
+    window = result.measurement_window()
+    scav = [result.throughput_mbps(i, window) for i in range(args.scavengers)]
+    shorts = result.stats[args.scavengers:]
+    target = int(args.flow_kb * 1e3)
+    done = sum(1 for s in shorts if s.delivered_bytes >= target)
+    print_table(
+        ["metric", "value"],
+        [
+            ("short flows", str(len(shorts))),
+            ("completed in-run", f"{done} ({100.0 * done / max(1, len(shorts)):.1f}%)"),
+            ("scavengers", str(args.scavengers)),
+            ("scavenger Mbps (total)", f"{sum(scav):.2f}"),
+            ("utilization", f"{result.utilization(window):.3f}"),
+        ],
+        title=f"{args.flows} x {args.primary} ({args.flow_kb:g} KB) vs "
+        f"{args.scavengers} x {args.scavenger}",
+    )
     _export(args, result)
     return 0
 
@@ -225,6 +287,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
             (
                 "scenario events fired/virtual",
                 f"{scenario['events']:,}/{scenario['events_virtual']:,}",
+            ),
+            (
+                f"scale events/sec ({record['scale']['n_flows']} flows)",
+                f"{record['scale']['events_per_sec']:,.0f}",
             ),
             ("engine fast-path events/sec", f"{engine['fast_events_per_sec']:,.0f}"),
             ("engine Event-path events/sec", f"{engine['event_events_per_sec']:,.0f}"),
@@ -320,6 +386,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             duration_s=args.duration,
             seed=args.seed,
             timeline=_timeline_from_args(args),
+            topology=_topology_from_args(args),
             tracer=tracer,
         )
         records = tracer.to_dicts()
@@ -363,6 +430,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         seed=args.seed,
         timeline=_timeline_from_args(args),
+        topology=_topology_from_args(args),
         metrics=registry,
         sample_period_s=args.sample,
     )
@@ -603,6 +671,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_fair.add_argument("--stagger", type=float, default=5.0)
     _add_link_args(p_fair)
     p_fair.set_defaults(fn=cmd_fairness)
+
+    p_many = sub.add_parser(
+        "many",
+        help="many short primary flows vs a few scavengers on a shared core",
+    )
+    p_many.add_argument("--primary", default="cubic", choices=PROTOCOL_NAMES)
+    p_many.add_argument("--scavenger", default="proteus-s", choices=PROTOCOL_NAMES)
+    p_many.add_argument(
+        "--flows", type=int, default=1000, help="number of short primary flows"
+    )
+    p_many.add_argument(
+        "--scavengers", type=int, default=4, help="long-lived scavenger flows"
+    )
+    p_many.add_argument(
+        "--flow-kb", type=float, default=50.0, help="size of each short flow, KB"
+    )
+    _add_link_args(p_many)
+    p_many.set_defaults(fn=cmd_many)
 
     p_list = sub.add_parser("protocols", help="list protocol names")
     p_list.set_defaults(fn=cmd_protocols)

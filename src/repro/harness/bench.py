@@ -34,7 +34,7 @@ from ..sim import Fidelity, Simulator, resolve_fidelity
 from . import cache as cache_mod
 from .cache import disable_cache, enable_cache, reset_cache_state
 from .parallel import default_jobs
-from .runner import FlowSpec, run_flows, run_homogeneous, run_pair
+from .runner import FlowSpec, run_flows, run_homogeneous, run_many, run_pair
 from .scenarios import (
     EMULAB_DEFAULT,
     EMULAB_SHALLOW,
@@ -120,6 +120,37 @@ def scenario_events_per_sec(
         start = time.perf_counter()
         result = run_flows(
             specs, config, duration_s=duration_s, seed=1, fidelity=fidelity
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        cache_mod._ACTIVE = saved
+    assert result.dumbbell is not None  # live run, never cache-rebuilt
+    sim = result.dumbbell.sim
+    fired = sim.events_fired
+    virtual = sim.events_virtual
+    return (fired + virtual) / elapsed, fired, virtual, elapsed
+
+
+def scale_events_per_sec(
+    n_flows: int = 1000, duration_s: float = 10.0
+) -> tuple[float, int, int, float]:
+    """(events/sec, fired, virtual, wall_s) of the many-flow scale bench.
+
+    Runs :func:`~repro.harness.runner.run_many` — ~``n_flows`` short
+    primary transfers against four long-lived scavengers over the
+    ``shared-core`` multi-dumbbell — live, never through the cache.
+    This is the flow-count stress axis the two-flow scenario bench
+    cannot see: per-flow bookkeeping, topology routing, and the event
+    heap at thousands of concurrent arrivals.
+    """
+    config = LinkConfig(bandwidth_mbps=50.0, rtt_ms=30.0, buffer_kb=375.0)
+    saved = cache_mod._ACTIVE
+    disable_cache()
+    try:
+        start = time.perf_counter()
+        result = run_many(
+            "cubic", "proteus-s", config,
+            n_flows=n_flows, n_scavengers=4, duration_s=duration_s, seed=1,
         )
         elapsed = time.perf_counter() - start
     finally:
@@ -295,6 +326,17 @@ def run_bench(
             "wall_s": wall,
             "events_per_sec": events_per_sec,
         }
+        n_flows = 250 if quick else 1000
+        scale_rate, scale_fired, scale_virtual, scale_wall = scale_events_per_sec(
+            n_flows=n_flows, duration_s=4.0 if quick else 10.0
+        )
+        scale_bench = {
+            "n_flows": n_flows,
+            "events": scale_fired,
+            "events_virtual": scale_virtual,
+            "wall_s": scale_wall,
+            "events_per_sec": scale_rate,
+        }
         scale_f = 0.4 if quick else 1.0
         figures = {}
         for bench in FIGURE_BENCHES:
@@ -312,6 +354,9 @@ def run_bench(
             # Headline number for the CI regression gate (effective
             # events/sec: fired + virtual over wall).
             "events_per_sec": events_per_sec,
+            # Many-flow topology stress (see scale_events_per_sec);
+            # gated separately by the baseline's scale.events_per_sec.
+            "scale": scale_bench,
             "tracing": tracing,
             "figures": figures,
             "cache": {
@@ -398,6 +443,7 @@ def history_entry(record: dict) -> dict:
         "quick": record.get("quick"),
         "fidelity": record.get("fidelity"),
         "events_per_sec": record.get("events_per_sec"),
+        "scale_events_per_sec": record.get("scale", {}).get("events_per_sec"),
         "scenario_events": scenario.get("events"),
         "scenario_events_virtual": scenario.get("events_virtual"),
         "engine_fast_events_per_sec": engine.get("fast_events_per_sec"),
@@ -475,6 +521,11 @@ def update_baseline(path: str | Path, record: dict) -> dict:
     mode = record.get("fidelity", "exact")
     if mode == "exact":
         baseline["events_per_sec"] = floor(record["events_per_sec"])
+        if "scale" in record:
+            baseline.setdefault("scale", {})
+            baseline["scale"]["events_per_sec"] = floor(
+                record["scale"]["events_per_sec"]
+            )
     else:
         baseline.setdefault("fidelity", {})
         baseline["fidelity"][mode] = {
@@ -517,8 +568,18 @@ def check_regression(
     if mode != "exact" and isinstance(per_mode, dict):
         scenario_name = f"fidelity.{mode}.events_per_sec"
         scenario_ref = per_mode.get("events_per_sec")
+    # The scale floor is only meaningful in exact mode (run_many's
+    # bounded short flows all take the packet-exact path anyway, but a
+    # hybrid record's wall time includes hybrid scheduling overheads the
+    # exact floor was not measured under).
+    scale_ref = baseline.get("scale", {}).get("events_per_sec") if mode == "exact" else None
     checks = (
         (scenario_name, record.get("events_per_sec"), scenario_ref),
+        (
+            "scale.events_per_sec",
+            record.get("scale", {}).get("events_per_sec"),
+            scale_ref,
+        ),
         (
             "engine.fast_events_per_sec",
             record.get("engine", {}).get("fast_events_per_sec"),

@@ -63,6 +63,25 @@ def run_result_summary(result: RunResult) -> dict:
         "utilization": result.utilization(window),
         "flows": flows,
     }
+    if result.topology is not None:
+        summary["topology"] = result.topology.to_dict()
+    if result.dumbbell is not None:
+        # Per-hop drop accounting (live runs only — a cache-rebuilt
+        # result has no link objects; its metrics snapshot carries the
+        # same counters).
+        summary["links"] = [
+            {
+                "link": link.name,
+                "node": link.node,
+                "offered": link.stats.offered,
+                "delivered": link.stats.delivered,
+                "tail_drops": link.stats.tail_drops,
+                "aqm_drops": link.stats.aqm_drops,
+                "random_losses": link.stats.random_losses,
+                "max_backlog_bytes": link.stats.max_backlog_bytes,
+            }
+            for link in result.dumbbell.iter_links()
+        ]
     if result.timeline is not None:
         summary["timeline"] = result.timeline.to_dict()
         summary["link_events"] = [

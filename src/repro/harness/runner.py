@@ -33,6 +33,7 @@ from ..sim import (
     Fidelity,
     FlowStats,
     LinkEvent,
+    Rng,
     Simulator,
     TimelineDriver,
     activate_fastforward,
@@ -41,7 +42,7 @@ from ..sim import (
 )
 from .cache import active_cache, hex_floats
 from .parallel import ParallelExecutor
-from .scenarios import LinkConfig, Timeline
+from .scenarios import TOPOLOGIES, LinkConfig, Timeline, TopologySpec
 
 DEFAULT_WARMUP_FRACTION = 0.35
 
@@ -114,21 +115,33 @@ def _resolve(value, default):
 
 @dataclass
 class FlowSpec:
-    """Declarative description of one flow in an experiment."""
+    """Declarative description of one flow in an experiment.
+
+    ``route`` places the flow between two named topology nodes when the
+    run uses a :class:`~repro.harness.scenarios.TopologySpec` (e.g.
+    ``("n1", "n2")`` for parking-lot cross traffic).  ``None`` uses the
+    topology's default endpoints for the flow's index; single-bottleneck
+    (dumbbell) runs ignore it.
+    """
 
     protocol: str
     start_time: float = 0.0
     size_bytes: int | None = None
     kwargs: dict = field(default_factory=dict)
+    route: tuple[str, str] | None = None
 
 
 @dataclass
 class RunResult:
     """Outcome of one experiment run.
 
-    ``dumbbell`` is None when the result was rebuilt from the on-disk
-    cache (the live topology is not serialised, only the measurement
-    record — every metric below derives from ``stats`` alone).
+    ``dumbbell`` holds the live network — a
+    :class:`~repro.sim.topology.Dumbbell` for classic runs, or whatever
+    :class:`~repro.sim.topology.Topology` the run's ``topology`` spec
+    built (the field keeps its historical name).  It is None when the
+    result was rebuilt from the on-disk cache (the live topology is not
+    serialised, only the measurement record — every metric below
+    derives from ``stats`` alone).
     """
 
     config: LinkConfig
@@ -137,6 +150,10 @@ class RunResult:
     dumbbell: Dumbbell | None
     specs: list[FlowSpec]
     timeline: Timeline | None = None
+    # The declarative topology spec the run was built from (None for the
+    # classic single-bottleneck dumbbell); pure data, so it survives
+    # cache rebuilds exactly like the timeline.
+    topology: TopologySpec | None = None
     # Link events actually applied during the run, in firing order — the
     # per-link dynamics telemetry.  Cache rebuilds recompute it from the
     # timeline (event times are pure data, so the rebuild is exact).
@@ -211,13 +228,16 @@ def collect_run_metrics(result: RunResult, registry: MetricsRegistry) -> dict:
             registry.gauge("flow.p95_rtt_s", **labels).set(
                 stats.rtt_percentile(95, *window)
             )
-    dumbbell = result.dumbbell
-    if dumbbell is not None:
-        for link in (dumbbell.bottleneck, dumbbell.reverse):
+    network = result.dumbbell
+    if network is not None:
+        # Every shared link of the topology graph, in insertion order
+        # (for the classic dumbbell: bottleneck, then reverse).
+        for link in network.iter_links():
             stats = link.stats
             registry.counter("link.offered", link=link.name).inc(stats.offered)
             registry.counter("link.delivered", link=link.name).inc(stats.delivered)
             registry.counter("link.tail_drops", link=link.name).inc(stats.tail_drops)
+            registry.counter("link.aqm_drops", link=link.name).inc(stats.aqm_drops)
             registry.counter("link.random_losses", link=link.name).inc(
                 stats.random_losses
             )
@@ -238,6 +258,7 @@ def _flows_payload(
     seed: int,
     timeline: Timeline | None = None,
     fidelity: Fidelity | None = None,
+    topology: TopologySpec | None = None,
 ) -> dict:
     """Canonical cache payload for a ``run_flows`` call.
 
@@ -245,6 +266,8 @@ def _flows_payload(
     never enter the payload: they observe the run, they do not change it.
     Execution fidelity *does*: an exact and a hybrid run of the same
     scenario are different experiments (see :mod:`repro.sim.fidelity`).
+    So does the topology spec — the same flows over a different graph
+    are a different experiment.
     """
     return {
         "kind": "run_flows",
@@ -254,6 +277,7 @@ def _flows_payload(
                 "start_time": float(spec.start_time).hex(),
                 "size_bytes": spec.size_bytes,
                 "kwargs": spec.kwargs,
+                "route": None if spec.route is None else list(spec.route),
             }
             for spec in specs
         ],
@@ -263,6 +287,7 @@ def _flows_payload(
         # hex_floats: timelines differing by one ULP are different keys.
         "timeline": None if timeline is None else hex_floats(timeline.to_dict()),
         "fidelity": resolve_fidelity(fidelity).key(),
+        "topology": None if topology is None else hex_floats(topology.to_dict()),
     }
 
 
@@ -289,12 +314,21 @@ def run_flows(
     max_events: int | None = None,
     max_wall_s: float | None = None,
     fidelity: Fidelity | str | None = None,
+    topology: TopologySpec | None = None,
 ) -> RunResult:
     """Run ``specs`` over a dumbbell built from ``config``.
 
     All arguments after ``config`` are keyword-only (positional use is
     deprecated and warns for one release).  ``duration_s`` defaults to
     30 simulated seconds.
+
+    ``topology`` swaps the classic single-bottleneck dumbbell for a
+    declarative multi-hop graph (see
+    :class:`~repro.harness.scenarios.TopologySpec`): parking-lot chains
+    with per-hop AQM, shared-core multi-dumbbells, or an AQM-equipped
+    dumbbell.  ``config`` still supplies per-hop bandwidth, delay and
+    buffer; each ``FlowSpec.route`` may pin a flow between two named
+    nodes.  The spec is pure data and *is* part of the cache key.
 
     ``timeline`` scripts mid-run link dynamics (bandwidth steps/flaps,
     delay shifts, outages, burst loss — see
@@ -348,7 +382,7 @@ def run_flows(
     key = None
     if cache is not None:
         key = cache.key_for(
-            _flows_payload(specs, config, duration_s, seed, timeline, fidelity)
+            _flows_payload(specs, config, duration_s, seed, timeline, fidelity, topology)
         )
         if not observing:
             cached = cache.load_run(key)
@@ -357,13 +391,14 @@ def run_flows(
                 events = [] if timeline is None else _applied_events(timeline, duration_s)
                 return RunResult(
                     config, duration_s, cached_stats, None, specs,
-                    timeline=timeline, link_events=events,
+                    timeline=timeline, topology=topology, link_events=events,
                     metrics_snapshot=snapshot,
                 )
     result = _run_flows_live(
         specs, config, duration_s, seed, timeline,
         tracer=tracer, metrics=metrics, sample_period_s=sample_period_s,
         max_events=max_events, max_wall_s=max_wall_s, fidelity=fidelity,
+        topology=topology,
     )
     # Periodic samples depend on sample_period_s, which is not part of
     # the cache key — never store a snapshot that a later call with a
@@ -386,48 +421,62 @@ def _run_flows_live(
     max_events: int | None = None,
     max_wall_s: float | None = None,
     fidelity: Fidelity | None = None,
+    topology: TopologySpec | None = None,
 ) -> RunResult:
     sim = Simulator(tracer=tracer, fidelity=fidelity)
     rng = make_rng(seed)
-    dumbbell = Dumbbell(
-        sim,
-        bandwidth_bps=config.bandwidth_bps,
-        rtt_s=config.rtt_s,
-        buffer_bytes=config.buffer_bytes,
-        loss_rate=config.loss_rate,
-        noise=config.make_noise(),
-        reverse_noise=config.make_reverse_noise(),
-        rng=rng,
-    )
+    if topology is not None:
+        network = topology.build(sim, config, rng)
+    else:
+        network = Dumbbell(
+            sim,
+            bandwidth_bps=config.bandwidth_bps,
+            rtt_s=config.rtt_s,
+            buffer_bytes=config.buffer_bytes,
+            loss_rate=config.loss_rate,
+            noise=config.make_noise(),
+            reverse_noise=config.make_reverse_noise(),
+            rng=rng,
+        )
     driver = None
     if timeline is not None:
-        driver = TimelineDriver(
-            sim,
-            {"bottleneck": dumbbell.bottleneck, "reverse": dumbbell.reverse},
-            timeline.resolve(),
-        )
+        # Timeline events address links by registered name — for the
+        # classic dumbbell that is still {"bottleneck", "reverse"}.
+        driver = TimelineDriver(sim, dict(network.links), timeline.resolve())
     sampler_registry = metrics
     if sample_period_s is not None:
         if sampler_registry is None:
             sampler_registry = MetricsRegistry()
+        monitor = network.monitor
         backlog_hist = sampler_registry.histogram(
-            "link.backlog_bytes", link=dumbbell.bottleneck.name
+            "link.backlog_bytes", link=monitor.name
         )
         PeriodicSampler(
             sim,
             sample_period_s,
-            lambda _now: backlog_hist.observe(dumbbell.bottleneck.backlog_bytes()),
+            lambda _now: backlog_hist.observe(monitor.backlog_bytes()),
         )
     stats: list[FlowStats] = []
     flows = []
     for i, spec in enumerate(specs):
         sender = make_sender(spec.protocol, seed=seed * 1000 + i, **spec.kwargs)
-        flow = dumbbell.add_flow(
-            sender,
-            flow_id=i + 1,
-            size_bytes=spec.size_bytes,
-            start_time=spec.start_time,
-        )
+        if topology is not None:
+            src, dst = spec.route if spec.route is not None else (None, None)
+            flow = network.add_flow(
+                sender,
+                src=src,
+                dst=dst,
+                flow_id=i + 1,
+                size_bytes=spec.size_bytes,
+                start_time=spec.start_time,
+            )
+        else:
+            flow = network.add_flow(
+                sender,
+                flow_id=i + 1,
+                size_bytes=spec.size_bytes,
+                start_time=spec.start_time,
+            )
         flows.append(flow)
         stats.append(flow.stats)
     # Hybrid fidelity: with the whole flow set known, mark the flows
@@ -436,8 +485,8 @@ def _run_flows_live(
     sim.run(until=duration_s, max_events=max_events, max_wall_s=max_wall_s)
     link_events = list(driver.applied) if driver is not None else []
     result = RunResult(
-        config, duration_s, stats, dumbbell, specs,
-        timeline=timeline, link_events=link_events,
+        config, duration_s, stats, network, specs,
+        timeline=timeline, topology=topology, link_events=link_events,
     )
     # Snapshot from a fresh registry so the stored record reflects only
     # this run; the caller's registry (which may span several runs) is
@@ -467,6 +516,7 @@ def run_single(
     tracer=None,
     metrics: MetricsRegistry | None = None,
     fidelity: Fidelity | str | None = None,
+    topology: TopologySpec | None = None,
     **kwargs,
 ) -> RunResult:
     """One flow alone on the bottleneck (Figs 3, 4, 9).
@@ -486,6 +536,7 @@ def run_single(
         tracer=tracer,
         metrics=metrics,
         fidelity=fidelity,
+        topology=topology,
     )
 
 
@@ -532,11 +583,12 @@ def _pair_solo_metrics(
     timeline: Timeline | None = None,
     tracer=None,
     fidelity: Fidelity | None = None,
+    topology: TopologySpec | None = None,
 ) -> tuple[float, float]:
     """Solo-baseline metrics measured over the *paired* run's window."""
     solo = run_single(
         primary, config, duration_s=duration_s, seed=seed, timeline=timeline,
-        tracer=tracer, fidelity=fidelity,
+        tracer=tracer, fidelity=fidelity, topology=topology,
     )
     return (
         solo.throughput_mbps(0, window),
@@ -554,6 +606,7 @@ def _pair_joint_metrics(
     timeline: Timeline | None = None,
     tracer=None,
     fidelity: Fidelity | None = None,
+    topology: TopologySpec | None = None,
 ) -> tuple[float, float, float, float]:
     paired = run_flows(
         [
@@ -566,6 +619,7 @@ def _pair_joint_metrics(
         timeline=timeline,
         tracer=tracer,
         fidelity=fidelity,
+        topology=topology,
     )
     window = paired.measurement_window()
     return (
@@ -589,6 +643,7 @@ def run_pair(
     tracer=None,
     metrics: MetricsRegistry | None = None,
     fidelity: Fidelity | str | None = None,
+    topology: TopologySpec | None = None,
 ) -> PairResult:
     """Primary flow joined by a scavenger; compares against the solo run.
 
@@ -637,11 +692,12 @@ def run_pair(
     )
     if tracer is not None:
         solo_mbps, solo_rtt = _pair_solo_metrics(
-            primary, config, duration_s, seed, window, timeline, tracer, fidelity
+            primary, config, duration_s, seed, window, timeline, tracer, fidelity,
+            topology,
         )
         with_scavenger, scavenger_mbps, util, paired_rtt = _pair_joint_metrics(
             primary, scavenger, config, duration_s, scavenger_start_s, seed,
-            timeline, tracer, fidelity,
+            timeline, tracer, fidelity, topology,
         )
     else:
         (solo_mbps, solo_rtt), (with_scavenger, scavenger_mbps, util, paired_rtt) = (
@@ -650,7 +706,7 @@ def run_pair(
                     (
                         _pair_solo_metrics,
                         (primary, config, duration_s, seed, window, timeline,
-                         None, fidelity),
+                         None, fidelity, topology),
                     ),
                     (
                         _pair_joint_metrics,
@@ -664,6 +720,7 @@ def run_pair(
                             timeline,
                             None,
                             fidelity,
+                            topology,
                         ),
                     ),
                 ]
@@ -806,6 +863,7 @@ def run_homogeneous(
     tracer=None,
     metrics: MetricsRegistry | None = None,
     fidelity: Fidelity | str | None = None,
+    topology: TopologySpec | None = None,
 ) -> RunResult:
     """``n`` same-protocol flows with staggered starts (Figs 5, 17, 18)."""
     values = {
@@ -839,4 +897,73 @@ def run_homogeneous(
         tracer=tracer,
         metrics=metrics,
         fidelity=fidelity,
+        topology=topology,
+    )
+
+
+def run_many(
+    primary: str,
+    scavenger: str,
+    config: LinkConfig,
+    *,
+    n_flows: int = 1000,
+    n_scavengers: int = 4,
+    flow_kb: float = 50.0,
+    duration_s: float = _UNSET,  # type: ignore[assignment]
+    seed: int = _UNSET,  # type: ignore[assignment]
+    topology: TopologySpec | None = _UNSET,  # type: ignore[assignment]
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
+    fidelity: Fidelity | str | None = None,
+    max_events: int | None = None,
+    max_wall_s: float | None = None,
+) -> RunResult:
+    """Many short primary flows against a few long-lived scavengers.
+
+    The datacenter-ish stress shape: ``n_flows`` short ``primary``
+    transfers (default ~50 KB, roughly a web object) arrive at uniform
+    random times across the run while ``n_scavengers`` unbounded
+    ``scavenger`` flows occupy the same shared core from t=0.  Default
+    topology is the ``shared-core`` multi-dumbbell preset, so arrivals
+    spread across access groups via the topology's per-index default
+    endpoints.
+
+    Arrival times come from a dedicated ``Rng("many:<seed>")`` stream —
+    they are part of the flow specs, hence deterministic per seed and
+    fully captured by the cache key.  Delegates to :func:`run_flows`
+    for caching, observability, and jobs parity.
+    """
+    duration_s = _resolve(duration_s, 30.0)
+    seed = _resolve(seed, 1)
+    topology = _resolve(topology, TOPOLOGIES["shared-core"]())
+    if n_flows < 1:
+        raise ValueError("n_flows must be positive")
+    if n_scavengers < 0:
+        raise ValueError("n_scavengers must be non-negative")
+    arrivals = Rng(f"many:{seed}")
+    specs = [
+        FlowSpec(scavenger, start_time=0.0) for _ in range(n_scavengers)
+    ]
+    # Leave the tail 20% of the run free of new arrivals so late flows
+    # still have a chance to complete inside the measured window.
+    spacing = 0.8 * duration_s / n_flows
+    specs.extend(
+        FlowSpec(
+            primary,
+            start_time=(i + arrivals.random()) * spacing,
+            size_bytes=int(flow_kb * 1e3),
+        )
+        for i in range(n_flows)
+    )
+    return run_flows(
+        specs,
+        config,
+        duration_s=duration_s,
+        seed=seed,
+        topology=topology,
+        tracer=tracer,
+        metrics=metrics,
+        fidelity=fidelity,
+        max_events=max_events,
+        max_wall_s=max_wall_s,
     )

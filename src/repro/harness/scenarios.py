@@ -21,6 +21,13 @@ Gilbert-Elliott burst loss) that resolves to primitive
 mid-run.  Because the spec round-trips through :meth:`Timeline.to_dict`,
 it participates in the result-cache key: editing only the timeline
 invalidates cached runs (see :mod:`repro.harness.cache`).
+
+The third section is the declarative **topology spec**:
+:class:`TopologySpec` names a graph shape (dumbbell, parking-lot,
+multi-dumbbell), a congested-hop count, and a per-hop queue discipline,
+builds the :class:`~repro.sim.topology.Topology` for a run, and
+serialises into the same cache key / JSON machinery as timelines (see
+``docs/TOPOLOGY.md``).
 """
 
 from __future__ import annotations
@@ -29,8 +36,18 @@ import json
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
+from ..core.rng import Rng, spawn
+from ..sim.aqm import (
+    CoDelDiscipline,
+    DynamicLink,
+    HeadDropDiscipline,
+    RandomDropDiscipline,
+    REDDiscipline,
+    TailDropDiscipline,
+)
 from ..sim.dynamics import LinkEvent
 from ..sim.noise import NoiseModel, wifi_noise
+from ..sim.topology import Dumbbell, MultiDumbbell, ParkingLot, Topology
 
 
 @dataclass(frozen=True)
@@ -506,3 +523,198 @@ def load_timeline(name_or_path: str) -> Timeline:
             f"({sorted(TIMELINES)}) and no such file"
         )
     return timeline_from_dict(json.loads(path.read_text()))
+
+
+# ----------------------------------------------------------------------
+# Declarative multi-hop topology specs
+# ----------------------------------------------------------------------
+TOPOLOGY_PRESETS = ("dumbbell", "parking-lot", "multi-dumbbell")
+"""Graph shapes a :class:`TopologySpec` can name."""
+
+AQM_KINDS = ("", "taildrop", "head-drop", "random-drop", "red", "codel")
+"""Per-hop queue disciplines; ``""`` keeps hops analytic (FIFO
+:class:`~repro.sim.link.Link`), anything else makes the congested hops
+event-based :class:`~repro.sim.aqm.DynamicLink` instances."""
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Serialisable description of a multi-hop topology.
+
+    Like :class:`Timeline`, the spec is pure data: :meth:`build`
+    instantiates the graph against a simulator and a
+    :class:`LinkConfig` (which supplies per-hop bandwidth, RTT, buffer,
+    loss, and noise), and :meth:`to_dict` serialises it for JSON files
+    and the result-cache key — editing only the topology invalidates
+    cached runs.
+
+    Args:
+        preset: One of :data:`TOPOLOGY_PRESETS`.  ``"dumbbell"`` is the
+            classic single bottleneck (with an AQM bottleneck when
+            ``aqm`` is set), ``"parking-lot"`` chains ``n_hops``
+            bottlenecks in series, ``"multi-dumbbell"`` fans ``n_hops``
+            access bottlenecks into one shared core.
+        n_hops: Congested hop count (parking-lot) or access-group count
+            (multi-dumbbell); ignored by ``"dumbbell"``.
+        aqm: Queue discipline on the congested hops, one of
+            :data:`AQM_KINDS`.
+        core_mbps: Shared-core rate for ``"multi-dumbbell"``; ``0``
+            reuses the access rate (a congested core whenever more than
+            one group is active).
+        label: Name for reports and summaries.
+    """
+
+    preset: str = "parking-lot"
+    n_hops: int = 2
+    aqm: str = ""
+    core_mbps: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.preset not in TOPOLOGY_PRESETS:
+            raise ValueError(
+                f"unknown topology preset {self.preset!r}; "
+                f"expected one of {TOPOLOGY_PRESETS}"
+            )
+        if self.n_hops < 1:
+            raise ValueError("n_hops must be >= 1")
+        if self.aqm not in AQM_KINDS:
+            raise ValueError(
+                f"unknown aqm {self.aqm!r}; expected one of {AQM_KINDS}"
+            )
+        if self.core_mbps < 0:
+            raise ValueError("core_mbps must be non-negative")
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; exact inverse of :func:`topology_from_dict`."""
+        record = asdict(self)
+        record["kind"] = "topology"
+        return record
+
+    def make_discipline(self, config: LinkConfig):
+        """A fresh discipline instance for one hop (disciplines carry
+        per-queue state and must never be shared between links)."""
+        buffer_bytes = config.buffer_bytes
+        if self.aqm == "":
+            return None
+        if self.aqm == "taildrop":
+            return TailDropDiscipline(buffer_bytes)
+        if self.aqm == "head-drop":
+            return HeadDropDiscipline(buffer_bytes)
+        if self.aqm == "random-drop":
+            return RandomDropDiscipline(buffer_bytes)
+        if self.aqm == "red":
+            return REDDiscipline(buffer_bytes)
+        if self.aqm == "codel":
+            return CoDelDiscipline(buffer_bytes)
+        raise ValueError(f"unknown aqm {self.aqm!r}")  # pragma: no cover
+
+    def build(self, sim, config: LinkConfig, rng: Rng | None = None) -> Topology:
+        """Instantiate the topology graph for one run."""
+        if rng is None:
+            rng = Rng(0)
+        if self.preset == "dumbbell":
+            bottleneck = None
+            if self.aqm:
+                bottleneck = DynamicLink(
+                    sim,
+                    rate_bps=config.bandwidth_bps,
+                    delay_s=config.rtt_s / 2.0,
+                    discipline=self.make_discipline(config),
+                    loss_rate=config.loss_rate,
+                    noise=config.make_noise(),
+                    rng=spawn(rng, "bottleneck"),
+                    name="bottleneck",
+                )
+            return Dumbbell(
+                sim,
+                bandwidth_bps=config.bandwidth_bps,
+                rtt_s=config.rtt_s,
+                buffer_bytes=config.buffer_bytes,
+                loss_rate=config.loss_rate,
+                noise=config.make_noise(),
+                reverse_noise=config.make_reverse_noise(),
+                rng=rng,
+                bottleneck=bottleneck,
+            )
+        if self.preset == "parking-lot":
+            factory = None
+            if self.aqm:
+                factory = lambda _hop: self.make_discipline(config)  # noqa: E731
+            return ParkingLot(
+                sim,
+                n_hops=self.n_hops,
+                bandwidth_bps=config.bandwidth_bps,
+                rtt_s=config.rtt_s,
+                buffer_bytes=config.buffer_bytes,
+                loss_rate=config.loss_rate,
+                noise=config.make_noise(),
+                rng=rng,
+                discipline_factory=factory,
+            )
+        if self.preset == "multi-dumbbell":
+            core_bps = (
+                self.core_mbps * 1e6 if self.core_mbps > 0 else config.bandwidth_bps
+            )
+            return MultiDumbbell(
+                sim,
+                n_groups=self.n_hops,
+                bandwidth_bps=config.bandwidth_bps,
+                core_bandwidth_bps=core_bps,
+                rtt_s=config.rtt_s,
+                buffer_bytes=config.buffer_bytes,
+                loss_rate=config.loss_rate,
+                noise=config.make_noise(),
+                rng=rng,
+                core_discipline=self.make_discipline(config) if self.aqm else None,
+            )
+        raise ValueError(f"unknown preset {self.preset!r}")  # pragma: no cover
+
+
+def topology_from_dict(data: dict) -> TopologySpec:
+    """Rebuild a :class:`TopologySpec` from :meth:`TopologySpec.to_dict`."""
+    if not isinstance(data, dict):
+        raise ValueError("topology document must be a dict")
+    record = dict(data)
+    kind = record.pop("kind", "topology")
+    if kind != "topology":
+        raise ValueError(f"not a topology document (kind={kind!r})")
+    return TopologySpec(**record)
+
+
+TOPOLOGIES = {
+    "parking-lot": lambda: TopologySpec(
+        preset="parking-lot", n_hops=3, label="parking-lot"
+    ),
+    "parking-lot-codel": lambda: TopologySpec(
+        preset="parking-lot", n_hops=3, aqm="codel", label="parking-lot-codel"
+    ),
+    "shared-core": lambda: TopologySpec(
+        preset="multi-dumbbell", n_hops=4, label="shared-core"
+    ),
+    "dumbbell-codel": lambda: TopologySpec(
+        preset="dumbbell", aqm="codel", label="dumbbell-codel"
+    ),
+    "dumbbell-red": lambda: TopologySpec(
+        preset="dumbbell", aqm="red", label="dumbbell-red"
+    ),
+}
+"""Named preset topologies for the CLI and scale scenarios."""
+
+
+def load_topology(name_or_path: str) -> TopologySpec:
+    """A preset topology by name, or one loaded from a JSON file.
+
+    Presets (:data:`TOPOLOGIES`) win; anything else is treated as a path
+    to a JSON document in the :meth:`TopologySpec.to_dict` format.
+    """
+    factory = TOPOLOGIES.get(name_or_path)
+    if factory is not None:
+        return factory()
+    path = Path(name_or_path)
+    if not path.exists():
+        raise ValueError(
+            f"unknown topology {name_or_path!r}: not a preset "
+            f"({sorted(TOPOLOGIES)}) and no such file"
+        )
+    return topology_from_dict(json.loads(path.read_text()))

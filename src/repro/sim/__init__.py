@@ -9,6 +9,8 @@ noise models, flows with exact timestamp echo, and per-flow statistics.
 from .aqm import (
     CoDelDiscipline,
     DynamicLink,
+    HeadDropDiscipline,
+    RandomDropDiscipline,
     REDDiscipline,
     TailDropDiscipline,
     cellular_rate,
@@ -41,7 +43,14 @@ from .noise import (
 )
 from .packet import ACK_BYTES, MTU_BYTES, Packet
 from .rng import Rng, make_rng, spawn
-from .topology import Dumbbell, mbps
+from .topology import (
+    Dumbbell,
+    MultiDumbbell,
+    ParkingLot,
+    Topology,
+    TopologyError,
+    mbps,
+)
 from .trace import FlowStats
 
 __all__ = [
@@ -50,8 +59,14 @@ __all__ = [
     "CompositeNoise",
     "Dumbbell",
     "DynamicLink",
+    "HeadDropDiscipline",
+    "MultiDumbbell",
+    "ParkingLot",
+    "RandomDropDiscipline",
     "REDDiscipline",
     "TailDropDiscipline",
+    "Topology",
+    "TopologyError",
     "cellular_rate",
     "step_rate",
     "DynamicsError",

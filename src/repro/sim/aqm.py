@@ -6,12 +6,20 @@ CoDel/RED keep standing queues short, which starves LEDBAT's
 delay-target signal and changes what any delay-based scavenger can
 observe.  This module provides:
 
-* :class:`TailDropDiscipline`, :class:`REDDiscipline`,
-  :class:`CoDelDiscipline` — pluggable queue disciplines;
+* :class:`TailDropDiscipline`, :class:`HeadDropDiscipline`,
+  :class:`RandomDropDiscipline`, :class:`REDDiscipline`,
+  :class:`CoDelDiscipline` — pluggable queue disciplines (the head/random
+  variants evict an already-queued packet and accept the arrival, the
+  classic LinkQueue drop-policy family);
 * :class:`DynamicLink` — an event-based (per-packet queued) link that
   supports a queue discipline *and* a time-varying service rate
   (``rate_fn``), standing in for cellular/LTE-like channels the paper's
   §7.2 discussion defers to future work.
+
+Drop accounting: arrivals refused at a full buffer count as
+``stats.tail_drops``; drops *decided by the discipline* (CoDel dequeue
+drops, head/random evictions) count as ``stats.aqm_drops``.  Both are
+part of invariant packet conservation.
 
 ``DynamicLink`` trades speed for generality; the analytic
 :class:`~repro.sim.link.Link` remains the default for FIFO bottlenecks.
@@ -30,7 +38,20 @@ from ..core.rng import Rng
 
 
 class QueueDiscipline(Protocol):
-    """Decides drops at enqueue and dequeue time."""
+    """Decides drops at enqueue and dequeue time.
+
+    Two further hooks are *optional* (looked up with ``getattr`` by
+    :class:`DynamicLink`):
+
+    * ``on_idle(now)`` — called when the queue drains completely, so
+      time-averaged state (RED's EWMA) can account for idle periods;
+    * ``evict_on_full(lo, n, rng) -> int | None`` — called after
+      ``on_enqueue`` voted to drop at a full buffer.  Return the index
+      (``lo <= i < n``) of a *queued* packet to evict instead, accepting
+      the arrival (head-drop / random-drop semantics), or ``None`` to
+      drop the arrival as usual.  ``lo`` excludes the packet currently
+      in service.
+    """
 
     def on_enqueue(self, packet: Packet, queue_bytes: float, now: float,
                    rng: Rng) -> bool:
@@ -58,11 +79,45 @@ class TailDropDiscipline:
         return False
 
 
+class HeadDropDiscipline(TailDropDiscipline):
+    """Drop-from-front at a byte limit.
+
+    On overflow the *oldest* queued packet is evicted and the arrival is
+    accepted — the loss signal reaches the sender a full queueing delay
+    sooner than tail drop, which matters for delay-based scavengers
+    watching a standing queue.
+    """
+
+    def evict_on_full(self, lo: int, n: int, rng: Rng) -> int | None:
+        return lo if n > lo else None
+
+
+class RandomDropDiscipline(TailDropDiscipline):
+    """Drop-a-random-victim at a byte limit.
+
+    On overflow a uniformly random queued packet is evicted and the
+    arrival is accepted, spreading congestion losses across flows in
+    proportion to their queue occupancy.
+    """
+
+    def evict_on_full(self, lo: int, n: int, rng: Rng) -> int | None:
+        return rng.randrange(lo, n) if n > lo else None
+
+
 class REDDiscipline:
     """Random Early Detection (Floyd & Jacobson 1993), byte mode.
 
     Drops probabilistically between ``min_th`` and ``max_th`` of EWMA
     queue size, always above ``max_th``; hard cap at ``buffer_bytes``.
+
+    While the queue sits idle no enqueues happen, so the EWMA would
+    otherwise freeze at its last (possibly large) value and over-drop the
+    first packets after the idle period.  Per the paper's idle-time
+    correction, the average is aged at the next enqueue as if ``m`` small
+    packets had arrived at an empty queue during the idle gap:
+    ``avg <- avg * (1 - weight) ** m`` with
+    ``m = idle_s / idle_packet_s``.  ``idle_packet_s`` is the "typical
+    transmission time" the correction is denominated in.
     """
 
     def __init__(
@@ -72,6 +127,7 @@ class REDDiscipline:
         max_th_bytes: float | None = None,
         max_p: float = 0.1,
         weight: float = 0.002,
+        idle_packet_s: float = 0.001,
     ):
         if buffer_bytes <= 0:
             raise ValueError("buffer_bytes must be positive")
@@ -82,11 +138,25 @@ class REDDiscipline:
             raise ValueError("need 0 < min_th < max_th <= buffer")
         if not 0 < max_p <= 1:
             raise ValueError("max_p must be in (0, 1]")
+        if idle_packet_s <= 0:
+            raise ValueError("idle_packet_s must be positive")
         self.max_p = max_p
         self.weight = weight
+        self.idle_packet_s = idle_packet_s
         self.avg_bytes = 0.0
+        self._idle_since: float | None = None
+
+    def on_idle(self, now: float) -> None:
+        """Queue drained: remember when the idle period began."""
+        self._idle_since = now
 
     def on_enqueue(self, packet, queue_bytes, now, rng) -> bool:
+        if self._idle_since is not None:
+            idle_s = now - self._idle_since
+            self._idle_since = None
+            if idle_s > 0.0:
+                m = idle_s / self.idle_packet_s
+                self.avg_bytes *= (1.0 - self.weight) ** m
         self.avg_bytes = (1 - self.weight) * self.avg_bytes + self.weight * queue_bytes
         if queue_bytes + packet.size_bytes > self.buffer_bytes:
             return True
@@ -106,7 +176,11 @@ class CoDelDiscipline:
 
     Sojourn time above ``target`` persisting for ``interval`` starts
     dropping at dequeue; drop spacing shrinks with the square root of the
-    drop count, per the reference pseudocode.
+    drop count, per the reference pseudocode.  On entering the dropping
+    state the previous drop count is resumed (minus the two-drop
+    hysteresis credit) only when the state was left within the last
+    ``interval`` — a fresh congestion episode restarts from a count of
+    one, so drop spacing does not stay tight across long quiet gaps.
     """
 
     def __init__(
@@ -136,18 +210,25 @@ class CoDelDiscipline:
         if self._first_above_time is None:
             self._first_above_time = now + self.interval_s
             return False
-        if not self._dropping:
-            if now >= self._first_above_time:
-                self._dropping = True
-                self._count = max(1, self._count - 2 if self._count > 2 else 1)
-                self._drop_next = now
-            else:
-                return False
-        if now >= self._drop_next:
-            self._count += 1
-            self._drop_next = now + self.interval_s / (self._count ** 0.5)
-            return True
-        return False
+        if self._dropping:
+            if now >= self._drop_next:
+                self._count += 1
+                self._drop_next = now + self.interval_s / (self._count ** 0.5)
+                return True
+            return False
+        if now < self._first_above_time:
+            return False
+        # Enter the dropping state, dropping this packet.  ``_drop_next``
+        # still holds the schedule of the previous episode: re-entry
+        # within one interval of it resumes that episode's drop count
+        # (less the hysteresis credit of 2); otherwise start afresh.
+        self._dropping = True
+        if self._count > 2 and now - self._drop_next < self.interval_s:
+            self._count -= 2
+        else:
+            self._count = 1
+        self._drop_next = now + self.interval_s / (self._count ** 0.5)
+        return True
 
 
 RateFunction = Callable[[float], float]
@@ -166,6 +247,11 @@ class DynamicLink:
         discipline: Queue discipline (defaults to 256 KB tail drop).
         loss_rate / noise / rng: As for :class:`~repro.sim.link.Link`.
     """
+
+    # Event-based queue state cannot be advanced analytically: flows
+    # whose path crosses a DynamicLink must stay packet-exact even in
+    # hybrid fidelity (see repro.sim.fidelity.activate_fastforward).
+    can_fastforward = False
 
     def __init__(
         self,
@@ -195,6 +281,9 @@ class DynamicLink:
         self.noise = noise
         self.rng = rng if rng is not None else Rng(0)
         self.name = name
+        # Source node in a topology graph ("" for standalone links);
+        # carried on every ``link.*`` trace event as the hop tag.
+        self.node = ""
         self.stats = LinkStats()
         self._queue: deque[tuple[Packet, Receiver, float]] = deque()
         self._queue_bytes = 0.0
@@ -214,23 +303,107 @@ class DynamicLink:
     def current_rate_bps(self) -> float:
         return max(1.0, self._rate_fn(self.sim.now))
 
+    # ------------------------------------------------------------------
+    # Mid-run dynamics (driven by repro.sim.dynamics.TimelineDriver)
+    # ------------------------------------------------------------------
+    def set_bandwidth_bps(self, bandwidth_bps: float) -> None:
+        """Pin the service rate to a new constant from now on.
+
+        The packet currently in service (if any) keeps its already
+        scheduled finish time — it is past the serializer — and every
+        later packet is served at the new rate.  Replaces any
+        caller-supplied ``rate_fn``.
+        """
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        self._rate_fn = lambda _t, _r=bandwidth_bps: _r
+        self.stats.rate_changes += 1
+
+    def set_delay_s(self, delay_s: float) -> None:
+        """Change the propagation delay for packets dequeued from now on."""
+        if delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+        self.delay_s = delay_s
+
     def send(self, packet: Packet, dst: Receiver) -> bool:
         now = self.sim.now
+        tracer = self.sim.tracer
         self.stats.offered += 1
-        if self.discipline.on_enqueue(packet, self._queue_bytes, now, self.rng):
-            self.stats.tail_drops += 1
-            return False
+        while self.discipline.on_enqueue(packet, self._queue_bytes, now, self.rng):
+            # Disciplines with an eviction policy (head/random drop) make
+            # room by sacrificing a queued packet; anything else is a
+            # plain tail drop of the arrival.
+            if not self._evict_one(now, tracer):
+                self.stats.tail_drops += 1
+                if tracer is not None:
+                    tracer.emit(
+                        "link.drop",
+                        now,
+                        flow=packet.flow_id,
+                        link=self.name,
+                        node=self.node,
+                        reason="tail",
+                        seq=packet.seq,
+                        backlog_bytes=self._queue_bytes,
+                    )
+                return False
         if self._queue_bytes + packet.size_bytes > self.stats.max_backlog_bytes:
             self.stats.max_backlog_bytes = self._queue_bytes + packet.size_bytes
         self._queue.append((packet, dst, now))
         self._queue_bytes += packet.size_bytes
+        if tracer is not None:
+            tracer.emit(
+                "link.enqueue",
+                now,
+                flow=packet.flow_id,
+                link=self.name,
+                node=self.node,
+                seq=packet.seq,
+                size_bytes=packet.size_bytes,
+                backlog_bytes=self._queue_bytes,
+            )
         if not self._serving:
             self._serve_next()
+        return True
+
+    def _evict_one(self, now: float, tracer) -> bool:
+        """Evict one queued packet chosen by the discipline; True on success.
+
+        The packet at index 0 is in transmission while ``_serving`` and
+        cannot be recalled, so victims start behind it.
+        """
+        evict = getattr(self.discipline, "evict_on_full", None)
+        if evict is None:
+            return False
+        lo = 1 if self._serving else 0
+        if len(self._queue) <= lo:
+            return False
+        index = evict(lo, len(self._queue), self.rng)
+        if index is None:
+            return False
+        victim, _dst, _enq = self._queue[index]
+        del self._queue[index]
+        self._queue_bytes -= victim.size_bytes
+        self.stats.aqm_drops += 1
+        if tracer is not None:
+            tracer.emit(
+                "link.drop",
+                now,
+                flow=victim.flow_id,
+                link=self.name,
+                node=self.node,
+                reason="aqm",
+                seq=victim.seq,
+            )
         return True
 
     def _serve_next(self) -> None:
         if not self._queue:
             self._serving = False
+            # Let time-averaged disciplines (RED) see the idle period.
+            on_idle = getattr(self.discipline, "on_idle", None)
+            if on_idle is not None:
+                on_idle(self.sim.now)
             return
         self._serving = True
         packet, _dst, _enq = self._queue[0]
@@ -241,12 +414,35 @@ class DynamicLink:
         packet, dst, enqueued_at = self._queue.popleft()
         self._queue_bytes -= packet.size_bytes
         now = self.sim.now
+        tracer = self.sim.tracer
         sojourn = now - enqueued_at
         dropped = self.discipline.on_dequeue(packet, sojourn, now, self.rng)
         if dropped:
-            self.stats.tail_drops += 1
+            # A discipline decision, not a buffer overflow: accounted
+            # separately so AQM activity is visible in summaries.
+            self.stats.aqm_drops += 1
+            if tracer is not None:
+                tracer.emit(
+                    "link.drop",
+                    now,
+                    flow=packet.flow_id,
+                    link=self.name,
+                    node=self.node,
+                    reason="aqm",
+                    seq=packet.seq,
+                )
         elif self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self.stats.random_losses += 1
+            if tracer is not None:
+                tracer.emit(
+                    "link.drop",
+                    now,
+                    flow=packet.flow_id,
+                    link=self.name,
+                    node=self.node,
+                    reason="wire",
+                    seq=packet.seq,
+                )
         else:
             deliver_at = now + self.delay_s
             if self.noise is not None:
@@ -255,6 +451,17 @@ class DynamicLink:
                     deliver_at = self._last_delivery + 1e-9
             self._last_delivery = deliver_at
             self.stats.delivered += 1
+            if tracer is not None:
+                tracer.emit(
+                    "link.dequeue",
+                    now,
+                    flow=packet.flow_id,
+                    link=self.name,
+                    node=self.node,
+                    seq=packet.seq,
+                    depart_s=now,
+                    deliver_at_s=deliver_at,
+                )
             self.sim.schedule_at(deliver_at, dst.receive, packet)
         self._serve_next()
 

@@ -129,7 +129,11 @@ def activate_fastforward(sim, flows) -> int:
 
     * it is unbounded and not chunked (no completion bookkeeping rides
       on delivery timing) and has no ``on_delivery`` callback,
-    * its forward and reverse paths are single-hop, and
+    * its forward and reverse paths are single-hop and every link on
+      them supports the analytic collapse (``can_fastforward`` — true
+      for the analytic ``Link``, false for the event-based
+      ``DynamicLink``, whose explicit queue cannot be advanced in
+      closed form), and
     * **every** flow using its links is itself collapse-capable — a
       packet-exact flow sharing a link with collapsed traffic would see
       the link's transmitter pre-claimed at virtual future times,
@@ -149,6 +153,10 @@ def activate_fastforward(sim, flows) -> int:
             and not flow.completed
             and len(flow.forward_path.links) == 1
             and len(flow.reverse_path.links) == 1
+            and all(
+                getattr(link, "can_fastforward", False)
+                for link in (*flow.forward_path.links, *flow.reverse_path.links)
+            )
         )
 
     caps = {id(f): capable(f) for f in flows}

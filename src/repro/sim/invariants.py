@@ -7,7 +7,7 @@ simulation runs, so a broken link or a clock regression fails loudly in
 the test suite instead of silently skewing a benchmark:
 
 * **packet conservation** — for every link, packets offered equal packets
-  delivered + tail-dropped + randomly lost + still queued;
+  delivered + tail-dropped + AQM-dropped + randomly lost + still queued;
 * **non-negative queues** — link backlogs never go negative;
 * **monotonic clock** — simulated time never moves backwards across
   event dispatches;
@@ -153,9 +153,13 @@ class InvariantChecker:
         # DynamicLink predates outage support; plain Links count packets
         # offered during a down window separately from tail drops.
         outage_drops = getattr(stats, "outage_drops", 0)
+        # Stub links in tests may carry a bare stats object without the
+        # AQM counter; real LinkStats always has it.
+        aqm_drops = getattr(stats, "aqm_drops", 0)
         accounted = (
             stats.delivered
             + stats.tail_drops
+            + aqm_drops
             + stats.random_losses
             + outage_drops
             + queued
@@ -165,6 +169,7 @@ class InvariantChecker:
                 f"packet conservation violated on {link.name!r}: "
                 f"offered={stats.offered} but delivered={stats.delivered} "
                 f"+ tail_drops={stats.tail_drops} "
+                f"+ aqm_drops={aqm_drops} "
                 f"+ random_losses={stats.random_losses} "
                 f"+ outage_drops={outage_drops} + queued={queued} "
                 f"= {accounted}"

@@ -49,6 +49,7 @@ class LinkStats:
         "offered",
         "delivered",
         "tail_drops",
+        "aqm_drops",
         "random_losses",
         "outage_drops",
         "rate_changes",
@@ -59,6 +60,10 @@ class LinkStats:
         self.offered = 0
         self.delivered = 0
         self.tail_drops = 0
+        # Drops decided by a queue discipline (CoDel dequeue drops,
+        # head/random-drop evictions) — distinct from buffer-overflow
+        # tail drops so AQM behaviour is visible in summaries.
+        self.aqm_drops = 0
         self.random_losses = 0
         self.outage_drops = 0
         self.rate_changes = 0
@@ -81,6 +86,10 @@ class Link:
             replaces the Bernoulli ``loss_rate`` draw.
         rng: RNG used for loss and noise draws.
     """
+
+    # The analytic link supports the hybrid-fidelity collapsed-send path
+    # (``send_ff``/``peek_round_trip_ff``); event-based links do not.
+    can_fastforward = True
 
     def __init__(
         self,
@@ -113,6 +122,9 @@ class Link:
         self.loss_model = loss_model
         self.rng = rng if rng is not None else Rng(0)
         self.name = name
+        # Source node in a topology graph ("" for standalone links);
+        # carried on every ``link.*`` trace event as the hop tag.
+        self.node = ""
         self.stats = LinkStats()
         self._busy_until = 0.0
         self._last_delivery = 0.0
@@ -201,6 +213,7 @@ class Link:
                     now,
                     flow=packet.flow_id,
                     link=self.name,
+                    node=self.node,
                     reason="outage",
                     seq=packet.seq,
                 )
@@ -215,6 +228,7 @@ class Link:
                     now,
                     flow=packet.flow_id,
                     link=self.name,
+                    node=self.node,
                     reason="tail",
                     seq=packet.seq,
                     backlog_bytes=backlog,
@@ -232,6 +246,7 @@ class Link:
                 now,
                 flow=packet.flow_id,
                 link=self.name,
+                node=self.node,
                 seq=packet.seq,
                 size_bytes=packet.size_bytes,
                 backlog_bytes=backlog + packet.size_bytes,
@@ -247,6 +262,7 @@ class Link:
                         now,
                         flow=packet.flow_id,
                         link=self.name,
+                    node=self.node,
                         reason="wire",
                         seq=packet.seq,
                     )
@@ -259,6 +275,7 @@ class Link:
                     now,
                     flow=packet.flow_id,
                     link=self.name,
+                    node=self.node,
                     reason="wire",
                     seq=packet.seq,
                 )
@@ -279,6 +296,7 @@ class Link:
                 now,
                 flow=packet.flow_id,
                 link=self.name,
+                node=self.node,
                 seq=packet.seq,
                 depart_s=self._busy_until,
                 deliver_at_s=deliver_at,
@@ -346,6 +364,7 @@ class Link:
                     now,
                     flow=packet.flow_id,
                     link=self.name,
+                    node=self.node,
                     reason="outage",
                     seq=packet.seq,
                 )
@@ -359,6 +378,7 @@ class Link:
                     now,
                     flow=packet.flow_id,
                     link=self.name,
+                    node=self.node,
                     reason="tail",
                     seq=packet.seq,
                     backlog_bytes=backlog,
@@ -375,6 +395,7 @@ class Link:
                 now,
                 flow=packet.flow_id,
                 link=self.name,
+                node=self.node,
                 seq=packet.seq,
                 size_bytes=packet.size_bytes,
                 backlog_bytes=backlog + packet.size_bytes,
@@ -389,6 +410,7 @@ class Link:
                         now,
                         flow=packet.flow_id,
                         link=self.name,
+                    node=self.node,
                         reason="wire",
                         seq=packet.seq,
                     )
@@ -401,6 +423,7 @@ class Link:
                     now,
                     flow=packet.flow_id,
                     link=self.name,
+                    node=self.node,
                     reason="wire",
                     seq=packet.seq,
                 )
@@ -419,6 +442,7 @@ class Link:
                 now,
                 flow=packet.flow_id,
                 link=self.name,
+                node=self.node,
                 seq=packet.seq,
                 depart_s=self._busy_until,
                 deliver_at_s=deliver_at,

@@ -1,13 +1,37 @@
-"""Topology builders.
+"""Topology graphs and builders.
 
-All of the paper's transport experiments run over a single bottleneck, so
-the workhorse here is :class:`Dumbbell`: a shared forward bottleneck link
-plus an uncongested reverse path for ACKs.  Flow-specific extra
-propagation delay supports heterogeneous-RTT setups.
+The paper's transport experiments all run over a single bottleneck, and
+until PR 8 so did this repo: :class:`Dumbbell` wrapped one shared
+:class:`~repro.sim.link.Link`.  The general model here is
+:class:`Topology` — a directed graph of named nodes connected by links
+(analytic :class:`~repro.sim.link.Link` or event-based
+:class:`~repro.sim.aqm.DynamicLink` with a per-hop queue discipline)
+with static shortest-hop routing — on which a flow's
+:class:`~repro.sim.flow.Path` may traverse several potentially-congested
+hops.
+
+Presets:
+
+* :class:`Dumbbell` — the classic single shared bottleneck plus an
+  uncongested reverse path, re-expressed on the graph model and
+  byte-identical to the pre-graph implementation;
+* :class:`ParkingLot` — N bottlenecks in series with cross-traffic
+  joining at each hop, the canonical multi-bottleneck fairness topology;
+* :class:`MultiDumbbell` — several access bottlenecks feeding one shared
+  core link, the substrate for many-short-flows-vs-scavenger scale
+  scenarios.
+
+Routing is deterministic: breadth-first shortest hop count with ties
+broken by link insertion order, overridable per (src, dst) pair with
+:meth:`Topology.set_route`.  Every link is tagged with its source node
+(``link.node``), which all ``link.*`` trace events carry as the hop tag.
 """
 
 from __future__ import annotations
 
+from typing import Callable, Sequence
+
+from .aqm import DynamicLink, QueueDiscipline
 from .engine import Simulator
 from .flow import Flow, Path
 from .link import Link
@@ -20,7 +44,261 @@ def mbps(value: float) -> float:
     return value * 1e6
 
 
-class Dumbbell:
+class TopologyError(ValueError):
+    """Malformed topology: unknown nodes, duplicate links, or no route."""
+
+
+class Topology:
+    """Directed graph of nodes and links with static routing.
+
+    Args:
+        sim: Simulator instance.
+        rng: Seeded RNG; a child is spawned per link (labelled with the
+            link name) for loss/noise draws unless the link brings its
+            own.
+
+    Nodes are created implicitly by :meth:`add_link` /
+    :meth:`attach_link`; both directions of a bidirectional hop are
+    separate links.  ``links`` maps link name to link in insertion order
+    (the canonical iteration order for metrics and conservation sweeps)
+    and plugs directly into
+    :class:`~repro.sim.dynamics.TimelineDriver`.
+    """
+
+    def __init__(self, sim: Simulator, rng: Rng | None = None):
+        self.sim = sim
+        self.rng = rng if rng is not None else Rng(0)
+        self.nodes: list[str] = []
+        self.links: dict[str, object] = {}
+        self._adj: dict[str, list[tuple[str, object]]] = {}
+        self._route_overrides: dict[tuple[str, str], list] = {}
+        self._path_cache: dict[tuple[str, str], Path] = {}
+        self._flow_count = 0
+        # The link scenario samplers/summaries should watch by default;
+        # presets point it at their primary bottleneck.
+        self.monitor: object | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> str:
+        """Register ``name`` (idempotent) and return it."""
+        if name not in self._adj:
+            self._adj[name] = []
+            self.nodes.append(name)
+        return name
+
+    def attach_link(self, src: str, dst: str, link) -> object:
+        """Register an externally built link as the edge ``src -> dst``."""
+        if link.name in self.links:
+            raise TopologyError(f"duplicate link name {link.name!r}")
+        self.add_node(src)
+        self.add_node(dst)
+        self.links[link.name] = link
+        self._adj[src].append((dst, link))
+        link.node = src
+        self._path_cache.clear()
+        if self.monitor is None:
+            self.monitor = link
+        return link
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        *,
+        bandwidth_bps: float,
+        delay_s: float,
+        buffer_bytes: float = float("inf"),
+        discipline: QueueDiscipline | None = None,
+        loss_rate: float = 0.0,
+        noise: NoiseModel | None = None,
+        rng: Rng | None = None,
+        name: str | None = None,
+    ) -> object:
+        """Create and attach the edge ``src -> dst``.
+
+        A ``discipline`` makes the hop an event-based
+        :class:`~repro.sim.aqm.DynamicLink` (per-packet queue, AQM);
+        otherwise it is the analytic tail-drop
+        :class:`~repro.sim.link.Link`.
+        """
+        if name is None:
+            name = f"{src}->{dst}"
+        if rng is None:
+            rng = spawn(self.rng, name)
+        if discipline is not None:
+            link = DynamicLink(
+                self.sim,
+                rate_bps=bandwidth_bps,
+                delay_s=delay_s,
+                discipline=discipline,
+                loss_rate=loss_rate,
+                noise=noise,
+                rng=rng,
+                name=name,
+            )
+        else:
+            link = Link(
+                self.sim,
+                bandwidth_bps=bandwidth_bps,
+                delay_s=delay_s,
+                buffer_bytes=buffer_bytes,
+                loss_rate=loss_rate,
+                noise=noise,
+                rng=rng,
+                name=name,
+            )
+        return self.attach_link(src, dst, link)
+
+    def set_route(self, src: str, dst: str, via: Sequence[str]) -> None:
+        """Pin the ``src -> dst`` route to the node sequence ``via``.
+
+        ``via`` must start at ``src``, end at ``dst``, and every
+        consecutive pair must be joined by a link (first-inserted link
+        wins between parallel edges).
+        """
+        hops = list(via)
+        if len(hops) < 2 or hops[0] != src or hops[-1] != dst:
+            raise TopologyError(
+                f"route for {src!r}->{dst!r} must run from {src!r} to {dst!r}"
+            )
+        links = [self._edge(a, b) for a, b in zip(hops, hops[1:])]
+        self._route_overrides[(src, dst)] = links
+        self._path_cache.pop((src, dst), None)
+
+    def _edge(self, src: str, dst: str):
+        for neighbor, link in self._adj.get(src, ()):
+            if neighbor == dst:
+                return link
+        raise TopologyError(f"no link {src!r} -> {dst!r}")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_links(self, src: str, dst: str) -> list:
+        """The link sequence from ``src`` to ``dst`` (override or BFS)."""
+        if src not in self._adj or dst not in self._adj:
+            missing = src if src not in self._adj else dst
+            raise TopologyError(f"unknown node {missing!r}")
+        if src == dst:
+            raise TopologyError(f"route endpoints coincide: {src!r}")
+        override = self._route_overrides.get((src, dst))
+        if override is not None:
+            return list(override)
+        # Breadth-first shortest hop count.  Frontier and adjacency are
+        # insertion-ordered lists, so the predecessor tree — and with it
+        # the chosen route — is deterministic.
+        prev: dict[str, tuple[str, object] | None] = {src: None}
+        frontier = [src]
+        while frontier and dst not in prev:
+            nxt: list[str] = []
+            for node in frontier:
+                for neighbor, link in self._adj[node]:
+                    if neighbor not in prev:
+                        prev[neighbor] = (node, link)
+                        nxt.append(neighbor)
+            frontier = nxt
+        if dst not in prev:
+            raise TopologyError(f"no route from {src!r} to {dst!r}")
+        links: list = []
+        node = dst
+        while node != src:
+            parent, link = prev[node]  # type: ignore[misc]
+            links.append(link)
+            node = parent
+        links.reverse()
+        return links
+
+    def path(self, src: str, dst: str) -> Path:
+        """Routed :class:`~repro.sim.flow.Path` from ``src`` to ``dst``."""
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = Path(self.route_links(src, dst))
+            self._path_cache[key] = cached
+        return cached
+
+    def default_endpoints(self, index: int) -> tuple[str, str]:
+        """Endpoints for the ``index``-th flow when none are given.
+
+        The generic graph uses first-added -> last-added node; presets
+        override (e.g. :class:`MultiDumbbell` round-robins sources).
+        """
+        if len(self.nodes) < 2:
+            raise TopologyError("topology has no flow endpoints yet")
+        return self.nodes[0], self.nodes[-1]
+
+    # ------------------------------------------------------------------
+    # Flows
+    # ------------------------------------------------------------------
+    def add_flow(
+        self,
+        sender,
+        src: str | None = None,
+        dst: str | None = None,
+        flow_id: int | None = None,
+        size_bytes: int | None = None,
+        start_time: float = 0.0,
+        chunked: bool = False,
+        on_complete=None,
+        on_delivery=None,
+    ) -> Flow:
+        """Attach a sender between ``src`` and ``dst`` and return its Flow.
+
+        The reverse (ACK) path is routed independently from ``dst`` back
+        to ``src``.  Omitted endpoints fall back to
+        :meth:`default_endpoints` for this flow's index.
+        """
+        index = self._flow_count
+        self._flow_count += 1
+        if flow_id is None:
+            flow_id = self._flow_count
+        if src is None or dst is None:
+            default_src, default_dst = self.default_endpoints(index)
+            src = src if src is not None else default_src
+            dst = dst if dst is not None else default_dst
+        return Flow(
+            self.sim,
+            sender,
+            self.path(src, dst),
+            self.path(dst, src),
+            flow_id=flow_id,
+            size_bytes=size_bytes,
+            start_time=start_time,
+            chunked=chunked,
+            on_complete=on_complete,
+            on_delivery=on_delivery,
+        )
+
+    # ------------------------------------------------------------------
+    # Auditing
+    # ------------------------------------------------------------------
+    def iter_links(self):
+        """Links in insertion order (deterministic metrics/report order)."""
+        return self.links.values()
+
+    def assert_conservation(self) -> None:
+        """Raise if any hop leaks packets (offered != accounted-for)."""
+        for link in self.links.values():
+            stats = link.stats
+            accounted = (
+                stats.delivered
+                + stats.tail_drops
+                + getattr(stats, "aqm_drops", 0)
+                + stats.random_losses
+                + getattr(stats, "outage_drops", 0)
+                + link.queued_packets()
+            )
+            if stats.offered != accounted:
+                raise TopologyError(
+                    f"packet conservation violated on hop {link.name!r} "
+                    f"(node {link.node!r}): offered={stats.offered} "
+                    f"!= accounted={accounted}"
+                )
+
+
+class Dumbbell(Topology):
     """Single shared bottleneck with per-flow access/return links.
 
     Args:
@@ -34,6 +312,8 @@ class Dumbbell:
         reverse_noise: Optional ACK-direction latency noise (WiFi uplink
             experiments apply noise both ways).
         rng: Seeded RNG; children are spawned for each stochastic element.
+        bottleneck: Caller-supplied forward bottleneck (e.g. a
+            DynamicLink with an AQM discipline or time-varying rate).
     """
 
     def __init__(
@@ -48,17 +328,15 @@ class Dumbbell:
         rng: Rng | None = None,
         bottleneck=None,
     ):
-        self.sim = sim
-        self.rng = rng if rng is not None else Rng(0)
+        super().__init__(sim, rng=rng)
         self.bandwidth_bps = bandwidth_bps
         self.rtt_s = rtt_s
         if bottleneck is not None:
-            # Caller-supplied forward bottleneck (e.g. a DynamicLink with
-            # an AQM discipline or time-varying rate).
-            self.bottleneck = bottleneck
+            self.bottleneck = self.attach_link("src", "dst", bottleneck)
         else:
-            self.bottleneck = Link(
-                sim,
+            self.bottleneck = self.add_link(
+                "src",
+                "dst",
                 bandwidth_bps=bandwidth_bps,
                 delay_s=rtt_s / 2.0,
                 buffer_bytes=buffer_bytes,
@@ -69,22 +347,25 @@ class Dumbbell:
             )
         # The reverse path is fast and deep enough never to be the
         # constraint: ACK traffic is ~3% of data traffic by bytes.
-        self.reverse = Link(
-            sim,
+        self.reverse = self.add_link(
+            "dst",
+            "src",
             bandwidth_bps=bandwidth_bps * 40.0,
             delay_s=rtt_s / 2.0,
-            buffer_bytes=float("inf"),
             noise=reverse_noise,
             rng=spawn(self.rng, "reverse"),
             name="reverse",
         )
-        self._flow_count = 0
+        self.monitor = self.bottleneck
 
     def bdp_bytes(self) -> float:
         """Bandwidth-delay product of the bottleneck in bytes."""
         return self.bandwidth_bps * self.rtt_s / 8.0
 
-    def add_flow(
+    def default_endpoints(self, index: int) -> tuple[str, str]:
+        return "src", "dst"
+
+    def add_flow(  # type: ignore[override]
         self,
         sender,
         flow_id: int | None = None,
@@ -94,14 +375,23 @@ class Dumbbell:
         chunked: bool = False,
         on_complete=None,
         on_delivery=None,
+        src: str | None = None,
+        dst: str | None = None,
     ) -> Flow:
         """Attach a sender to the shared bottleneck and return its Flow."""
+        if src not in (None, "src") or dst not in (None, "dst"):
+            raise TopologyError(
+                f"Dumbbell flows run src -> dst; got {src!r} -> {dst!r}"
+            )
         self._flow_count += 1
         if flow_id is None:
             flow_id = self._flow_count
         forward_links = [self.bottleneck]
         reverse_links = [self.reverse]
         if extra_delay_s > 0.0:
+            # Per-flow private access/return stubs: kept off the shared
+            # graph (no cross traffic can route over them) exactly as
+            # the pre-graph Dumbbell built them.
             access = Link(
                 self.sim,
                 bandwidth_bps=self.bandwidth_bps * 40.0,
@@ -128,3 +418,169 @@ class Dumbbell:
             on_complete=on_complete,
             on_delivery=on_delivery,
         )
+
+
+DisciplineFactory = Callable[[int], "QueueDiscipline | None"]
+"""Maps a hop index to that hop's queue discipline (``None`` = analytic
+tail-drop FIFO)."""
+
+
+class ParkingLot(Topology):
+    """``n_hops`` bottlenecks in series, cross traffic joining per hop.
+
+    Nodes ``n0 .. n{n_hops}``; forward hop ``i`` is the link
+    ``n{i} -> n{i+1}`` (name ``hop{i}``), every one a potential
+    bottleneck at ``bandwidth_bps``.  The reverse direction is provisioned
+    at 40x so ACKs never queue.  Long flows run ``n0 -> n{n_hops}``
+    across every hop; cross flows join at a single hop via
+    :meth:`add_cross_flow`.  Propagation delay is split so a long flow's
+    base RTT equals ``rtt_s``; a hop-``i`` cross flow sees
+    ``rtt_s / n_hops``.
+
+    Args:
+        discipline_factory: Optional per-hop AQM — called with the hop
+            index, returning a discipline (making that hop an
+            event-based :class:`~repro.sim.aqm.DynamicLink`) or ``None``
+            for the analytic FIFO.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_hops: int,
+        bandwidth_bps: float,
+        rtt_s: float,
+        buffer_bytes: float,
+        loss_rate: float = 0.0,
+        noise: NoiseModel | None = None,
+        rng: Rng | None = None,
+        discipline_factory: DisciplineFactory | None = None,
+    ):
+        if n_hops < 1:
+            raise TopologyError("n_hops must be >= 1")
+        super().__init__(sim, rng=rng)
+        self.n_hops = n_hops
+        self.bandwidth_bps = bandwidth_bps
+        self.rtt_s = rtt_s
+        hop_delay_s = rtt_s / (2.0 * n_hops)
+        for i in range(n_hops):
+            self.add_link(
+                f"n{i}",
+                f"n{i + 1}",
+                bandwidth_bps=bandwidth_bps,
+                delay_s=hop_delay_s,
+                buffer_bytes=buffer_bytes,
+                discipline=(
+                    discipline_factory(i) if discipline_factory is not None else None
+                ),
+                loss_rate=loss_rate,
+                # Forward latency noise models the last-mile hop.
+                noise=noise if i == n_hops - 1 else None,
+                name=f"hop{i}",
+            )
+        for i in range(n_hops, 0, -1):
+            self.add_link(
+                f"n{i}",
+                f"n{i - 1}",
+                bandwidth_bps=bandwidth_bps * 40.0,
+                delay_s=hop_delay_s,
+                name=f"rev{i - 1}",
+            )
+        self.src = "n0"
+        self.dst = f"n{n_hops}"
+        self.monitor = self.links["hop0"]
+
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product of one hop over the full-path RTT."""
+        return self.bandwidth_bps * self.rtt_s / 8.0
+
+    def default_endpoints(self, index: int) -> tuple[str, str]:
+        return self.src, self.dst
+
+    def add_cross_flow(self, sender, hop: int, **kwargs) -> Flow:
+        """A single-hop flow entering at ``n{hop}``, leaving at ``n{hop+1}``."""
+        if not 0 <= hop < self.n_hops:
+            raise TopologyError(f"hop must be in [0, {self.n_hops})")
+        return self.add_flow(sender, f"n{hop}", f"n{hop + 1}", **kwargs)
+
+
+class MultiDumbbell(Topology):
+    """``n_groups`` access bottlenecks feeding one shared core link.
+
+    Nodes ``s0 .. s{n_groups-1} -> core -> sink``: flow group ``i``
+    enters at ``s{i}`` over its private access bottleneck
+    (``bandwidth_bps``) and everything shares the core
+    (``core_bandwidth_bps``), so every flow crosses two potentially
+    congested hops.  Reverse links are provisioned at 40x.  Flows added
+    without explicit endpoints round-robin over the groups by flow
+    index — the substrate for "many short primaries vs. a few
+    scavengers over a shared core" scale scenarios.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_groups: int,
+        bandwidth_bps: float,
+        core_bandwidth_bps: float,
+        rtt_s: float,
+        buffer_bytes: float,
+        core_buffer_bytes: float | None = None,
+        loss_rate: float = 0.0,
+        noise: NoiseModel | None = None,
+        rng: Rng | None = None,
+        core_discipline: QueueDiscipline | None = None,
+    ):
+        if n_groups < 1:
+            raise TopologyError("n_groups must be >= 1")
+        super().__init__(sim, rng=rng)
+        self.n_groups = n_groups
+        self.bandwidth_bps = bandwidth_bps
+        self.core_bandwidth_bps = core_bandwidth_bps
+        self.rtt_s = rtt_s
+        if core_buffer_bytes is None:
+            core_buffer_bytes = buffer_bytes
+        quarter_s = rtt_s / 4.0
+        for i in range(n_groups):
+            self.add_link(
+                f"s{i}",
+                "core",
+                bandwidth_bps=bandwidth_bps,
+                delay_s=quarter_s,
+                buffer_bytes=buffer_bytes,
+                loss_rate=loss_rate,
+                name=f"access{i}",
+            )
+        self.core = self.add_link(
+            "core",
+            "sink",
+            bandwidth_bps=core_bandwidth_bps,
+            delay_s=quarter_s,
+            buffer_bytes=core_buffer_bytes,
+            discipline=core_discipline,
+            noise=noise,
+            name="core",
+        )
+        self.add_link(
+            "sink",
+            "core",
+            bandwidth_bps=core_bandwidth_bps * 40.0,
+            delay_s=quarter_s,
+            name="core-rev",
+        )
+        for i in range(n_groups):
+            self.add_link(
+                "core",
+                f"s{i}",
+                bandwidth_bps=bandwidth_bps * 40.0,
+                delay_s=quarter_s,
+                name=f"access{i}-rev",
+            )
+        self.monitor = self.core
+
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product of the core link in bytes."""
+        return self.core_bandwidth_bps * self.rtt_s / 8.0
+
+    def default_endpoints(self, index: int) -> tuple[str, str]:
+        return f"s{index % self.n_groups}", "sink"

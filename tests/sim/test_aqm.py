@@ -4,12 +4,15 @@ import random
 
 import pytest
 
+from repro.obs import CollectingTracer
 from repro.protocols import CubicSender, FixedRateSender, make_sender
 from repro.sim import (
     CoDelDiscipline,
     Dumbbell,
     DynamicLink,
+    HeadDropDiscipline,
     Packet,
+    RandomDropDiscipline,
     REDDiscipline,
     Simulator,
     TailDropDiscipline,
@@ -65,6 +68,46 @@ def test_red_parameter_validation():
         REDDiscipline(buffer_bytes=1000, min_th_bytes=900, max_th_bytes=800)
 
 
+def test_red_idle_decay_regression():
+    """Pins the Floyd & Jacobson idle fix: ``avg`` must decay while the
+    queue sits empty, not freeze at its last busy-period value."""
+    disc = REDDiscipline(
+        buffer_bytes=100_000, min_th_bytes=10_000, max_th_bytes=50_000, max_p=0.5,
+        weight=0.5, idle_packet_s=0.001,
+    )
+    rng = random.Random(7)
+    pkt = Packet(1, 1, size_bytes=1000)
+    # Busy period: pump the EWMA well above max_th (certain-drop region).
+    for _ in range(30):
+        disc.on_enqueue(pkt, 60_000, 0.0, rng)
+    assert disc.avg_bytes > 50_000
+    # Queue drains and stays idle for a full second (1000 idle packet
+    # slots at idle_packet_s=1ms): avg must decay to ~zero, so the first
+    # arrival of the next busy period is never dropped.
+    disc.on_idle(1.0)
+    assert not disc.on_enqueue(pkt, 0, 2.0, rng)
+    assert disc.avg_bytes < 10_000
+
+
+def test_red_idle_decay_scales_with_idle_time():
+    disc = REDDiscipline(
+        buffer_bytes=100_000, min_th_bytes=10_000, max_th_bytes=50_000,
+        weight=0.1, idle_packet_s=0.01,
+    )
+    rng = random.Random(7)
+    pkt = Packet(1, 1, size_bytes=1000)
+    for _ in range(50):
+        disc.on_enqueue(pkt, 40_000, 0.0, rng)
+    busy_avg = disc.avg_bytes
+    # One idle packet slot decays by exactly one EWMA step (m == 1).
+    disc.on_idle(1.0)
+    disc.on_enqueue(pkt, 0, 1.01, rng)
+    expected = busy_avg * (1.0 - 0.1) ** 1
+    # The enqueue itself then folds in the (empty) instantaneous queue.
+    expected = expected + 0.1 * (0 - expected)
+    assert disc.avg_bytes == pytest.approx(expected)
+
+
 def test_codel_drops_on_persistent_sojourn():
     disc = CoDelDiscipline(buffer_bytes=1e6, target_s=0.005, interval_s=0.05)
     rng = random.Random(2)
@@ -77,6 +120,46 @@ def test_codel_drops_on_persistent_sojourn():
     assert any(drops)
     # Recovery: one below-target sojourn ends the dropping state.
     assert not disc.on_dequeue(pkt, 0.001, 1.0, rng)
+
+
+def test_codel_reentry_resumes_drop_count():
+    """Pins the reference re-entry rule: a dropping episode that resumes
+    within ``interval`` of the last scheduled drop continues at
+    ``count - 2`` (fast convergence on a persistent flow) instead of
+    restarting from 1."""
+    disc = CoDelDiscipline(buffer_bytes=1e6, target_s=0.005, interval_s=0.1)
+    rng = random.Random(0)
+    pkt = Packet(1, 1, size_bytes=1500)
+    high = 0.02  # sojourn persistently above target
+    disc.on_dequeue(pkt, high, 0.0, rng)            # arms first-above at 0.1
+    assert disc.on_dequeue(pkt, high, 0.10, rng)    # enter dropping: count=1
+    assert disc.on_dequeue(pkt, high, 0.20, rng)    # count=2
+    assert disc.on_dequeue(pkt, high, 0.28, rng)    # count=3
+    assert disc.on_dequeue(pkt, high, 0.34, rng)    # count=4, next drop ~0.39
+    assert disc._count == 4
+    # One good dequeue ends the episode without erasing its history.
+    assert not disc.on_dequeue(pkt, 0.001, 0.35, rng)
+    # Quick re-entry (dropping resumes within interval of the last
+    # scheduled drop): count restarts from 4 - 2 = 2, not 1.
+    assert not disc.on_dequeue(pkt, high, 0.36, rng)  # re-arms at 0.46
+    assert disc.on_dequeue(pkt, high, 0.46, rng)
+    assert disc._count == 2
+
+
+def test_codel_long_gap_resets_drop_count():
+    disc = CoDelDiscipline(buffer_bytes=1e6, target_s=0.005, interval_s=0.1)
+    rng = random.Random(0)
+    pkt = Packet(1, 1, size_bytes=1500)
+    high = 0.02
+    disc.on_dequeue(pkt, high, 0.0, rng)
+    for t in (0.10, 0.20, 0.28, 0.34):
+        assert disc.on_dequeue(pkt, high, t, rng)
+    assert not disc.on_dequeue(pkt, 0.001, 0.35, rng)
+    # A long recovery (>> interval past the last scheduled drop) means
+    # the congestion episode truly ended: restart from count=1.
+    assert not disc.on_dequeue(pkt, high, 5.0, rng)
+    assert disc.on_dequeue(pkt, high, 5.1, rng)
+    assert disc._count == 1
 
 
 # ----------------------------------------------------------------------
@@ -131,6 +214,80 @@ def test_cellular_rate_validation():
         cellular_rate(0.0)
 
 
+def _overfill_link(discipline, n_packets=5, tracer=None, node=""):
+    """Blast ``n_packets`` at a slow 2-packet-deep link; returns
+    (link, delivered seqs)."""
+    sim = Simulator(tracer=tracer)
+    link = DynamicLink(
+        sim,
+        rate_bps=8e5,  # 15 ms per 1500-byte packet: all sends queue
+        delay_s=0.0,
+        discipline=discipline,
+        rng=make_rng(1),
+        name="hop",
+    )
+    link.node = node
+    sink = TimedSink(sim)
+    for seq in range(n_packets):
+        link.send(Packet(1, seq, size_bytes=1500), sink)
+    sim.run()
+    return link, [pkt.seq for _, pkt in sink.arrivals]
+
+
+def test_head_drop_evicts_oldest_queued():
+    # Buffer holds 2 packets: one in service + one queued.  Each later
+    # arrival evicts the oldest *queued* packet (never the in-service
+    # head), so the survivors are the first and the last packet.
+    link, seqs = _overfill_link(HeadDropDiscipline(buffer_bytes=3000))
+    assert seqs == [0, 4]
+    assert link.stats.aqm_drops == 3
+    assert link.stats.tail_drops == 0
+
+
+def test_random_drop_evicts_queued_victim():
+    link, seqs = _overfill_link(RandomDropDiscipline(buffer_bytes=3000))
+    # The in-service packet is never a victim; exactly one queued packet
+    # survives alongside it.
+    assert seqs[0] == 0
+    assert len(seqs) == 2
+    assert link.stats.aqm_drops == 3
+    assert link.stats.tail_drops == 0
+
+
+def test_taildrop_refuses_arrivals_without_evicting():
+    link, seqs = _overfill_link(TailDropDiscipline(buffer_bytes=3000))
+    # Tail drop keeps the oldest packets and refuses the new arrivals.
+    assert seqs == [0, 1]
+    assert link.stats.tail_drops == 3
+    assert link.stats.aqm_drops == 0
+
+
+def test_dynamic_link_drop_accounting_conserves_packets():
+    for discipline in (
+        TailDropDiscipline(3000),
+        HeadDropDiscipline(3000),
+        RandomDropDiscipline(3000),
+    ):
+        link, _ = _overfill_link(discipline)
+        stats = link.stats
+        assert stats.offered == 5
+        assert (
+            stats.delivered + stats.tail_drops + stats.aqm_drops
+            + stats.random_losses + link.queued_packets()
+        ) == stats.offered
+
+
+def test_dynamic_link_trace_carries_node_and_drop_reason():
+    tracer = CollectingTracer()
+    _overfill_link(HeadDropDiscipline(buffer_bytes=3000), tracer=tracer, node="n2")
+    events = tracer.to_dicts()
+    drops = [e for e in events if e["kind"] == "link.drop"]
+    assert drops and all(e["node"] == "n2" for e in drops)
+    assert {e["reason"] for e in drops} == {"aqm"}
+    # Every link.* event carries the hop tag.
+    assert all(e["node"] == "n2" for e in events if e["kind"].startswith("link."))
+
+
 # ----------------------------------------------------------------------
 # End-to-end: flows over a DynamicLink bottleneck
 # ----------------------------------------------------------------------
@@ -166,7 +323,9 @@ def test_cubic_over_codel_keeps_queue_short():
     p95 = flow.stats.rtt_percentile(95, 10.0, 20.0)
     assert p95 < 0.080
     assert flow.stats.throughput_bps(10.0, 20.0) / 1e6 > 15.0
-    assert bottleneck.stats.tail_drops > 0
+    # CoDel's dequeue drops are discipline decisions, not buffer
+    # overflows: they land in aqm_drops, never tail_drops.
+    assert bottleneck.stats.aqm_drops > 0
 
 
 def test_proteus_over_red_performs():

@@ -152,6 +152,21 @@ def test_multihop_path_disqualifies():
     assert activate_fastforward(sim, [flow]) == 0
 
 
+def test_dynamic_link_disqualifies():
+    # A DynamicLink's explicit per-packet queue cannot be advanced in
+    # closed form: can_fastforward is False and the flow stays exact.
+    from repro.sim import DynamicLink, TailDropDiscipline
+
+    sim = Simulator(check_invariants=False, fidelity=HYBRID)
+    fwd = DynamicLink(
+        sim, rate_bps=10e6, delay_s=0.01, discipline=TailDropDiscipline(50_000)
+    )
+    rev = Link(sim, bandwidth_bps=10e6, delay_s=0.01, buffer_bytes=50_000)
+    flow = Flow(sim, _NullSender(), Path([fwd]), Path([rev]))
+    assert activate_fastforward(sim, [flow]) == 0
+    assert not flow.ff_collapse
+
+
 # ----------------------------------------------------------------------
 # End-to-end behaviour
 # ----------------------------------------------------------------------
@@ -260,3 +275,48 @@ def test_fidelity_is_part_of_the_cache_key(tmp_path):
         assert cache.stats()["hits"] == 1
     finally:
         reset_cache_state()
+
+
+# ----------------------------------------------------------------------
+# Conservative-veto property: vetoed scenarios are byte-identical
+# ----------------------------------------------------------------------
+def test_hybrid_is_byte_identical_when_topology_vetoes():
+    """Multi-hop and DynamicLink paths veto fast-forward, so a hybrid
+    run of any such scenario must be *byte-identical* to the exact run
+    — not merely close — with zero virtual events."""
+    from repro.devtools import stats_digest
+    from repro.harness import TOPOLOGIES
+
+    for name in ("parking-lot", "parking-lot-codel", "shared-core",
+                 "dumbbell-codel", "dumbbell-red"):
+        spec = TOPOLOGIES[name]()
+        exact = run_flows(
+            SPECS, EMULAB_DEFAULT, duration_s=3.0, seed=5,
+            fidelity=EXACT, topology=spec,
+        )
+        hybrid = run_flows(
+            SPECS, EMULAB_DEFAULT, duration_s=3.0, seed=5,
+            fidelity=HYBRID, topology=spec,
+        )
+        assert stats_digest(exact.stats) == stats_digest(hybrid.stats), name
+        # The veto held: the hybrid engine never fast-forwarded.
+        assert hybrid.dumbbell.sim.events_virtual == 0, name
+
+
+def test_hybrid_is_byte_identical_under_dynamic_link_timeline():
+    """A timeline-scripted run over a DynamicLink bottleneck (dumbbell
+    with an AQM) exercises the other veto axis: link dynamics."""
+    from repro.devtools import stats_digest
+    from repro.harness import BandwidthStep, Timeline, TOPOLOGIES
+
+    timeline = Timeline((BandwidthStep(at_s=1.5, bandwidth_mbps=20.0),))
+    spec = TOPOLOGIES["dumbbell-codel"]()
+    runs = [
+        run_flows(
+            SPECS, EMULAB_DEFAULT, duration_s=3.0, seed=9,
+            fidelity=fid, topology=spec, timeline=timeline,
+        )
+        for fid in (EXACT, HYBRID)
+    ]
+    assert stats_digest(runs[0].stats) == stats_digest(runs[1].stats)
+    assert runs[1].dumbbell.sim.events_virtual == 0

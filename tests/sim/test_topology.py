@@ -2,8 +2,22 @@
 
 import pytest
 
-from repro.protocols import FixedRateSender
-from repro.sim import Dumbbell, Link, Packet, Path, Simulator, make_rng, mbps
+from repro.protocols import CubicSender, FixedRateSender, make_sender
+from repro.sim import (
+    CoDelDiscipline,
+    Dumbbell,
+    DynamicLink,
+    Link,
+    MultiDumbbell,
+    Packet,
+    ParkingLot,
+    Path,
+    Simulator,
+    Topology,
+    TopologyError,
+    make_rng,
+    mbps,
+)
 
 
 def test_mbps_helper():
@@ -77,3 +91,161 @@ def test_multi_hop_path_bottleneck_governs_rate():
 def test_empty_path_rejected():
     with pytest.raises(ValueError):
         Path([])
+
+
+# ----------------------------------------------------------------------
+# Topology graph: construction, routing, auditing
+# ----------------------------------------------------------------------
+def _diamond(sim):
+    """a -> {b, c} -> d with the b branch inserted first."""
+    topo = Topology(sim, rng=make_rng(1))
+    for src, dst in (("a", "b"), ("b", "d"), ("a", "c"), ("c", "d")):
+        topo.add_link(src, dst, bandwidth_bps=mbps(10.0), delay_s=0.001)
+    return topo
+
+
+def test_bfs_routing_prefers_first_inserted_links():
+    topo = _diamond(Simulator())
+    names = [link.name for link in topo.route_links("a", "d")]
+    assert names == ["a->b", "b->d"]
+
+
+def test_route_override_pins_the_path():
+    topo = _diamond(Simulator())
+    topo.set_route("a", "d", ["a", "c", "d"])
+    assert [link.name for link in topo.route_links("a", "d")] == ["a->c", "c->d"]
+    # Only the overridden direction/pair is affected.
+    assert [link.name for link in topo.route_links("a", "b")] == ["a->b"]
+
+
+def test_route_override_validation():
+    topo = _diamond(Simulator())
+    with pytest.raises(TopologyError):
+        topo.set_route("a", "d", ["a", "b"])  # does not end at dst
+    with pytest.raises(TopologyError):
+        topo.set_route("a", "d", ["a", "d"])  # no direct a->d link
+
+
+def test_routing_error_cases():
+    topo = _diamond(Simulator())
+    with pytest.raises(TopologyError):
+        topo.route_links("a", "nowhere")
+    with pytest.raises(TopologyError):
+        topo.route_links("a", "a")
+    # d has no outgoing links: unreachable in the reverse direction.
+    with pytest.raises(TopologyError):
+        topo.route_links("d", "a")
+
+
+def test_duplicate_link_name_rejected():
+    sim = Simulator()
+    topo = Topology(sim, rng=make_rng(1))
+    topo.add_link("a", "b", bandwidth_bps=mbps(1.0), delay_s=0.0, name="x")
+    with pytest.raises(TopologyError):
+        topo.add_link("b", "a", bandwidth_bps=mbps(1.0), delay_s=0.0, name="x")
+
+
+def test_links_tagged_with_source_node():
+    topo = _diamond(Simulator())
+    assert topo.links["a->b"].node == "a"
+    assert topo.links["c->d"].node == "c"
+
+
+def test_path_objects_are_cached_until_topology_changes():
+    topo = _diamond(Simulator())
+    first = topo.path("a", "d")
+    assert topo.path("a", "d") is first
+    topo.add_link("a", "d", bandwidth_bps=mbps(10.0), delay_s=0.0)
+    assert topo.path("a", "d") is not first  # new direct link wins BFS
+
+
+def test_dumbbell_is_a_topology_graph():
+    sim = Simulator()
+    dumbbell = Dumbbell(sim, mbps(50.0), 0.030, 375e3, rng=make_rng(1))
+    assert list(dumbbell.links) == ["bottleneck", "reverse"]
+    assert dumbbell.path("src", "dst").links == [dumbbell.bottleneck]
+    assert dumbbell.path("dst", "src").links == [dumbbell.reverse]
+    assert dumbbell.monitor is dumbbell.bottleneck
+
+
+def test_parking_lot_structure_and_cross_flow_validation():
+    sim = Simulator()
+    lot = ParkingLot(sim, n_hops=3, bandwidth_bps=mbps(20.0), rtt_s=0.030,
+                     buffer_bytes=250e3, rng=make_rng(1))
+    assert [link.name for link in lot.route_links("n0", "n3")] == [
+        "hop0", "hop1", "hop2"
+    ]
+    # Long-flow base RTT equals the configured rtt_s.
+    fwd = lot.path("n0", "n3").base_delay()
+    rev = lot.path("n3", "n0").base_delay()
+    assert fwd + rev == pytest.approx(0.030)
+    with pytest.raises(TopologyError):
+        lot.add_cross_flow(CubicSender(), hop=3)
+
+
+def test_parking_lot_conservation_under_cross_traffic():
+    sim = Simulator()
+    lot = ParkingLot(sim, n_hops=3, bandwidth_bps=mbps(20.0), rtt_s=0.030,
+                     buffer_bytes=100e3, loss_rate=0.01, rng=make_rng(1))
+    lot.add_flow(make_sender("proteus-s", seed=1))
+    lot.add_cross_flow(make_sender("cubic", seed=2), hop=1)
+    sim.run(until=8.0)
+    lot.assert_conservation()
+    # Hop 1 carries both flows: it is the contended one.
+    assert lot.links["hop1"].stats.offered > lot.links["hop2"].stats.offered
+
+
+def test_parking_lot_aqm_hops_are_dynamic_links():
+    sim = Simulator()
+    disciplines = []
+
+    def factory(hop):
+        disc = CoDelDiscipline(buffer_bytes=250e3)
+        disciplines.append(disc)
+        return disc
+
+    lot = ParkingLot(sim, n_hops=2, bandwidth_bps=mbps(20.0), rtt_s=0.030,
+                     buffer_bytes=250e3, rng=make_rng(1),
+                     discipline_factory=factory)
+    assert isinstance(lot.links["hop0"], DynamicLink)
+    assert isinstance(lot.links["hop1"], DynamicLink)
+    # One fresh discipline per hop — AQM state is never shared.
+    assert len(disciplines) == 2
+    assert lot.links["hop0"].discipline is not lot.links["hop1"].discipline
+    # Reverse links stay analytic: ACKs need no AQM.
+    assert isinstance(lot.links["rev0"], Link)
+
+
+def test_multi_dumbbell_round_robins_default_endpoints():
+    sim = Simulator()
+    net = MultiDumbbell(sim, n_groups=3, bandwidth_bps=mbps(20.0),
+                        core_bandwidth_bps=mbps(30.0), rtt_s=0.030,
+                        buffer_bytes=250e3, rng=make_rng(1))
+    assert net.default_endpoints(0) == ("s0", "sink")
+    assert net.default_endpoints(4) == ("s1", "sink")
+    # Every flow crosses its access link and the shared core.
+    names = [link.name for link in net.route_links("s2", "sink")]
+    assert names == ["access2", "core"]
+    assert net.monitor is net.core
+
+
+def test_multi_dumbbell_conservation():
+    sim = Simulator()
+    net = MultiDumbbell(sim, n_groups=2, bandwidth_bps=mbps(20.0),
+                        core_bandwidth_bps=mbps(25.0), rtt_s=0.030,
+                        buffer_bytes=100e3, rng=make_rng(1))
+    net.add_flow(make_sender("cubic", seed=1))
+    net.add_flow(make_sender("cubic", seed=2))
+    sim.run(until=6.0)
+    net.assert_conservation()
+    core = net.core.stats
+    assert core.offered > 0
+
+
+def test_conservation_failure_names_the_hop():
+    sim = Simulator()
+    topo = Topology(sim, rng=make_rng(1))
+    link = topo.add_link("a", "b", bandwidth_bps=mbps(10.0), delay_s=0.0)
+    link.stats.offered = 1  # cooked books
+    with pytest.raises(TopologyError, match="a->b"):
+        topo.assert_conservation()
