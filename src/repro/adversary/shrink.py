@@ -1,0 +1,106 @@
+"""Delta-debugging shrinker for found counterexamples.
+
+Given an evaluation item whose genome violates an objective, greedily
+try strictly-smaller variants — drop one timeline step, drop one
+traffic flow, round the scalar knobs — keeping a variant only if it
+*still* violates.  Every accepted step decreases
+:meth:`ScenarioGenome.size` by at least one, so the loop terminates and
+the final reproducer is strictly smaller than its parent whenever any
+step was accepted at all.
+
+Candidate evaluations run in-process (the shrink phase is sequential by
+nature); a candidate that crashes or trips the event watchdog is simply
+rejected.  Because every evaluation goes through the same
+:func:`~repro.adversary.objectives.evaluate_genome`, identical genomes
+hit the harness result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from ..harness.scenarios import Timeline
+from .genome import ScenarioGenome, rounded_scalars
+from .objectives import evaluate_genome
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    item: dict  # the shrunk evaluation item
+    value: dict  # evaluate_genome output for the shrunk item
+    parent_size: int
+    size: int
+    steps: int  # accepted shrink steps
+
+    @property
+    def reduced(self) -> bool:
+        return self.size < self.parent_size
+
+
+def _candidates(genome: ScenarioGenome) -> Iterator[ScenarioGenome]:
+    """Strictly-smaller one-step variants, in a deterministic order."""
+    steps = genome.timeline.steps
+    for i in range(len(steps)):
+        timeline = Timeline(
+            steps[:i] + steps[i + 1 :], label=genome.timeline.label
+        )
+        yield replace(genome, timeline=timeline)
+    for i in range(len(genome.traffic)):
+        yield replace(
+            genome, traffic=genome.traffic[:i] + genome.traffic[i + 1 :]
+        )
+    rounded = rounded_scalars(genome)
+    if rounded is not None:
+        yield rounded
+
+
+def shrink_item(
+    item: dict,
+    *,
+    evaluate: Callable[[dict], dict] = evaluate_genome,
+    on_step: Callable[[int, int, float], None] | None = None,
+) -> ShrinkResult:
+    """Shrink a violating evaluation item to a minimal reproducer.
+
+    ``item`` must be an :func:`~repro.adversary.objectives.eval_item`
+    dict whose genome violates its objective (the caller has already
+    evaluated it).  ``on_step(parent_size, size, score)`` is invoked
+    after each accepted step (used for ``adversary.shrink`` trace
+    events).  Returns the last still-violating item — ``item`` itself,
+    re-evaluated, when nothing could be removed.
+    """
+    genome = ScenarioGenome.from_dict(item["genome"])
+    value = evaluate(item)
+    if not value.get("violation"):
+        raise ValueError("shrink requires a violating evaluation item")
+    parent_size = genome.size()
+    accepted = 0
+    improved = True
+    while improved:
+        improved = False
+        for candidate in _candidates(genome):
+            try:
+                candidate_item = dict(item, genome=candidate.to_dict())
+                candidate_value = evaluate(candidate_item)
+            except Exception:
+                continue  # crash/timeout while shrinking: reject candidate
+            if not candidate_value.get("violation"):
+                continue
+            genome = candidate
+            item = candidate_item
+            value = candidate_value
+            accepted += 1
+            if on_step is not None:
+                on_step(parent_size, genome.size(), float(value["score"]))
+            improved = True
+            break
+    return ShrinkResult(
+        item=item,
+        value=value,
+        parent_size=parent_size,
+        size=genome.size(),
+        steps=accepted,
+    )

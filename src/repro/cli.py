@@ -550,6 +550,142 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_attack(args: argparse.Namespace) -> int:
+    """Adversarial scenario search (see docs/ADVERSARY.md)."""
+    import json
+    import os
+
+    from .adversary import (
+        CampaignConfig,
+        replay_artifact,
+        run_campaign,
+        shrink_item,
+    )
+
+    if args.replay:
+        try:
+            report = replay_artifact(args.replay)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro attack: cannot replay {args.replay}: {exc}", file=sys.stderr)
+            return 2
+        print_table(
+            ["metric", "value"],
+            [
+                ("objective", report["objective"]),
+                ("recorded score", f"{report['recorded_score']:.6g}"),
+                ("recomputed score", f"{report['recomputed_score']:.6g}"),
+                ("violation", str(report["violation"])),
+                ("bit-exact match", str(report["match"])),
+            ],
+            title=f"replay of {args.replay}",
+        )
+        return 0 if report["match"] else 1
+
+    if args.shrink:
+        try:
+            record = json.loads(Path(args.shrink).read_text())
+            result = shrink_item(record["item"])
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro attack: cannot shrink {args.shrink}: {exc}", file=sys.stderr)
+            return 2
+        out_path = Path(args.shrink).with_suffix(".shrunk.json")
+        from .adversary import artifact_record
+
+        config = CampaignConfig.from_dict(record["campaign"])
+        shrunk_record = artifact_record(
+            config,
+            result.item,
+            result.value,
+            eval_index=record.get("eval_index", 0),
+            parent={"size": result.parent_size, "path": str(args.shrink)},
+        )
+        out_path.write_text(json.dumps(shrunk_record, sort_keys=True, indent=1) + "\n")
+        print_table(
+            ["metric", "value"],
+            [
+                ("parent size", str(result.parent_size)),
+                ("shrunk size", str(result.size)),
+                ("accepted steps", str(result.steps)),
+                ("score", f"{float(result.value['score']):.6g}"),
+                ("wrote", str(out_path)),
+            ],
+            title=f"shrink of {args.shrink}",
+        )
+        return 0
+
+    if not args.no_cache:
+        # Identical genomes (and shrink re-evaluations) hit the result
+        # cache; workers inherit the environment.
+        os.environ.setdefault("REPRO_CACHE", "1")
+    controller_params = {}
+    if args.controller_params:
+        try:
+            controller_params = json.loads(args.controller_params)
+        except ValueError as exc:
+            raise SystemExit(
+                f"repro attack: bad --controller-params JSON: {exc}"
+            ) from exc
+    config = CampaignConfig(
+        objective=args.objective,
+        controller={"protocol": args.controller, "params": controller_params},
+        primary=args.primary,
+        budget=args.budget,
+        seed=args.seed,
+        generation_size=args.generation,
+        elite_count=args.elites,
+        duration_s=args.duration,
+        threshold=args.threshold,
+    )
+    try:
+        result = run_campaign(
+            config,
+            args.out,
+            jobs=args.jobs,
+            shrink=not args.no_shrink,
+            resume=args.resume,
+        )
+    except (FileExistsError, ValueError) as exc:
+        print(f"repro attack: {exc}", file=sys.stderr)
+        return 2
+    summary = result.summary()
+    statuses = summary["statuses"]
+    rows = [
+        ("objective", summary["objective"]),
+        ("evaluations", str(summary["evaluations"])),
+        (
+            "ok / failed / timed-out / crashed",
+            "{} / {} / {} / {}".format(
+                statuses.get("ok", 0),
+                statuses.get("failed", 0),
+                statuses.get("timed-out", 0),
+                statuses.get("crashed-worker", 0),
+            ),
+        ),
+        ("violations", str(summary["violations"])),
+        (
+            "best score",
+            "-" if summary["best_score"] is None else f"{summary['best_score']:.6g}",
+        ),
+        ("best is a violation", str(summary["best_violation"])),
+    ]
+    if result.shrunk is not None:
+        rows.append(
+            (
+                "shrunk reproducer",
+                f"size {result.shrunk.parent_size} -> {result.shrunk.size} "
+                f"({result.out_dir / 'best_shrunk.json'})",
+            )
+        )
+    print_table(
+        ["metric", "value"],
+        rows,
+        title=f"attack on {args.controller} ({config.objective}, "
+        f"seed {config.seed})",
+    )
+    print(f"campaign: {result.out_dir}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     # Imported here so simulation commands never pay for the lint engine.
     from .devtools.lint import describe_rules, format_json, format_text, lint_paths
@@ -861,6 +997,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH", help="write the snapshot JSON"
     )
     p_metrics.set_defaults(fn=cmd_metrics)
+
+    p_attack = sub.add_parser(
+        "attack",
+        help="adversarial scenario search against a controller "
+        "(see docs/ADVERSARY.md)",
+    )
+    p_attack.add_argument(
+        "--objective",
+        default="primary_harm",
+        choices=["primary_harm", "starvation"],
+        help="violation objective the search maximizes",
+    )
+    p_attack.add_argument(
+        "--budget", type=int, default=200, help="genome evaluations to spend"
+    )
+    p_attack.add_argument("--seed", type=int, default=7, help="campaign seed")
+    p_attack.add_argument(
+        "--controller",
+        default="proteus-s",
+        choices=PROTOCOL_NAMES,
+        help="controller under test (the scavenger)",
+    )
+    p_attack.add_argument(
+        "--controller-params",
+        default=None,
+        metavar="JSON",
+        help="extra controller kwargs as JSON, e.g. "
+        '\'{"utility_params": {"d": 1.0}}\' for a mis-tuned Proteus-S',
+    )
+    p_attack.add_argument(
+        "--primary", default="cubic", choices=PROTOCOL_NAMES,
+        help="the primary flow whose throughput the scavenger must not steal",
+    )
+    p_attack.add_argument(
+        "--out", default="attack-out", metavar="DIR",
+        help="campaign directory (manifest, artifacts)",
+    )
+    p_attack.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the campaign recorded in --out (bit-identical result)",
+    )
+    p_attack.add_argument(
+        "--replay", default=None, metavar="ARTIFACT",
+        help="re-evaluate an archived artifact and verify bit-exact equality",
+    )
+    p_attack.add_argument(
+        "--shrink", default=None, metavar="ARTIFACT",
+        help="delta-debug an archived artifact to a minimal reproducer",
+    )
+    p_attack.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip the automatic shrink of the campaign's best violation",
+    )
+    p_attack.add_argument(
+        "--generation", type=int, default=20, help="genomes per generation"
+    )
+    p_attack.add_argument(
+        "--elites", type=int, default=5, help="elite pool for mutation/crossover"
+    )
+    p_attack.add_argument(
+        "--duration", type=float, default=8.0, help="simulated seconds per run"
+    )
+    p_attack.add_argument(
+        "--threshold", type=float, default=None,
+        help="violation threshold (default: objective-specific)",
+    )
+    p_attack.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default REPRO_JOBS)"
+    )
+    p_attack.add_argument(
+        "--no-cache", action="store_true", help="do not enable the result cache"
+    )
+    p_attack.set_defaults(fn=cmd_attack)
 
     p_lint = sub.add_parser(
         "lint",

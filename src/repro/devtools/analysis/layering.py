@@ -6,7 +6,8 @@ and module-scope imports may only point sideways or *down* the stack.
 
 The declared DAG (low → high)::
 
-    core → sim → protocols/apps → analysis → obs → harness → cli/devtools
+    core → sim → protocols/apps → analysis → obs → harness → adversary
+    → cli/devtools
 
 * ``core`` is pure control-law math (utility, thresholds, filters, the
   seeded Rng) — it imports nothing above it;
@@ -17,8 +18,10 @@ The declared DAG (low → high)::
   composes tracers and metric registries into runs, while the sim layer
   reaches observability only through duck-typed ``tracer``/``metrics``
   objects, never an import;
-* ``harness`` orchestrates experiments; ``cli`` and ``devtools`` see
-  everything.
+* ``harness`` orchestrates experiments;
+* ``adversary`` (scenario search) composes harness runs into search
+  campaigns — it sits above the harness but below the CLI;
+* ``cli`` and ``devtools`` see everything.
 
 Only module-scope imports count.  Imports inside function bodies are
 deliberate lazy escapes (the CLI loading the bench suite on demand) and
@@ -48,6 +51,7 @@ PACKAGE_LAYERS: dict[str, str] = {
     "analysis": "analysis",
     "obs": "obs",
     "harness": "harness",
+    "adversary": "adversary",
     "cli": "cli",
     "__main__": "cli",
     "devtools": "cli",
@@ -61,7 +65,8 @@ LAYER_ORDER: dict[str, int] = {
     "analysis": 3,
     "obs": 4,
     "harness": 5,
-    "cli": 6,
+    "adversary": 6,
+    "cli": 7,
 }
 
 
@@ -81,8 +86,9 @@ def layer_of(module_name: str, root: str) -> str | None:
 class LayeringEnforcer(Analyzer):
     id = "layering"
     description = (
-        "enforce the core->sim->protocols/apps->analysis->obs->harness->cli "
-        "layer DAG on module-scope imports; detect import cycles"
+        "enforce the core->sim->protocols/apps->analysis->obs->harness->"
+        "adversary->cli layer DAG on module-scope imports; detect import "
+        "cycles"
     )
     check_ids = ("layer-violation", "import-cycle")
 
@@ -115,8 +121,8 @@ class LayeringEnforcer(Analyzer):
                         f"'{module.name}' (layer {source_layer}) imports "
                         f"'{target}' (layer {target_layer}); imports must "
                         "point down the core->sim->protocols->analysis->obs->"
-                        "harness->cli stack, or move to a function body if "
-                        "the dependency is a deliberate lazy escape",
+                        "harness->adversary->cli stack, or move to a function "
+                        "body if the dependency is a deliberate lazy escape",
                     )
         yield from self._cycles(project, edges)
 

@@ -198,6 +198,47 @@ def tracing_overhead(duration_s: float = 3.0) -> dict:
     }
 
 
+def adversary_evals_per_sec(budget: int = 6, duration_s: float = 4.0) -> dict:
+    """Evaluations/sec of a tiny ``repro attack`` campaign.
+
+    Times the full adversarial-search loop — genome sampling/mutation,
+    the per-eval simulation runs (two per eval for ``primary_harm``),
+    manifest checkpointing — end to end, serially and with the result
+    cache disabled, so the number tracks what one search evaluation
+    actually costs.  Shrinking is skipped: its cost depends on whether a
+    violation happened to be found, which would make the rate noisy.
+    """
+    import shutil
+    import tempfile
+
+    from ..adversary import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        objective="primary_harm",
+        budget=budget,
+        seed=11,
+        generation_size=max(2, budget // 2),
+        duration_s=duration_s,
+    )
+    out_dir = tempfile.mkdtemp(prefix="repro-bench-adversary-")
+    saved = cache_mod._ACTIVE
+    disable_cache()
+    try:
+        start = time.perf_counter()
+        result = run_campaign(config, out_dir, jobs=1, shrink=False)
+        elapsed = time.perf_counter() - start
+    finally:
+        cache_mod._ACTIVE = saved
+        shutil.rmtree(out_dir, ignore_errors=True)
+    evals = len(result.evaluated)
+    return {
+        "evals": evals,
+        "duration_s": duration_s,
+        "wall_s": elapsed,
+        "evals_per_sec": evals / elapsed if elapsed > 0 else 0.0,
+    }
+
+
 # ----------------------------------------------------------------------
 # Figure workloads
 # ----------------------------------------------------------------------
@@ -344,6 +385,9 @@ def run_bench(
             bench.run(scale_f)
             figures[bench.name] = {"wall_s": time.perf_counter() - start}
         tracing = tracing_overhead(1.5 if quick else 3.0)
+        adversary = adversary_evals_per_sec(
+            budget=4 if quick else 6, duration_s=3.0 if quick else 4.0
+        )
         record = {
             "schema": SCHEMA_VERSION,
             "quick": quick,
@@ -358,6 +402,9 @@ def run_bench(
             # gated separately by the baseline's scale.events_per_sec.
             "scale": scale_bench,
             "tracing": tracing,
+            # Adversarial-search throughput (repro attack); recorded into
+            # the history trajectory, not gated by the baseline.
+            "adversary": adversary,
             "figures": figures,
             "cache": {
                 "enabled": cache is not None,
@@ -448,6 +495,9 @@ def history_entry(record: dict) -> dict:
         "scenario_events_virtual": scenario.get("events_virtual"),
         "engine_fast_events_per_sec": engine.get("fast_events_per_sec"),
         "engine_event_events_per_sec": engine.get("event_events_per_sec"),
+        "adversary_evals_per_sec": record.get("adversary", {}).get(
+            "evals_per_sec"
+        ),
         "tracing_enabled_slowdown": record.get("tracing", {}).get(
             "enabled_slowdown"
         ),

@@ -433,6 +433,179 @@ class Timeline:
             steps.append(record)
         return {"label": self.label, "steps": steps}
 
+    def validate(self) -> "Timeline":
+        """Check timeline-level invariants; returns ``self`` if sound.
+
+        Step-level invariants (non-negative times, positive rates) are
+        enforced by each step's constructor; this adds the cross-step
+        ones mutation can break: steps must be sorted by start time, and
+        outage windows on the same link must not overlap.  Raises
+        :class:`ValueError` with the offending step, so a bad mutated
+        timeline fails fast instead of deep inside the simulator.
+        """
+        last_start = 0.0
+        outage_end: dict[str, float] = {}
+        for i, step in enumerate(self.steps):
+            start_s = step_start_s(step)
+            if start_s < last_start:
+                raise ValueError(
+                    f"timeline steps must be sorted by start time: step {i} "
+                    f"({step.kind}) starts at {start_s:g}s after a step "
+                    f"starting at {last_start:g}s"
+                )
+            last_start = start_s
+            if isinstance(step, Outage):
+                prev_end = outage_end.get(step.link, 0.0)
+                if step.start_s < prev_end:
+                    raise ValueError(
+                        f"overlapping outages on link {step.link!r}: step {i} "
+                        f"starts at {step.start_s:g}s before the previous "
+                        f"outage ends at {prev_end:g}s"
+                    )
+                outage_end[step.link] = step.end_s
+            for field_name in ("bandwidth_mbps", "low_mbps", "high_mbps"):
+                rate = getattr(step, field_name, None)
+                if rate is not None and rate <= 0:
+                    raise ValueError(
+                        f"step {i} ({step.kind}) has non-positive "
+                        f"{field_name}={rate!r}"
+                    )
+        return self
+
+    def merge(self, other: "Timeline", label: str | None = None) -> "Timeline":
+        """Combine two timelines into one sorted, validated timeline.
+
+        Steps are stably ordered by start time (ties keep ``self`` before
+        ``other``); the result is :meth:`validate`-d, so merging e.g. two
+        outage schedules that overlap on the same link fails fast.
+        """
+        steps = sorted(self.steps + other.steps, key=step_start_s)
+        if label is None:
+            label = "+".join(part for part in (self.label, other.label) if part)
+        return Timeline(tuple(steps), label=label).validate()
+
+    def perturb(
+        self,
+        rng: Rng,
+        *,
+        time_jitter_s: float = 1.0,
+        magnitude_frac: float = 0.2,
+    ) -> "Timeline":
+        """A jittered copy of this timeline — valid by construction.
+
+        Each step's start time shifts by up to ``±time_jitter_s`` and its
+        magnitudes (rates, delays, loss probabilities, periods) scale by
+        up to ``±magnitude_frac``, all clamped to each step's legal
+        range.  The steps are then re-sorted and outage windows nudged
+        forward past any overlap the jitter introduced, so the result
+        always passes :meth:`validate`.  Draws come only from ``rng``:
+        the same seeded stream reproduces the same perturbation.
+        """
+        steps = [
+            _perturb_step(step, rng, time_jitter_s, magnitude_frac)
+            for step in self.steps
+        ]
+        steps.sort(key=step_start_s)
+        # Repair outage overlaps introduced by the time jitter: slide
+        # each outage forward to start at the previous one's end
+        # (duration preserved), per link.
+        outage_end: dict[str, float] = {}
+        for i, step in enumerate(steps):
+            if not isinstance(step, Outage):
+                continue
+            prev_end = outage_end.get(step.link, 0.0)
+            if step.start_s < prev_end:
+                duration_s = step.end_s - step.start_s
+                step = replace(
+                    step, start_s=prev_end, end_s=prev_end + duration_s
+                )
+                steps[i] = step
+            outage_end[step.link] = step.end_s
+        steps.sort(key=step_start_s)
+        return Timeline(tuple(steps), label=self.label).validate()
+
+
+def step_start_s(step: TimelineStep) -> float:
+    """The simulated time at which ``step`` first takes effect."""
+    at_s = getattr(step, "at_s", None)
+    if at_s is not None:
+        return at_s
+    return step.start_s
+
+
+def _jitter_time(at_s: float, rng: Rng, time_jitter_s: float) -> float:
+    return max(0.0, at_s + rng.uniform(-time_jitter_s, time_jitter_s))
+
+
+def _scale(value: float, rng: Rng, frac: float, lo: float, hi: float) -> float:
+    return min(hi, max(lo, value * (1.0 + rng.uniform(-frac, frac))))
+
+
+def _perturb_step(
+    step: TimelineStep, rng: Rng, time_jitter_s: float, frac: float
+) -> TimelineStep:
+    """One jittered copy of ``step``, clamped to its legal ranges.
+
+    Every branch draws the same number of times from ``rng`` per field
+    it perturbs, keeping the stream consumption deterministic per step
+    kind.
+    """
+    if isinstance(step, BandwidthStep):
+        return replace(
+            step,
+            at_s=_jitter_time(step.at_s, rng, time_jitter_s),
+            bandwidth_mbps=_scale(step.bandwidth_mbps, rng, frac, 0.5, 1e4),
+        )
+    if isinstance(step, DelayStep):
+        return replace(
+            step,
+            at_s=_jitter_time(step.at_s, rng, time_jitter_s),
+            delay_ms=max(0.0, _scale(step.delay_ms, rng, frac, 0.0, 1e4)),
+        )
+    if isinstance(step, Outage):
+        # Shift the whole window (duration preserved), then rescale the
+        # duration with a floor so the outage never becomes empty.
+        shift_s = rng.uniform(-time_jitter_s, time_jitter_s)
+        start_s = max(0.0, step.start_s + shift_s)
+        duration_s = _scale(step.end_s - step.start_s, rng, frac, 0.05, 1e4)
+        return replace(step, start_s=start_s, end_s=start_s + duration_s)
+    if isinstance(step, LossStep):
+        return replace(
+            step,
+            at_s=_jitter_time(step.at_s, rng, time_jitter_s),
+            loss_rate=_scale(step.loss_rate, rng, frac, 0.0, 0.95),
+        )
+    if isinstance(step, GilbertLoss):
+        return replace(
+            step,
+            at_s=_jitter_time(step.at_s, rng, time_jitter_s),
+            p_enter_bad=_scale(step.p_enter_bad, rng, frac, 0.0, 1.0),
+            p_exit_bad=_scale(step.p_exit_bad, rng, frac, 1e-4, 1.0),
+            loss_bad=_scale(step.loss_bad, rng, frac, 0.0, 1.0),
+        )
+    if isinstance(step, BandwidthFlap):
+        shift_s = rng.uniform(-time_jitter_s, time_jitter_s)
+        start_s = max(0.0, step.start_s + shift_s)
+        duration_s = _scale(step.end_s - step.start_s, rng, frac, 0.1, 1e4)
+        return replace(
+            step,
+            start_s=start_s,
+            end_s=start_s + duration_s,
+            period_s=_scale(step.period_s, rng, frac, 0.1, 1e3),
+            low_mbps=_scale(step.low_mbps, rng, frac, 0.5, 1e4),
+            high_mbps=_scale(step.high_mbps, rng, frac, 0.5, 1e4),
+        )
+    if isinstance(step, BandwidthTrace):
+        return replace(
+            step,
+            start_s=_jitter_time(step.start_s, rng, time_jitter_s),
+            interval_s=_scale(step.interval_s, rng, frac, 0.05, 1e3),
+            bandwidths_mbps=tuple(
+                _scale(bw, rng, frac, 0.5, 1e4) for bw in step.bandwidths_mbps
+            ),
+        )
+    raise TypeError(f"unknown timeline step type {type(step).__name__}")
+
 
 def timeline_from_dict(data: dict) -> Timeline:
     """Rebuild a :class:`Timeline` from :meth:`Timeline.to_dict` output."""

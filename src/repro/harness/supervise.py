@@ -485,6 +485,7 @@ def supervised_map(
     jobs: int | None = None,
     policy: RetryPolicy | None = None,
     manifest: str | Path | SweepManifest | None = None,
+    resume_statuses: Sequence[str] = (STATUS_OK,),
 ) -> list[TrialOutcome]:
     """``fn`` over ``items`` with supervision, retries, and checkpointing.
 
@@ -495,9 +496,15 @@ def supervised_map(
     still works, but renaming ``fn`` orphans old manifest entries).
 
     With ``manifest`` set, every fresh outcome is journaled and items
-    whose key is already ``ok`` in the manifest are *not* re-run: their
-    outcomes are rebuilt from the journal (``resumed=True``,
-    bit-identical values).  Failed entries are re-attempted.
+    whose key is already recorded with a status in ``resume_statuses``
+    are *not* re-run: their outcomes are rebuilt from the journal
+    (``resumed=True``, bit-identical values).  The default treats only
+    ``ok`` as final — failed entries are re-attempted, which is right
+    for transiently-failing sweeps.  Callers whose workload is
+    *deterministic* (the adversary search) widen this to ``failed`` and
+    ``timed-out`` as well, so a recorded deterministic failure is not
+    pointlessly retried on resume; ``crashed-worker`` should stay out of
+    the set — a dead worker says nothing about the workload.
 
     Execution: picklable workloads fan out over a process pool
     (``jobs``/``REPRO_JOBS``); worker exceptions, watchdog trips and
@@ -546,7 +553,7 @@ def supervised_map(
         existing = {}
     for i, key in enumerate(keys):
         record = existing.get(key)
-        if record is not None and record.get("status") == STATUS_OK:
+        if record is not None and record.get("status") in resume_statuses:
             try:
                 outcomes[i] = TrialOutcome.from_record(record)
                 continue

@@ -18,6 +18,7 @@ from .bbr_s import BBRScavengerSender
 from .copa import CopaSender
 from .cubic import CubicSender, RenoSender
 from .fixed_rate import FixedRateSender
+from .hostile import BurstFloodSender, OnOffSquareSender
 from .ledbat import Ledbat25Sender, LedbatSender
 from .ledbat_pp import LedbatPPSender
 from .proteus import ProteusSender
@@ -39,6 +40,8 @@ PROTOCOL_NAMES = (
     "proteus-p",
     "proteus-s",
     "proteus-h",
+    "burst-flood",
+    "onoff",
 )
 
 
@@ -71,10 +74,22 @@ def make_sender(name: str, seed: int = 0, **kwargs) -> SenderBase:
     if key in ("ledbat++", "ledbat-pp"):
         return LedbatPPSender(**kwargs)
     if key in ("proteus-p", "proteus-s", "proteus-h", "allegro"):
+        utility_params = kwargs.pop("utility_params", None)
+        if utility_params is not None:
+            # JSON-able mis-tuning hook (used by repro.adversary): build
+            # the named utility with explicit parameters instead of the
+            # stock defaults.
+            from ..core.utility import make_utility
+
+            kwargs.setdefault("utility", make_utility(key, **utility_params))
         kwargs.setdefault("utility", key)
         return ProteusSender(seed=seed, **kwargs)
     if key == "fixed":
         return FixedRateSender(**kwargs)
+    if key == "burst-flood":
+        return BurstFloodSender(seed=seed, **kwargs)
+    if key == "onoff":
+        return OnOffSquareSender(seed=seed, **kwargs)
     raise ValueError(f"unknown protocol {name!r}; known: {PROTOCOL_NAMES}")
 
 
@@ -82,12 +97,14 @@ __all__ = [
     "AckInfo",
     "BBRScavengerSender",
     "BBRSender",
+    "BurstFloodSender",
     "CopaSender",
     "CubicSender",
     "FixedRateSender",
     "Ledbat25Sender",
     "LedbatPPSender",
     "LedbatSender",
+    "OnOffSquareSender",
     "PROTOCOL_NAMES",
     "ProteusSender",
     "RateSender",

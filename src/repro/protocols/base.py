@@ -350,6 +350,25 @@ class RateSender(SenderBase):
                 reason=reason,
             )
 
+    def repace(self) -> None:
+        """Apply the current rate to the pacing loop *immediately*.
+
+        The default pacing loop recomputes its interval only after each
+        tick, so a ``set_rate`` call mid-interval lets at most one
+        already-scheduled (stale) interval elapse before the new rate
+        takes effect — harmless for MI-boundary controllers (the PCC
+        family changes rate exactly when a tick-aligned monitor interval
+        closes), and pinned by regression tests.  Senders that make
+        *abrupt* rate steps on their own schedule (e.g. hostile on/off
+        cross traffic) call this after ``set_rate`` to cancel the stale
+        tick and restart pacing under the new rate now.
+        """
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+        if self.started and not self.stopped and not self.paused:
+            self._schedule_tick(0.0)
+
     def on_start(self) -> None:
         self._schedule_tick(0.0)
 

@@ -1,0 +1,73 @@
+"""Acceptance harness for the scavenger guarantee (pinned seeds).
+
+Two campaigns with identical search knobs — same seed, budget, duration,
+threshold — differing only in the controller under test:
+
+* a deliberately mis-tuned Proteus-S (latency-gradient and RTT-deviation
+  penalties gutted) must be *caught*: the search finds a ``primary_harm``
+  violation within the budget;
+* stock Proteus-S must *survive*: no evaluation crosses the threshold.
+
+The 20 s evaluation duration matters: over short windows the scavenger's
+convergence transient (it starts fast, then learns to yield) dominates
+the harm measurement and stock Proteus-S looks guilty too — see
+``docs/ADVERSARY.md``.  At 20 s the transient has decayed (stock's worst
+found score stays well under 0.30) while the mis-tuned controller's harm
+is *persistent* and scores far above it.
+
+The knobs are pinned: this is a seeded regression test, not a proof.
+Deeper searches *do* find stock violations in regimes the guarantee
+excludes by design — most notably random loss beyond the utility
+function's 5% tolerance point, where a loss-tolerant scavenger
+outcompetes a loss-based primary (walkthrough in ``EXPERIMENTS.md``).
+"""
+
+from repro.adversary import CampaignConfig, run_campaign
+
+SEARCH_KNOBS = dict(
+    objective="primary_harm",
+    budget=12,
+    seed=7,
+    generation_size=6,
+    elite_count=5,
+    duration_s=20.0,
+    threshold=0.30,
+)
+
+MISTUNED = {
+    "protocol": "proteus-s",
+    "params": {"utility_params": {"b": 1.0, "d": 1.0}},
+}
+STOCK = {"protocol": "proteus-s", "params": {}}
+
+
+def test_search_catches_planted_mistuning(tmp_path):
+    result = run_campaign(
+        CampaignConfig(controller=MISTUNED, **SEARCH_KNOBS),
+        tmp_path / "mistuned",
+        jobs=4,
+        shrink=False,
+    )
+    assert result.violations, (
+        "the planted mis-tuned Proteus-S must violate primary_harm "
+        f"within {SEARCH_KNOBS['budget']} evaluations"
+    )
+    assert result.best is not None and result.best.violation
+    assert result.best.score > SEARCH_KNOBS["threshold"]
+    # Found early: random sampling alone already exposes it.
+    assert min(v.index for v in result.violations) < SEARCH_KNOBS["generation_size"]
+
+
+def test_stock_proteus_survives_same_budget(tmp_path):
+    result = run_campaign(
+        CampaignConfig(controller=STOCK, **SEARCH_KNOBS),
+        tmp_path / "stock",
+        jobs=4,
+        shrink=False,
+    )
+    assert not result.violations, (
+        "stock Proteus-S crossed the primary_harm threshold: "
+        f"{[(v.index, v.score) for v in result.violations]}"
+    )
+    assert result.best is not None
+    assert result.best.score < SEARCH_KNOBS["threshold"]

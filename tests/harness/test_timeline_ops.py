@@ -1,0 +1,207 @@
+"""Timeline validate/merge/perturb: invariants under arbitrary inputs.
+
+The adversarial search mutates timelines mechanically, so the invariants
+(sorted starts, non-overlapping outages, positive rates) are property-
+tested with hypothesis rather than hand-picked examples.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rng import Rng
+from repro.harness import (
+    BandwidthFlap,
+    BandwidthStep,
+    DelayStep,
+    GilbertLoss,
+    LossStep,
+    Outage,
+    Timeline,
+)
+from repro.harness.scenarios import step_start_s
+
+_times = st.floats(min_value=0.0, max_value=20.0, allow_nan=False)
+
+_steps = st.one_of(
+    st.builds(
+        BandwidthStep,
+        at_s=_times,
+        bandwidth_mbps=st.floats(min_value=1.0, max_value=200.0, allow_nan=False),
+    ),
+    st.builds(
+        DelayStep,
+        at_s=_times,
+        delay_ms=st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+    ),
+    st.builds(
+        lambda start, span: Outage(start_s=start, end_s=start + span),
+        start=_times,
+        span=st.floats(min_value=0.05, max_value=2.0, allow_nan=False),
+    ),
+    st.builds(
+        LossStep,
+        at_s=_times,
+        loss_rate=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    ),
+    st.builds(
+        GilbertLoss,
+        at_s=_times,
+        p_enter_bad=st.floats(min_value=0.001, max_value=0.2, allow_nan=False),
+        p_exit_bad=st.floats(min_value=0.05, max_value=0.9, allow_nan=False),
+    ),
+    st.builds(
+        lambda start, span, period: BandwidthFlap(
+            start_s=start,
+            end_s=start + span,
+            period_s=period,
+            low_mbps=2.0,
+            high_mbps=30.0,
+        ),
+        start=_times,
+        span=st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+        period=st.floats(min_value=0.2, max_value=2.0, allow_nan=False),
+    ),
+)
+
+
+def _sorted_timeline(steps) -> Timeline:
+    ordered = sorted(steps, key=step_start_s)
+    # Outage overlap repair (duration-preserving slide), mirroring what
+    # perturb guarantees, so the constructed input is always valid.
+    return Timeline(tuple(ordered)).perturb(
+        Rng("timeline:build"), time_jitter_s=0.0, magnitude_frac=0.0
+    )
+
+
+# ----------------------------------------------------------------------
+# validate
+# ----------------------------------------------------------------------
+def test_validate_accepts_sorted_timeline():
+    timeline = Timeline(
+        (
+            BandwidthStep(at_s=1.0, bandwidth_mbps=20.0),
+            Outage(start_s=2.0, end_s=2.5),
+            Outage(start_s=3.0, end_s=3.2),
+        )
+    )
+    assert timeline.validate() is timeline
+
+
+def test_validate_rejects_unsorted_steps():
+    timeline = Timeline(
+        (
+            BandwidthStep(at_s=5.0, bandwidth_mbps=20.0),
+            BandwidthStep(at_s=1.0, bandwidth_mbps=10.0),
+        )
+    )
+    with pytest.raises(ValueError, match="sorted"):
+        timeline.validate()
+
+
+def test_validate_rejects_overlapping_outages():
+    timeline = Timeline(
+        (
+            Outage(start_s=1.0, end_s=3.0),
+            Outage(start_s=2.0, end_s=4.0),
+        )
+    )
+    with pytest.raises(ValueError, match="overlapping outages"):
+        timeline.validate()
+
+
+def test_validate_allows_overlapping_outages_on_different_links():
+    timeline = Timeline(
+        (
+            Outage(start_s=1.0, end_s=3.0, link="hop0"),
+            Outage(start_s=2.0, end_s=4.0, link="hop1"),
+        )
+    )
+    timeline.validate()
+
+
+# ----------------------------------------------------------------------
+# merge
+# ----------------------------------------------------------------------
+def test_merge_interleaves_sorted_and_joins_labels():
+    a = Timeline((BandwidthStep(at_s=1.0, bandwidth_mbps=20.0),), label="bw")
+    b = Timeline((Outage(start_s=0.5, end_s=0.8),), label="outage")
+    merged = a.merge(b)
+    assert [step_start_s(s) for s in merged.steps] == [0.5, 1.0]
+    assert merged.label == "bw+outage"
+    assert a.merge(b, label="custom").label == "custom"
+
+
+def test_merge_rejects_conflicting_outage_schedules():
+    a = Timeline((Outage(start_s=1.0, end_s=3.0),))
+    b = Timeline((Outage(start_s=2.0, end_s=4.0),))
+    with pytest.raises(ValueError, match="overlapping outages"):
+        a.merge(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    left=st.lists(_steps, max_size=4),
+    right=st.lists(_steps, max_size=4),
+)
+def test_merge_of_valid_timelines_is_sorted_and_complete(left, right):
+    a, b = _sorted_timeline(left), _sorted_timeline(right)
+    try:
+        merged = a.merge(b)
+    except ValueError:
+        # Only legitimate rejection: same-link outage windows collide.
+        outages = sorted(
+            [s for s in a.steps + b.steps if isinstance(s, Outage)],
+            key=step_start_s,
+        )
+        assert any(
+            second.start_s < first.end_s and second.link == first.link
+            for first, second in zip(outages, outages[1:])
+        )
+        return
+    assert len(merged.steps) == len(a.steps) + len(b.steps)
+    starts = [step_start_s(s) for s in merged.steps]
+    assert starts == sorted(starts)
+    merged.validate()
+
+
+# ----------------------------------------------------------------------
+# perturb
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    steps=st.lists(_steps, max_size=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_perturb_always_produces_a_valid_timeline(steps, seed):
+    timeline = _sorted_timeline(steps)
+    perturbed = timeline.perturb(Rng(f"perturb:{seed}"))
+    perturbed.validate()
+    # Structure is preserved: same number of steps, same kinds (by count).
+    assert len(perturbed.steps) == len(timeline.steps)
+    assert sorted(s.kind for s in perturbed.steps) == sorted(
+        s.kind for s in timeline.steps
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    steps=st.lists(_steps, min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_perturb_is_deterministic_in_the_rng(steps, seed):
+    timeline = _sorted_timeline(steps)
+    a = timeline.perturb(Rng(f"perturb:det:{seed}"))
+    b = timeline.perturb(Rng(f"perturb:det:{seed}"))
+    assert a == b
+
+
+def test_perturb_preserves_outage_durations_at_zero_magnitude():
+    timeline = Timeline(
+        (Outage(start_s=1.0, end_s=2.0), Outage(start_s=4.0, end_s=4.5))
+    )
+    perturbed = timeline.perturb(
+        Rng("perturb:durations"), time_jitter_s=0.8, magnitude_frac=0.0
+    )
+    durations = [s.end_s - s.start_s for s in perturbed.steps]
+    assert durations == pytest.approx([1.0, 0.5])

@@ -159,6 +159,95 @@ def test_stale_acks_after_timeout_are_ignored():
     assert len(sender.acks) + len(sender.losses) <= flow.stats.packets_sent
 
 
+def _sends_after_rate_step(use_repace):
+    """Send times around a 1 -> 50 Mbps step at t=0.1 (no repace vs repace)."""
+    from repro.obs import CollectingTracer
+    from repro.protocols.base import RateSender
+
+    tracer = CollectingTracer()
+    sim = Simulator(tracer=tracer)
+    dumbbell = Dumbbell(
+        sim,
+        bandwidth_bps=mbps(100.0),
+        rtt_s=0.04,
+        buffer_bytes=100e3,
+        rng=make_rng(1),
+    )
+    sender = RateSender("slow", initial_rate_bps=mbps(1.0))  # ~12 ms/packet
+
+    def step_up():
+        sender.set_rate(mbps(50.0))
+        if use_repace:
+            sender.repace()
+
+    dumbbell.add_flow(sender)
+    sim.schedule_at(0.100, step_up)
+    sim.run(until=0.2)
+    return [
+        e.time_s
+        for e in tracer.events
+        if e.kind == "link.enqueue" and e.link == "bottleneck" and e.time_s > 0.1
+    ]
+
+
+def test_set_rate_mid_interval_leaves_at_most_one_stale_interval():
+    """Pins the audited rate-change behaviour (see RateSender.repace).
+
+    The pacing loop recomputes its interval only after each tick, so a
+    ``set_rate`` call mid-interval lets exactly the already-scheduled
+    interval elapse at the old (1 Mbps, ~12 ms) pace before the new
+    (50 Mbps, ~0.24 ms) rate takes over — never more than one stale
+    interval.
+    """
+    sends = _sends_after_rate_step(use_repace=False)
+    # The first send after the change rides the stale schedule: up to one
+    # old interval away (12 ms + 2% jitter), and on the old pace it is
+    # *later* than a fresh fast interval.
+    assert 0.0 < sends[0] - 0.1 <= 0.0123
+    # Every subsequent gap is at the new pace: exactly zero further
+    # stale (old-pace) intervals.
+    new_interval = 1500 * 8.0 / mbps(50.0)
+    gaps = [b - a for a, b in zip(sends, sends[1:])]
+    assert gaps and all(gap <= 1.05 * new_interval for gap in gaps)
+
+
+def test_repace_applies_new_rate_immediately():
+    sends = _sends_after_rate_step(use_repace=True)
+    new_interval = 1500 * 8.0 / mbps(50.0)
+    # No stale interval at all: the first post-change send is immediate
+    # and every gap is already at the 50 Mbps pace.
+    assert sends[0] - 0.1 <= 1.05 * new_interval
+    gaps = [b - a for a, b in zip(sends, sends[1:])]
+    assert gaps and all(gap <= 1.05 * new_interval for gap in gaps)
+
+
+def test_repace_respects_paused_and_stopped_states():
+    from repro.protocols.base import RateSender
+
+    sim, dumbbell = build()
+    sender = RateSender("rate", initial_rate_bps=mbps(4.0))
+    flow = dumbbell.add_flow(sender)
+    sim.run(until=0.5)
+    sender.pause()
+    sim.run(until=0.6)
+    sender.repace()  # paused: must not restart the pacing loop
+    assert sender._tick_event is None
+    sent_paused = flow.stats.packets_sent
+    sim.run(until=1.0)
+    assert flow.stats.packets_sent == sent_paused
+    sender.resume()
+    sim.run(until=1.5)
+    sender.stop()
+    sender.repace()  # stopped: same
+    assert sender._tick_event is None
+
+
+def test_fixed_rate_sender_rate_stays_immutable():
+    sender = FixedRateSender(rate_bps=mbps(4.0))
+    with pytest.raises(RuntimeError):
+        sender.set_rate(mbps(8.0))
+
+
 @pytest.mark.parametrize(
     "proto",
     ["cubic", "reno", "bbr", "bbr-s", "copa", "vivace", "ledbat", "ledbat-25",

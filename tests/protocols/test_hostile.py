@@ -1,0 +1,111 @@
+"""Unit tests for the hostile cross-traffic senders."""
+
+import pytest
+
+from repro.obs import CollectingTracer
+from repro.protocols import BurstFloodSender, OnOffSquareSender, make_sender
+from repro.sim import Dumbbell, Simulator, make_rng, mbps
+
+
+def build(bandwidth_mbps=20.0, rtt_ms=30.0, buffer_kb=150.0, seed=1, tracer=None):
+    sim = Simulator(tracer=tracer)
+    dumbbell = Dumbbell(
+        sim,
+        bandwidth_bps=mbps(bandwidth_mbps),
+        rtt_s=rtt_ms / 1e3,
+        buffer_bytes=buffer_kb * 1e3,
+        rng=make_rng(seed),
+    )
+    return sim, dumbbell
+
+
+def test_burst_flood_sends_periodic_bursts():
+    tracer = CollectingTracer()
+    sim, dumbbell = build(tracer=tracer)
+    sender = BurstFloodSender(burst_packets=16, period_s=0.5, seed=5)
+    flow = dumbbell.add_flow(sender)
+    sim.run(until=5.0)
+    bursts = [e for e in tracer.events if e.kind == "hostile.burst"]
+    # ~10 periods in 5 s (jittered), one burst trace each.
+    assert 7 <= len(bursts) <= 13
+    assert all(1 <= e.fields["packets"] <= 16 for e in bursts)
+    assert flow.stats.packets_sent >= 16 * 7
+
+
+def test_burst_flood_is_deterministic():
+    def delivered(run_seed):
+        sim, dumbbell = build(seed=run_seed)
+        flow = dumbbell.add_flow(BurstFloodSender(seed=9))
+        sim.run(until=4.0)
+        return flow.stats.delivered_bytes
+
+    assert delivered(1) == delivered(1)
+
+
+def test_burst_flood_phase_depends_on_seed():
+    def first_send_time(sender_seed):
+        tracer = CollectingTracer()
+        sim, dumbbell = build(tracer=tracer)
+        dumbbell.add_flow(BurstFloodSender(seed=sender_seed))
+        sim.run(until=2.0)
+        bursts = [e for e in tracer.events if e.kind == "hostile.burst"]
+        return bursts[0].time_s
+
+    assert first_send_time(1) != first_send_time(2)
+
+
+def test_onoff_alternates_and_respects_duty_cycle():
+    tracer = CollectingTracer()
+    sim, dumbbell = build(bandwidth_mbps=50.0, tracer=tracer)
+    sender = OnOffSquareSender(on_mbps=10.0, on_s=0.5, off_s=0.5, seed=3)
+    flow = dumbbell.add_flow(sender)
+    sim.run(until=10.0)
+    reasons = [
+        e.fields.get("reason")
+        for e in tracer.events
+        if e.kind == "rate.change"
+        and (e.fields.get("reason") or "").startswith("hostile")
+    ]
+    assert "hostile:on" in reasons and "hostile:off" in reasons
+    # ~50% duty cycle at 10 Mbps ON: mean rate well below ON, well above 0.
+    mean_mbps = flow.stats.throughput_bps(0.0, 10.0) / 1e6
+    assert 2.5 < mean_mbps < 7.5
+
+
+def test_onoff_goes_silent_in_off_phase():
+    sim, dumbbell = build(bandwidth_mbps=50.0)
+    # jitter_frac=0 makes the phase boundaries exact multiples of 1 s.
+    sender = OnOffSquareSender(on_mbps=20.0, on_s=1.0, off_s=1.0, jitter_frac=0.0, seed=4)
+    flow = dumbbell.add_flow(sender)
+    checkpoints = []
+    for t in (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0):
+        sim.run(until=t)
+        checkpoints.append(flow.stats.packets_sent)
+    deltas = [b - a for a, b in zip(checkpoints, checkpoints[1:])]
+    silent = sum(1 for d in deltas if d == 0)
+    active = sum(1 for d in deltas if d > 10)
+    assert silent >= 2, f"expected silent half-periods, deltas={deltas}"
+    assert active >= 2, f"expected active half-periods, deltas={deltas}"
+
+
+def test_make_sender_builds_hostile_senders():
+    burst = make_sender("burst-flood", seed=7, burst_packets=8)
+    assert isinstance(burst, BurstFloodSender)
+    assert burst.burst_packets == 8
+    assert burst.seed == 7
+    onoff = make_sender("onoff", seed=7, on_mbps=5.0)
+    assert isinstance(onoff, OnOffSquareSender)
+    assert onoff.on_mbps == 5.0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        BurstFloodSender(burst_packets=0)
+    with pytest.raises(ValueError):
+        BurstFloodSender(period_s=0.0)
+    with pytest.raises(ValueError):
+        BurstFloodSender(jitter_frac=1.0)
+    with pytest.raises(ValueError):
+        OnOffSquareSender(on_mbps=0.0)
+    with pytest.raises(ValueError):
+        OnOffSquareSender(off_s=0.0)
